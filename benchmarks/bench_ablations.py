@@ -1,0 +1,112 @@
+"""Ablations: the §V-C CTB-Locker rerun + indicator-isolation sweep.
+
+Shape targets: removing the sub-512-byte files collapses CTB-Locker's
+files-lost count by roughly 4× (paper: 29 → 7); each indicator alone is
+either slower or noisier than the full union configuration.
+"""
+
+import pytest
+
+from repro.experiments import (TINY, run_ctb_small_file_rerun,
+                               run_indicator_ablation)
+
+
+@pytest.fixture(scope="module")
+def ctb(scale):
+    return run_ctb_small_file_rerun(scale)
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    return run_indicator_ablation(TINY)
+
+
+def test_bench_ctb_small_file_rerun(benchmark, scale):
+    result = benchmark.pedantic(lambda: run_ctb_small_file_rerun(scale),
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+
+def test_bench_indicator_ablation(benchmark):
+    result = benchmark.pedantic(lambda: run_indicator_ablation(TINY),
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+
+class TestCtbRerunShape:
+    def test_small_files_inflate_losses(self, ctb, scale):
+        if scale.per_family is not None:
+            pytest.skip("needs the full small-file population")
+        # paper: 29 with vs 7 without; our corpus keeps the direction
+        # and a substantial gap (the exact factor depends on how many
+        # borderline 512B-1KB files the generator draws)
+        assert ctb.lost_without_small <= ctb.lost_with_small * 0.65
+
+    def test_plenty_of_small_files_removed(self, ctb, scale):
+        if scale.per_family is not None:
+            pytest.skip("needs the full corpus")
+        assert ctb.small_files_removed >= 15
+
+
+class TestAblationShape:
+    def test_full_config_detects_everything(self, ablation):
+        assert ablation.row("full").detection_rate == 1.0
+
+    def test_full_config_quiet_on_benign(self, ablation):
+        assert ablation.row("full").benign_flagged == 0
+
+    def test_secondary_only_misses_class_a(self, ablation):
+        """Deletion + funneling alone cannot convict in-place
+        encryptors: detection rate collapses."""
+        assert ablation.row("secondary_only").detection_rate < \
+            ablation.row("full").detection_rate
+
+    def test_single_indicators_slower_or_blind(self, ablation):
+        full = ablation.row("full")
+        for name in ("entropy_only", "type_change_only",
+                     "similarity_only"):
+            row = ablation.row(name)
+            assert (row.detection_rate < 1.0
+                    or row.median_files_lost >= full.median_files_lost), name
+
+    def test_no_union_never_faster(self, ablation):
+        assert ablation.row("no_union").median_files_lost >= \
+            ablation.row("full").median_files_lost
+
+    def test_ctph_backend_works_too(self, ablation):
+        row = ablation.row("ctph_backend")
+        assert row.detection_rate == 1.0
+
+
+# ---------------------------------------------------------------------------
+# §V-C future work: dynamic scoring
+# ---------------------------------------------------------------------------
+
+from repro.experiments import run_dynamic_scoring  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def dynamic(scale):
+    return run_dynamic_scoring(scale)
+
+
+def test_bench_dynamic_scoring(benchmark, scale):
+    result = benchmark.pedantic(lambda: run_dynamic_scoring(scale),
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+
+class TestDynamicScoringShape:
+    def test_small_file_sweep_convicts_sooner(self, dynamic):
+        assert dynamic.ctb_lost_dynamic < dynamic.ctb_lost_static
+
+    def test_word_and_mogrify_stay_zero(self, dynamic):
+        assert dynamic.benign_scores_dynamic["WINWORD.EXE"] == 0.0
+        assert dynamic.benign_scores_dynamic["mogrify.exe"] == 0.0
+
+    def test_no_new_benign_flags(self, dynamic):
+        assert all(score < 200.0
+                   for score in dynamic.benign_scores_dynamic.values())

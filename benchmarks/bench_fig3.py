@@ -1,0 +1,46 @@
+"""Figure 3 — cumulative % of samples detected vs files lost.
+
+The paper's curve: median 10, every sample detected with ≤ 33 files
+lost, and a fast-rising front (union-indication samples convicted within
+a handful of files).
+"""
+
+import pytest
+
+from repro.experiments import run_fig3
+
+
+@pytest.fixture(scope="module")
+def fig3(campaign, scale):
+    return run_fig3(scale, campaign=campaign)
+
+
+def test_bench_regenerate_fig3(benchmark, campaign, scale):
+    result = benchmark.pedantic(
+        lambda: run_fig3(scale, campaign=campaign), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+
+class TestFig3Shape:
+    def test_median_near_ten(self, fig3):
+        assert 6 <= fig3.median <= 14                       # paper: 10
+
+    def test_everything_detected_within_bound(self, fig3):
+        assert fig3.maximum <= 45                           # paper: 33
+        assert fig3.fraction_detected_within(fig3.maximum) == \
+            pytest.approx(1.0)
+
+    def test_fast_front_exists(self, fig3):
+        """A solid block of samples is caught within 5 files (the union
+        fast path the paper highlights)."""
+        assert fig3.fraction_detected_within(5) >= 0.10
+
+    def test_curve_is_a_cdf(self, fig3):
+        fractions = [frac for _x, frac in fig3.points]
+        assert fractions == sorted(fractions)
+        losses = [x for x, _frac in fig3.points]
+        assert losses == sorted(losses)
+
+    def test_majority_within_paper_median_band(self, fig3):
+        assert fig3.fraction_detected_within(14) >= 0.5

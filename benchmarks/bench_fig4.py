@@ -1,0 +1,50 @@
+"""Figure 4 — directory-access trees for three contrasting samples.
+
+Shape targets from §V-C: TeslaCrypt works the deepest directories first;
+CTB-Locker hops directories following global file size; GPcode sweeps
+top-down from the root and — for the 2008 Class C build — loses zero
+files thanks to its broken deletion path on read-only files.
+"""
+
+import pytest
+
+from repro.experiments import run_fig4
+
+
+@pytest.fixture(scope="module")
+def fig4(scale):
+    return run_fig4(scale)
+
+
+def test_bench_regenerate_fig4(benchmark, scale):
+    result = benchmark.pedantic(lambda: run_fig4(scale),
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+
+class TestFig4Shape:
+    def test_teslacrypt_deepest_first(self, fig4):
+        tesla = fig4.by_family("teslacrypt")
+        assert tesla.mean_touched_depth > fig4.corpus_mean_depth
+
+    def test_ctb_locker_directory_oblivious(self, fig4):
+        """Size-ascending attack scatters across many directories."""
+        ctb = fig4.by_family("ctb-locker")
+        assert ctb.touched_dirs >= 8
+
+    def test_gpcode_top_down(self, fig4):
+        gpcode = fig4.by_family("gpcode")
+        assert gpcode.mean_touched_depth < fig4.corpus_mean_depth
+
+    def test_gpcode_read_only_quirk(self, fig4):
+        """'This sample ... did not modify or delete any of our test
+        files before being detected' (§V-C)."""
+        gpcode = fig4.by_family("gpcode")
+        assert gpcode.behavior_class == "C"
+        assert gpcode.files_lost == 0
+
+    def test_all_three_detected_early(self, fig4):
+        for sample in fig4.samples:
+            assert sample.result.detected
+            assert sample.touched_dirs < sample.total_dirs

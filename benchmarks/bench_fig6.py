@@ -1,0 +1,71 @@
+"""Figure 6 / §V-F — benign applications vs the non-union threshold.
+
+Shape targets: Word and ImageMagick at exactly 0; Excel the highest
+scorer but under the 200 threshold; Lightroom in between; iTunes small;
+zero false positives at 200 across the analysed five; 7-zip the single
+(expected) detection in the full thirty-app suite.
+"""
+
+import pytest
+
+from repro.experiments import run_fig6
+
+
+@pytest.fixture(scope="module")
+def fig6_five(scale):
+    return run_fig6(scale, suite="five")
+
+
+@pytest.fixture(scope="module")
+def fig6_all(scale):
+    return run_fig6(scale, suite="all")
+
+
+def test_bench_regenerate_fig6(benchmark, scale):
+    result = benchmark.pedantic(lambda: run_fig6(scale, suite="five"),
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+
+def test_bench_full_benign_suite(benchmark, scale):
+    result = benchmark.pedantic(lambda: run_fig6(scale, suite="all"),
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+
+class TestFig6Shape:
+    def test_word_and_mogrify_zero(self, fig6_five):
+        scores = fig6_five.final_scores()
+        assert scores["WINWORD.EXE"] == 0.0       # paper: 0
+        assert scores["mogrify.exe"] == 0.0       # paper: 0
+
+    def test_excel_highest_but_safe(self, fig6_five):
+        scores = fig6_five.final_scores()
+        assert scores["EXCEL.EXE"] == max(scores.values())
+        assert scores["EXCEL.EXE"] < 200.0        # paper: 150
+
+    def test_lightroom_second(self, fig6_five):
+        scores = fig6_five.final_scores()
+        assert 50 <= scores["lightroom.exe"] < scores["EXCEL.EXE"]
+
+    def test_itunes_small(self, fig6_five):
+        assert fig6_five.final_scores()["iTunes.exe"] <= 40  # paper: 16
+
+    def test_zero_false_positives_at_200(self, fig6_five):
+        assert fig6_five.false_positives_at(200.0) == 0
+
+    def test_sweep_shows_crossovers(self, fig6_five):
+        """Lower thresholds start flagging Excel, then Lightroom —
+        exactly the trade-off Fig. 6 plots."""
+        sweep = fig6_five.sweep()
+        assert sweep[100] >= 1
+        assert sweep[100] >= sweep[150] >= sweep[200] == 0
+
+    def test_union_never_fires_for_benign(self, fig6_all):
+        """§III-E: no benign program trips all three primaries."""
+        assert all(not r.union_fired for r in fig6_all.results)
+
+    def test_sevenzip_only_detection_in_thirty(self, fig6_all):
+        assert fig6_all.detected_apps() == ["7z.exe"]

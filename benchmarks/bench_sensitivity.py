@@ -1,0 +1,38 @@
+"""Corpus-composition sensitivity (extension experiment).
+
+Same family subset, four victim profiles.  Shape target: detection stays
+at 100% with single-digit-to-low-teens medians across every composition —
+the robustness §V-B1's mechanism implies but the paper never measured.
+"""
+
+import pytest
+
+from repro.experiments import SMALL, run_sensitivity
+
+
+@pytest.fixture(scope="module")
+def sensitivity():
+    return run_sensitivity(SMALL)
+
+
+def test_bench_sensitivity(benchmark):
+    result = benchmark.pedantic(lambda: run_sensitivity(SMALL),
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+
+class TestSensitivityShape:
+    def test_every_profile_fully_detected(self, sensitivity):
+        for row in sensitivity.rows:
+            assert row.detection_rate == 1.0, row.profile
+
+    def test_medians_stay_in_band(self, sensitivity):
+        """Robustness: no victim profile pushes the median past ~2x the
+        paper's generic-corpus result."""
+        for row in sensitivity.rows:
+            assert row.median_files_lost <= 20, row.profile
+
+    def test_all_profiles_reach_union_regularly(self, sensitivity):
+        for row in sensitivity.rows:
+            assert row.union_rate >= 0.5, row.profile

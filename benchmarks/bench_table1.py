@@ -1,0 +1,78 @@
+"""Table I — the 492-sample campaign, by family and class.
+
+Regenerates the paper's central table and asserts its shape: 100%
+detection, overall median ≈ 10 files lost, losses bounded near the
+paper's 0–33 range, and the family ordering (CTB-Locker slowest to
+convict, Xorist/CryptoTorLocker fastest).
+"""
+
+import pytest
+
+from repro.experiments import PAPER_TABLE1, run_table1
+
+
+@pytest.fixture(scope="module")
+def table1(campaign, scale):
+    return run_table1(scale, campaign=campaign)
+
+
+def test_bench_regenerate_table1(benchmark, campaign, scale):
+    result = benchmark.pedantic(
+        lambda: run_table1(scale, campaign=campaign),
+        rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+
+class TestTable1Shape:
+    def test_every_sample_detected(self, table1):
+        assert table1.campaign.detection_rate == 1.0   # paper: 100%
+
+    def test_overall_median_near_paper(self, table1):
+        assert 6 <= table1.campaign.median_files_lost <= 14  # paper: 10
+
+    def test_loss_range_near_paper(self, table1):
+        assert table1.campaign.min_files_lost == 0           # paper: 0
+        assert table1.campaign.max_files_lost <= 45          # paper: 33
+
+    def test_family_composition_exact(self, table1, scale):
+        if scale.per_family is not None:
+            pytest.skip("exact counts need the full cohort")
+        for row in table1.rows:
+            a, b, c, total, _ = PAPER_TABLE1[row.family]
+            assert (row.class_a, row.class_b, row.class_c, row.total) == \
+                (a, b, c, total), row.family
+
+    def test_ctb_locker_is_slowest_family(self, full_scale_only, table1):
+        medians = {r.family: r.median_files_lost for r in table1.rows}
+        assert medians["ctb-locker"] == max(medians.values())
+
+    def test_fast_families_fastest(self, table1):
+        medians = {r.family: r.median_files_lost for r in table1.rows}
+        assert medians["xorist"] <= 6
+        assert medians["cryptotorlocker2015"] <= 6
+
+    def test_gpcode_slow_like_paper(self, table1):
+        medians = {r.family: r.median_files_lost for r in table1.rows}
+        assert medians["gpcode"] >= 15                       # paper: 22
+
+    def test_family_medians_track_paper_ordering(self, table1):
+        """Spearman-style check: families the paper found slow should be
+        slow here too (rank correlation > 0.5)."""
+        ours, paper = [], []
+        for row in table1.rows:
+            ours.append(row.median_files_lost)
+            paper.append(PAPER_TABLE1[row.family][4])
+
+        def ranks(values):
+            order = sorted(range(len(values)), key=lambda i: values[i])
+            out = [0.0] * len(values)
+            for rank, idx in enumerate(order):
+                out[idx] = float(rank)
+            return out
+
+        ra, rb = ranks(ours), ranks(paper)
+        n = len(ra)
+        d2 = sum((x - y) ** 2 for x, y in zip(ra, rb))
+        rho = 1 - (6 * d2) / (n * (n * n - 1))
+        assert rho > 0.5, f"rank correlation {rho:.2f}"

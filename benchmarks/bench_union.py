@@ -1,0 +1,55 @@
+"""§V-B2 — union indicator effectiveness.
+
+Shape targets: a large majority of samples reach union indication
+(paper: 93%); the Class C population splits into linkable move-over
+samples (which still union) and delete-disposal evaders caught by
+entropy + deletion at a median near 6 files.
+"""
+
+import pytest
+
+from repro.experiments import run_union_effect
+
+
+@pytest.fixture(scope="module")
+def union(campaign, scale):
+    return run_union_effect(scale, campaign=campaign)
+
+
+def test_bench_regenerate_union_accounting(benchmark, campaign, scale):
+    result = benchmark.pedantic(
+        lambda: run_union_effect(scale, campaign=campaign),
+        rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+
+class TestUnionShape:
+    def test_union_rate_high(self, full_scale_only, union):
+        assert union.union_rate >= 0.75            # paper: 0.93
+
+    def test_class_c_split_exists(self, union):
+        assert union.class_c_linkable()
+        assert union.class_c_evaders()
+
+    def test_linkable_majority_reach_union(self, union):
+        linkable = union.class_c_linkable()
+        fired = sum(1 for r in linkable if r.union_fired)
+        assert fired / len(linkable) >= 0.8
+
+    def test_evaders_never_union(self, union):
+        assert all(not r.union_fired for r in union.class_c_evaders())
+
+    def test_evaders_still_convicted_quickly(self, union):
+        """Paper: the 22 evaders were caught at a median of 6 files."""
+        assert all(r.detected for r in union.class_c_evaders())
+        assert union.evader_median_files_lost() <= 12
+
+    def test_union_samples_faster_than_non_union(self, full_scale_only, union):
+        import statistics
+        with_union = [r.files_lost for r in union.working if r.union_fired]
+        without = [r.files_lost for r in union.working
+                   if not r.union_fired]
+        if with_union and without:
+            assert statistics.median(with_union) <= \
+                statistics.median(without)

@@ -1,0 +1,39 @@
+"""Benchmark configuration.
+
+Every bench regenerates one of the paper's tables/figures at full paper
+scale (5,099-file corpus, all 492 samples) by default.  Set
+``REPRO_BENCH_SCALE=small`` for a faster structural pass.  The cohort
+campaign is executed once and shared across benches via the experiment
+cache.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import FULL, SMALL, campaign_at_scale
+
+
+def bench_scale():
+    return SMALL if os.environ.get("REPRO_BENCH_SCALE") == "small" else FULL
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def campaign(scale):
+    """The one big cohort sweep every table/figure reads from."""
+    return campaign_at_scale(scale)
+
+
+@pytest.fixture
+def full_scale_only(scale):
+    """Skip shape assertions whose constants are calibrated to the paper's
+    full corpus (small-scale corpora have different small-file statistics)."""
+    if scale.per_family is not None:
+        pytest.skip("shape constant calibrated for full paper scale")

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Indicator attribution: which indicator actually does the convicting?
+
+§V-B2 reports that "all three primary indicators proved valuable in the
+majority of samples".  This example quantifies that claim over a scaled
+campaign: total reputation points earned per indicator, overall and for
+the families whose anatomies differ most —
+
+* TeslaCrypt (Class A): all three primaries plus union,
+* CTB-Locker (Class B, tiny files): type change does the early work
+  because sdhash cannot score sub-512-byte files,
+* CryptoDefense (Class C, delete-disposal): no baselines to compare, so
+  entropy and deletion carry the whole conviction.
+
+Run:  python examples/indicator_attribution.py
+"""
+
+from repro.analysis import (attribute_indicators, class_statistics,
+                            detection_latency_summary)
+from repro.experiments import SMALL, campaign_at_scale
+from repro.experiments.reporting import ascii_table, header
+
+
+def main() -> None:
+    print(header("Indicator attribution (§V-B2, quantified)"))
+    campaign = campaign_at_scale(SMALL)
+
+    print()
+    print(attribute_indicators(campaign.working).render(
+        "all families combined"))
+
+    for family in ("teslacrypt", "ctb-locker", "cryptodefense"):
+        rows = campaign.by_family().get(family, [])
+        if rows:
+            print()
+            print(attribute_indicators(rows).render(f"family: {family}"))
+
+    print()
+    print(header("Outcomes by behaviour class (§III taxonomy)"))
+    print(ascii_table(
+        ("class", "samples", "median FL", "mean FL", "union rate",
+         "detected"),
+        [(s.behavior_class, s.samples, f"{s.median_files_lost:g}",
+          f"{s.mean_files_lost:.1f}", f"{s.union_rate:.0%}",
+          f"{s.detection_rate:.0%}")
+         for s in class_statistics(campaign)]))
+
+    latency = detection_latency_summary(campaign)
+    print()
+    print(f"simulated time to suspension: median "
+          f"{latency['median_s']:.2f}s, p90 {latency['p90_s']:.2f}s, "
+          f"max {latency['max_s']:.2f}s")
+    print("(the paper observed detections 'seconds after they began "
+          "accessing user data')")
+
+
+if __name__ == "__main__":
+    main()

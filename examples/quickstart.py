@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: watch CryptoDrop stop one ransomware sample.
+
+Builds a small synthetic document corpus inside a virtual Windows
+filesystem, attaches the CryptoDrop monitor, releases a live TeslaCrypt
+simulator against it, and reports what happened — the same revert-run-
+assess cycle the paper's evaluation used, in one page of code.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.corpus import generate
+from repro.experiments.reporting import header
+from repro.ransomware import working_cohort
+from repro.sandbox import VirtualMachine, run_sample
+
+
+def main() -> None:
+    print(header("CryptoDrop quickstart"))
+
+    # 1. a machine with a 600-file user documents tree
+    corpus = generate(seed=7, n_files=600, n_dirs=60)
+    machine = VirtualMachine(corpus)
+    machine.snapshot()
+    print(f"corpus: {len(corpus.files)} files / {len(corpus.dirs)} "
+          f"directories, {corpus.total_bytes / 1e6:.1f} MB")
+
+    # 2. pick a sample (TeslaCrypt: Class A, deepest-directory-first)
+    sample = next(s for s in working_cohort()
+                  if s.profile.family == "teslacrypt")
+    print(f"sample: {sample.name} (Class "
+          f"{sample.profile.behavior_class}, "
+          f"{sample.profile.traversal}, cipher "
+          f"{sample.profile.cipher_kind})")
+
+    # 3. run it under CryptoDrop
+    result = run_sample(machine, sample)
+
+    # 4. the verdict
+    print()
+    if result.detected:
+        print(f"DETECTED and suspended: score {result.score:.0f} >= "
+              f"threshold {result.threshold:.0f}"
+              f"{' via union indication' if result.union_fired else ''}")
+        print(f"indicators tripped: {', '.join(sorted(result.flags))}")
+    print(f"files lost before detection: {result.files_lost} of "
+          f"{len(corpus.files)} "
+          f"({result.files_lost / len(corpus.files):.1%})")
+    print(f"ransom notes dropped: {result.notes_written}")
+    print(f"simulated attack time: {result.sim_seconds:.2f}s")
+    print()
+    print("(paper headline: median 10 of 5,099 files lost, 100% of 492 "
+          "samples detected)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+Kept for fully-offline environments where PEP 517 editable installs are
+unavailable (no `wheel` package): `python setup.py develop` mirrors
+`pip install -e .`. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""Command-line front end: ``python -m repro <experiment>``.
+
+Regenerates any of the paper's tables/figures from the terminal::
+
+    python -m repro table1 --scale small
+    python -m repro fig6
+    python -m repro all --scale full
+
+Scales: ``tiny`` (seconds), ``small`` (default, tens of seconds),
+``full`` (the paper's 492 samples × 5,099 files; minutes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import (FULL, SMALL, TINY, campaign_at_scale,
+                          run_ctb_small_file_rerun, run_dynamic_scoring,
+                          run_fig3, run_fig4, run_fig5, run_fig6,
+                          run_indicator_ablation, run_performance,
+                          run_scripts_experiment, run_sensitivity,
+                          run_table1, run_union_effect)
+
+_SCALES = {"tiny": TINY, "small": SMALL, "full": FULL}
+
+
+def _with_campaign(runner):
+    def wrapped(scale):
+        return runner(scale, campaign=campaign_at_scale(scale))
+    return wrapped
+
+
+_EXPERIMENTS = {
+    "table1": _with_campaign(run_table1),
+    "fig3": _with_campaign(run_fig3),
+    "fig4": lambda scale: run_fig4(scale),
+    "fig5": _with_campaign(run_fig5),
+    "fig6": lambda scale: run_fig6(scale, suite="five"),
+    "fig6-all": lambda scale: run_fig6(scale, suite="all"),
+    "union": _with_campaign(run_union_effect),
+    "ctb-rerun": lambda scale: run_ctb_small_file_rerun(scale),
+    "scripts": lambda scale: run_scripts_experiment(scale),
+    "performance": lambda _scale: run_performance(),
+    "ablation": lambda _scale: run_indicator_ablation(),
+    "dynamic-scoring": lambda scale: run_dynamic_scoring(scale),
+    "sensitivity": lambda scale: run_sensitivity(scale),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the CryptoDrop paper's tables and figures.")
+    parser.add_argument("experiment",
+                        choices=sorted(_EXPERIMENTS) + ["all"],
+                        help="which artifact to regenerate")
+    parser.add_argument("--scale", choices=sorted(_SCALES),
+                        default="small",
+                        help="corpus/cohort size (default: small)")
+    args = parser.parse_args(argv)
+    scale = _SCALES[args.scale]
+
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        started = time.time()
+        result = _EXPERIMENTS[name](scale)
+        print(result.render())
+        print(f"\n[{name} completed in {time.time() - started:.1f}s "
+              f"at scale {scale.name}]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

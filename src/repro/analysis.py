@@ -1,0 +1,116 @@
+"""Post-campaign analytics.
+
+The paper's §V-B2 narrates *which* indicators did the convicting ("all
+three primary indicators proved valuable in the majority of samples...").
+These helpers make that quantitative over a finished
+:class:`~repro.sandbox.CampaignResult`: per-indicator point attribution,
+per-behaviour-class outcome statistics, and detection-latency summaries.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .experiments.reporting import ascii_table, header
+from .sandbox import CampaignResult, SampleResult
+
+__all__ = ["IndicatorAttribution", "ClassStats", "attribute_indicators",
+           "class_statistics", "detection_latency_summary"]
+
+_INDICATOR_ORDER = ("type_change", "similarity", "entropy", "deletion",
+                    "funneling", "union")
+
+
+@dataclass
+class IndicatorAttribution:
+    """Share of conviction points earned by each indicator."""
+
+    #: indicator -> total points across the selection
+    totals: Dict[str, float] = field(default_factory=dict)
+    #: indicator -> fraction of samples where it scored at all
+    prevalence: Dict[str, float] = field(default_factory=dict)
+    samples: int = 0
+
+    def share(self, indicator: str) -> float:
+        total = sum(self.totals.values())
+        return self.totals.get(indicator, 0.0) / total if total else 0.0
+
+    def dominant(self) -> str:
+        return max(self.totals, key=self.totals.get) if self.totals else ""
+
+    def render(self, title: str = "indicator attribution") -> str:
+        rows = []
+        for indicator in _INDICATOR_ORDER:
+            if indicator not in self.totals:
+                continue
+            rows.append((indicator,
+                         f"{self.totals[indicator]:.0f}",
+                         f"{self.share(indicator):.0%}",
+                         f"{self.prevalence.get(indicator, 0.0):.0%}"))
+        return (header(title)
+                + "\n" + ascii_table(
+                    ("indicator", "points", "share", "in % of samples"),
+                    rows))
+
+
+def attribute_indicators(results: List[SampleResult]) -> IndicatorAttribution:
+    """Aggregate per-indicator points over a selection of sample results."""
+    out = IndicatorAttribution(samples=len(results))
+    hits: Dict[str, int] = {}
+    for result in results:
+        for indicator, points in result.indicator_points.items():
+            out.totals[indicator] = out.totals.get(indicator, 0.0) + points
+            hits[indicator] = hits.get(indicator, 0) + 1
+    if results:
+        out.prevalence = {ind: n / len(results) for ind, n in hits.items()}
+    return out
+
+
+@dataclass
+class ClassStats:
+    """Outcome statistics for one behaviour class (A/B/C)."""
+
+    behavior_class: str
+    samples: int
+    median_files_lost: float
+    mean_files_lost: float
+    union_rate: float
+    detection_rate: float
+
+
+def class_statistics(campaign: CampaignResult) -> List[ClassStats]:
+    """Per-class outcome table.
+
+    Reproduces the §V-B1 observation that "Class B samples had the
+    highest number of files lost" (CTB-Locker's small-file preference
+    dominates that class)."""
+    grouped: Dict[str, List[SampleResult]] = {}
+    for result in campaign.working:
+        grouped.setdefault(result.behavior_class, []).append(result)
+    out: List[ClassStats] = []
+    for cls in sorted(grouped):
+        rows = grouped[cls]
+        losses = [r.files_lost for r in rows]
+        out.append(ClassStats(
+            behavior_class=cls,
+            samples=len(rows),
+            median_files_lost=statistics.median(losses),
+            mean_files_lost=statistics.fmean(losses),
+            union_rate=sum(r.union_fired for r in rows) / len(rows),
+            detection_rate=sum(r.detected for r in rows) / len(rows)))
+    return out
+
+
+def detection_latency_summary(campaign: CampaignResult) -> Dict[str, float]:
+    """Simulated seconds from sample start to suspension."""
+    latencies = [r.sim_seconds for r in campaign.working if r.detected]
+    if not latencies:
+        return {"median_s": 0.0, "p90_s": 0.0, "max_s": 0.0}
+    ordered = sorted(latencies)
+    return {
+        "median_s": statistics.median(ordered),
+        "p90_s": ordered[int(0.9 * (len(ordered) - 1))],
+        "max_s": ordered[-1],
+    }

@@ -1,0 +1,16 @@
+"""Comparison baselines: signature AV, Tripwire integrity monitoring,
+and ablated CryptoDrop configurations."""
+
+from .signature_av import (MultiEngineAV, ScanReport, SignatureEngine,
+                           mutate_one_byte)
+from .single_indicator import (ablation_suite, ctph_backend, entropy_only,
+                               no_union, secondary_only, similarity_only,
+                               type_change_only)
+from .tripwire import IntegrityAlert, TripwireMonitor
+
+__all__ = [
+    "IntegrityAlert", "MultiEngineAV", "ScanReport", "SignatureEngine",
+    "TripwireMonitor", "ablation_suite", "ctph_backend", "entropy_only",
+    "mutate_one_byte", "no_union", "secondary_only", "similarity_only",
+    "type_change_only",
+]

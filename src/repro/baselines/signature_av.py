@@ -1,0 +1,162 @@
+"""Signature-based anti-virus baseline.
+
+The paper's foil: "The ease with which ransomware can be written and
+obfuscated limits the effectiveness of traditional signature-based
+detection schemes" (§III), demonstrated concretely in §V-E — PoshCoder
+was detected by only **8 of 57** VirusTotal engines, and adding a single
+character to the script dropped **two** of those eight.
+
+:class:`SignatureEngine` models one vendor: it knows a set of byte
+signatures (either a full-image hash or a substring pattern extracted
+from known samples) and flags an image iff a signature matches.
+:class:`MultiEngineAV` assembles a VirusTotal-style panel of 57 engines
+with heterogeneous coverage, trained on a supplied set of known samples.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, Set
+
+__all__ = ["MultiEngineAV", "ScanReport", "SignatureEngine", "mutate_one_byte"]
+
+
+@dataclass
+class ScanReport:
+    """VirusTotal-style result: which engines flagged the image."""
+
+    detections: List[str] = field(default_factory=list)
+    total_engines: int = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.detections)
+
+    def __str__(self) -> str:
+        return f"{self.count}/{self.total_engines}"
+
+
+class SignatureEngine:
+    """One AV vendor's signature matcher.
+
+    ``style`` is ``"hash"`` (exact SHA-256 of the whole image — brittle,
+    any byte flip evades) or ``"pattern"`` (a byte substring lifted from a
+    known sample — survives mutation anywhere else).
+    """
+
+    def __init__(self, name: str, style: str = "pattern",
+                 pattern_len: int = 24) -> None:
+        if style not in ("hash", "pattern"):
+            raise ValueError(f"bad engine style {style!r}")
+        self.name = name
+        self.style = style
+        self.pattern_len = pattern_len
+        self._hashes: Set[str] = set()
+        self._patterns: Set[bytes] = set()
+
+    def learn(self, image: bytes, rng: random.Random) -> None:
+        """Add a signature derived from a known-malicious image.
+
+        Pattern engines reject low-information slices (zero padding,
+        generic PE header bytes) the way real signature QA does — a
+        signature that matches every binary on earth is useless."""
+        if self.style == "hash":
+            self._hashes.add(hashlib.sha256(image).hexdigest())
+            return
+        if len(image) <= self.pattern_len:
+            self._patterns.add(bytes(image))
+            return
+        for _attempt in range(8):
+            offset = rng.randrange(0, len(image) - self.pattern_len)
+            pattern = bytes(image[offset:offset + self.pattern_len])
+            if len(set(pattern)) >= self.pattern_len // 3:
+                self._patterns.add(pattern)
+                return
+
+    def scan(self, image: bytes) -> bool:
+        if self.style == "hash":
+            return hashlib.sha256(image).hexdigest() in self._hashes
+        return any(pattern in image for pattern in self._patterns)
+
+    @property
+    def signature_count(self) -> int:
+        return len(self._hashes) + len(self._patterns)
+
+
+class MultiEngineAV:
+    """A 57-engine VirusTotal panel with heterogeneous coverage.
+
+    Each engine learns signatures for a random subset of the training
+    samples (``coverage`` fraction), mirroring how real vendors lag each
+    other on fresh families.  Polymorphic families (whose per-variant
+    images share no bytes) defeat pattern engines trained on *other*
+    variants, and script samples are only covered by the minority of
+    engines configured to inspect scripts at all.
+    """
+
+    N_ENGINES = 57
+
+    def __init__(self, seed: int = 0x57A7) -> None:
+        self._rng = random.Random(seed)
+        self.engines: List[SignatureEngine] = []
+        for index in range(self.N_ENGINES):
+            style = "hash" if index % 4 == 0 else "pattern"
+            self.engines.append(SignatureEngine(f"engine{index:02d}", style))
+        #: engines willing to sign script text at all (§V-E: 8 of 57);
+        #: composed of six pattern matchers and two hash matchers, so a
+        #: one-character change blinds exactly the hash-based pair
+        pattern_engines = [e for e in self.engines if e.style == "pattern"]
+        hash_engines = [e for e in self.engines if e.style == "hash"]
+        chosen = (self._rng.sample(pattern_engines, 6)
+                  + self._rng.sample(hash_engines, 2))
+        self.script_capable = {e.name for e in chosen}
+        #: per-engine training coverage
+        self._coverage = {e.name: 0.55 + 0.4 * self._rng.random()
+                          for e in self.engines}
+
+    def train(self, samples: Iterable) -> None:
+        """Learn signatures from known samples (RansomwareSample objects
+        or raw (name, image) pairs)."""
+        for sample in samples:
+            if isinstance(sample, tuple):
+                name, image = sample
+                is_script = name.endswith(".ps1")
+            else:
+                name = sample.name
+                image = sample.image_bytes
+                is_script = name.endswith(".ps1")
+            for engine in self.engines:
+                if is_script:
+                    # the script-capable minority all know this sample —
+                    # it has been on VirusTotal for a while (§V-E)
+                    if engine.name in self.script_capable:
+                        engine.learn(image, self._rng)
+                    continue
+                if self._rng.random() > self._coverage[engine.name]:
+                    continue
+                engine.learn(image, self._rng)
+
+    def scan(self, image: bytes, is_script: bool = False) -> ScanReport:
+        report = ScanReport(total_engines=len(self.engines))
+        for engine in self.engines:
+            if is_script and engine.name not in self.script_capable:
+                continue
+            if engine.scan(image):
+                report.detections.append(engine.name)
+        return report
+
+    def scan_sample(self, sample) -> ScanReport:
+        return self.scan(sample.image_bytes, sample.name.endswith(".ps1"))
+
+
+def mutate_one_byte(image: bytes, position: int = -1) -> bytes:
+    """The §V-E experiment: add/alter a single character."""
+    if not image:
+        return b"#"
+    if position < 0:
+        return image + b"#"
+    out = bytearray(image)
+    out[position % len(out)] ^= 0x20
+    return bytes(out)

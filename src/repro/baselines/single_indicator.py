@@ -1,0 +1,69 @@
+"""Single-indicator and ablated CryptoDrop configurations.
+
+§III argues each indicator "provides value in isolation" but that the
+*union* is what buys fast detection with low false positives.  These
+factory functions produce the configurations the ablation experiments
+sweep: one indicator at a time, union disabled, secondary indicators
+only, and the CTPH similarity backend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.config import CryptoDropConfig, default_config
+
+__all__ = ["entropy_only", "type_change_only", "similarity_only",
+           "secondary_only", "no_union", "ctph_backend",
+           "ablation_suite"]
+
+
+def _only(**enabled) -> CryptoDropConfig:
+    flags = dict(enable_entropy=False, enable_type_change=False,
+                 enable_similarity=False, enable_deletion=False,
+                 enable_funneling=False, enable_union=False)
+    flags.update(enabled)
+    return default_config(**flags)
+
+
+def entropy_only() -> CryptoDropConfig:
+    """Only the read/write entropy delta scores."""
+    return _only(enable_entropy=True)
+
+
+def type_change_only() -> CryptoDropConfig:
+    """Only magic-number type changes score."""
+    return _only(enable_type_change=True)
+
+
+def similarity_only() -> CryptoDropConfig:
+    """Only similarity collapses score."""
+    return _only(enable_similarity=True)
+
+
+def secondary_only() -> CryptoDropConfig:
+    """Only the secondary indicators (deletion + funneling) score."""
+    return _only(enable_deletion=True, enable_funneling=True)
+
+
+def no_union() -> CryptoDropConfig:
+    """All five indicators, but no union acceleration."""
+    return default_config(enable_union=False)
+
+
+def ctph_backend() -> CryptoDropConfig:
+    """Full detector with the ssdeep/CTPH similarity backend."""
+    return default_config(similarity_backend="ctph")
+
+
+def ablation_suite() -> Dict[str, CryptoDropConfig]:
+    """Every configuration the ablation benches evaluate."""
+    return {
+        "full": default_config(),
+        "entropy_only": entropy_only(),
+        "type_change_only": type_change_only(),
+        "similarity_only": similarity_only(),
+        "secondary_only": secondary_only(),
+        "no_union": no_union(),
+        "ctph_backend": ctph_backend(),
+    }

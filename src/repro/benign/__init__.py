@@ -1,0 +1,59 @@
+"""The thirty benign Windows applications of §V-F.
+
+One simulator per application the paper evaluated; :data:`ALL_APPS`
+builds the complete suite and :data:`ANALYSED_FIVE` the five the paper
+discusses in depth (Fig. 6).
+"""
+
+from typing import List
+
+from .base import BenignApplication, temp_save_dance
+from .media import (ChocolateDoom, ITunes, MusicBee, Spotify,
+                    VlcMediaPlayer)
+from .network import (Chrome, Dropbox, Pidgin, PrivateInternetAccess,
+                      Skype, UTorrent)
+from .office import (LibreOfficeCalc, LibreOfficeWriter, MicrosoftExcel,
+                     MicrosoftWord, OfficeViewers)
+from .photos import (AdobeLightroom, Gimp, ImageMagickMogrify, PaintDotNet,
+                     Picasa)
+from .utilities import (AvastAntiVirus, Flux, Launchy, PhraseExpress,
+                        PiriformCCleaner, ResophNotes, SevenZip,
+                        StickyNotes, SumatraPdf)
+
+__all__ = [
+    "ALL_APP_CLASSES", "ANALYSED_FIVE", "AdobeLightroom",
+    "AvastAntiVirus", "BenignApplication", "ChocolateDoom", "Chrome",
+    "Dropbox", "Flux", "Gimp", "ITunes", "ImageMagickMogrify", "Launchy",
+    "LibreOfficeCalc", "LibreOfficeWriter", "MicrosoftExcel",
+    "MicrosoftWord", "MusicBee", "OfficeViewers", "PaintDotNet",
+    "PhraseExpress", "Picasa", "Pidgin", "PiriformCCleaner",
+    "PrivateInternetAccess", "ResophNotes", "SevenZip", "Skype",
+    "Spotify", "StickyNotes", "SumatraPdf", "UTorrent",
+    "VlcMediaPlayer", "all_apps", "analysed_five", "temp_save_dance",
+]
+
+#: every application from the paper's thirty-app list
+ALL_APP_CLASSES: List[type] = [
+    SevenZip, AdobeLightroom, AvastAntiVirus, ChocolateDoom, Chrome,
+    Dropbox, Flux, Gimp, ImageMagickMogrify, ITunes, Launchy,
+    LibreOfficeCalc, LibreOfficeWriter, MicrosoftExcel, OfficeViewers,
+    MicrosoftWord, MusicBee, PaintDotNet, PhraseExpress, Picasa, Pidgin,
+    PiriformCCleaner, PrivateInternetAccess, ResophNotes, Skype, Spotify,
+    StickyNotes, SumatraPdf, UTorrent, VlcMediaPlayer,
+]
+
+#: the five applications §V-F analyses in depth (Fig. 6)
+ANALYSED_FIVE: List[type] = [
+    AdobeLightroom, ImageMagickMogrify, ITunes, MicrosoftWord,
+    MicrosoftExcel,
+]
+
+
+def all_apps(seed: int = 0) -> List[BenignApplication]:
+    """Instantiate the full thirty-application suite."""
+    return [cls(seed) for cls in ALL_APP_CLASSES]
+
+
+def analysed_five(seed: int = 0) -> List[BenignApplication]:
+    """Instantiate the five applications Fig. 6 analyses in depth."""
+    return [cls(seed) for cls in ANALYSED_FIVE]

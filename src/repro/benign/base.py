@@ -1,0 +1,65 @@
+"""Benign application framework.
+
+The paper evaluated thirty common Windows applications on the malware-test
+VM and found exactly one false positive (7-zip archiving the documents
+folder) with the non-union threshold at 200 (§V-F).  Each simulator here
+is a sandbox *program* with two phases:
+
+* ``prepare(machine)`` — plant the assets the workload needs (photo
+  imports, audio libraries, existing documents) via out-of-band writes;
+  these are journalled, so the per-app revert cleans them up;
+* ``run(ctx)`` — perform the workload through ordinary process I/O, which
+  is what CryptoDrop scores.
+
+Simulators aim for *filesystem fidelity* — the open/read/write/rename/
+delete choreography each real application performs — because that
+choreography is all the detector can see.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..fs.paths import WinPath
+
+__all__ = ["BenignApplication", "temp_save_dance"]
+
+
+class BenignApplication:
+    """Base class for application workload simulators."""
+
+    #: process image name, e.g. ``WINWORD.EXE``
+    name = "benign.exe"
+    #: paper-reported final reputation score, where §V-F gives one
+    paper_score: Optional[float] = None
+    #: did the paper observe a detection for this app?
+    paper_detected: bool = False
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def prepare(self, machine) -> None:
+        """Plant workload assets (default: nothing)."""
+
+    def run(self, ctx) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(seed={self.seed})"
+
+
+def temp_save_dance(ctx, path: WinPath, payload: bytes,
+                    rng: random.Random, chunk: int = 4096) -> None:
+    """The Office-style atomic save: write a temp sibling, delete the
+    original, move the temp into place.
+
+    This is the exact choreography that makes benign saves *visible* to
+    CryptoDrop (a move-over links new content to the old baseline) — and
+    the reason Word/Excel still score zero similarity points is that their
+    saves keep most of the container's bytes (§V-F).
+    """
+    tmp = path.parent / f"~WRL{rng.randrange(16**4):04x}.tmp"
+    ctx.write_file(tmp, payload, chunk)
+    ctx.rename(tmp, path, overwrite=True)
+

@@ -1,0 +1,158 @@
+"""Media application simulators.
+
+iTunes is one of the paper's five analysed apps (§V-F): library deleted,
+70 audio files imported, three played, everything converted to AAC —
+final score **16**.  The small score is real signal: AAC writes are
+high-entropy while the library's reads are *mostly* compressed audio too,
+so the entropy delta hovers at the 0.1 threshold and only a handful of
+conversion writes land points.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..corpus.content import (make_flac, make_m4a, make_mp3, make_sqlite,
+                              make_wav, wav_seed)
+from ..fs.paths import APPDATA, DOCUMENTS
+from .base import BenignApplication
+
+__all__ = ["ITunes", "VlcMediaPlayer", "MusicBee", "Spotify",
+           "ChocolateDoom"]
+
+
+def _plant_music_library(machine, seed: int, n_mp3: int = 45,
+                         n_wav: int = 15, n_flac: int = 10) -> None:
+    rng = random.Random(seed ^ 0x317)
+    base = DOCUMENTS / "Music" / "Library"
+    for i in range(n_mp3):
+        machine.vfs.peek_write(base / f"track{i:03d}.mp3",
+                               make_mp3(rng, 60000), parents=True)
+    for i in range(n_wav):
+        machine.vfs.peek_write(base / f"session{i:02d}.wav",
+                               make_wav(rng, 90000), parents=True)
+    for i in range(n_flac):
+        machine.vfs.peek_write(base / f"master{i:02d}.flac",
+                               make_flac(rng, 110000), parents=True)
+
+
+class ITunes(BenignApplication):
+    """§V-F script on a mixed library; converts the non-AAC tracks."""
+
+    name = "iTunes.exe"
+    paper_score = 16.0
+
+    def prepare(self, machine) -> None:
+        _plant_music_library(machine, self.seed)
+        machine.vfs.peek_write(
+            DOCUMENTS / "Music" / "iTunes" / "iTunes Library.itl",
+            make_sqlite(random.Random(self.seed ^ 5), 60000), parents=True)
+
+    def run(self, ctx) -> None:
+        rng = random.Random(self.seed)
+        library_dir = ctx.docs_root / "Music" / "Library"
+        itunes_dir = ctx.docs_root / "Music" / "iTunes"
+        media_dir = itunes_dir / "iTunes Media"
+        # the paper's test deletes the library so iTunes rebuilds it
+        ctx.delete(itunes_dir / "iTunes Library.itl")
+        ctx.mkdir(media_dir, parents=True)
+        names = sorted(ctx.listdir(library_dir))
+        # import scan: read every track
+        for name in names:
+            ctx.read_file(library_dir / name, 65536)
+        ctx.write_file(itunes_dir / "iTunes Library.itl",
+                       make_sqlite(rng, 70000), 32768)
+        # play three songs (pure reads)
+        for name in names[:3]:
+            ctx.read_file(library_dir / name, 65536)
+        # convert the lossless tracks to AAC
+        for name in names:
+            if not name.endswith((".wav", ".flac")):
+                continue
+            data = ctx.read_file(library_dir / name, 65536)
+            seed = wav_seed(data)
+            if seed is None:
+                seed = rng.getrandbits(48)
+            aac = make_m4a(seed, max(24000, len(data) // 3))
+            ctx.write_file(media_dir / (name.rsplit(".", 1)[0] + ".m4a"),
+                           aac, 65536)
+        ctx.write_file(itunes_dir / "iTunes Library.itl",
+                       make_sqlite(rng, 80000), 32768)
+
+
+class VlcMediaPlayer(BenignApplication):
+    """Plays media and saves a playlist; essentially read-only."""
+
+    name = "vlc.exe"
+
+    def prepare(self, machine) -> None:
+        _plant_music_library(machine, self.seed, n_mp3=12, n_wav=2,
+                             n_flac=1)
+
+    def run(self, ctx) -> None:
+        library_dir = ctx.docs_root / "Music" / "Library"
+        names = sorted(ctx.listdir(library_dir))[:8]
+        playlist = ['<?xml version="1.0"?><playlist>']
+        for name in names:
+            ctx.read_file(library_dir / name, 65536)
+            playlist.append(f"  <track><location>{name}</location></track>")
+        playlist.append("</playlist>")
+        ctx.write_file(ctx.docs_root / "Music" / "recent.xspf",
+                       "\n".join(playlist).encode())
+
+
+class MusicBee(BenignApplication):
+    """Retags MP3s in place: small structured writes at the file head."""
+
+    name = "MusicBee.exe"
+
+    def prepare(self, machine) -> None:
+        _plant_music_library(machine, self.seed, n_mp3=20, n_wav=0,
+                             n_flac=0)
+
+    def run(self, ctx) -> None:
+        rng = random.Random(self.seed)
+        library_dir = ctx.docs_root / "Music" / "Library"
+        for name in sorted(ctx.listdir(library_dir))[:12]:
+            path = library_dir / name
+            handle = ctx.open(path, "rw")
+            try:
+                head = ctx.read(handle, 4096)
+                if head[:3] != b"ID3":
+                    continue
+                new_title = f"TIT2\x00\x00\x00\x18\x00\x00\x01Track {rng.randint(1, 99)}".encode()
+                ctx.seek(handle, 10)
+                ctx.write(handle, new_title.ljust(40, b"\x00"))
+            finally:
+                ctx.close(handle)
+
+
+class Spotify(BenignApplication):
+    """Streams; its cache churn happens outside the documents tree."""
+
+    name = "Spotify.exe"
+
+    def run(self, ctx) -> None:
+        rng = random.Random(self.seed)
+        cache = APPDATA / "Spotify" / "Storage"
+        ctx.mkdir(cache, parents=True)
+        for i in range(12):
+            ctx.write_file(cache / f"chunk{i:04x}.file",
+                           rng.randbytes(30000), 16384)
+
+
+class ChocolateDoom(BenignApplication):
+    """Game savefiles and config; nothing touches user documents."""
+
+    name = "chocolate-doom.exe"
+
+    def run(self, ctx) -> None:
+        rng = random.Random(self.seed)
+        save_dir = APPDATA / "chocolate-doom" / "savegames"
+        ctx.mkdir(save_dir, parents=True)
+        for slot in range(3):
+            save = (b"DOOM SAVE\x00" + bytes([slot]) * 16
+                    + rng.randbytes(4000))
+            ctx.write_file(save_dir / f"doomsav{slot}.dsg", save)
+        ctx.write_file(save_dir.parent / "default.cfg",
+                       b"mouse_sensitivity 5\nsfx_volume 8\n" * 20)

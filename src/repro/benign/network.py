@@ -1,0 +1,148 @@
+"""Network-facing application simulators.
+
+These applications move data in and out of the machine; the detector's
+view of them is dominated by born-new files (no baseline, so no type or
+similarity measurements) and by sync rewrites that preserve most content.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..corpus.content import make_docx, make_pdf
+from ..fs.errors import FsError
+from ..fs.paths import APPDATA, WinPath
+from .base import BenignApplication, temp_save_dance
+
+__all__ = ["Chrome", "Dropbox", "Skype", "Pidgin", "PrivateInternetAccess",
+           "UTorrent"]
+
+#: the Windows per-user download folder is *outside* My Documents
+DOWNLOADS = WinPath(r"C:\Users\victim\Downloads")
+
+
+class Chrome(BenignApplication):
+    """Browsing session: cache churn in AppData, two downloads into the
+    documents tree (brand-new files: nothing for the indicators)."""
+
+    name = "chrome.exe"
+
+    def run(self, ctx) -> None:
+        rng = random.Random(self.seed)
+        cache = APPDATA / "Google" / "Chrome" / "Cache"
+        ctx.mkdir(cache, parents=True)
+        for i in range(20):
+            ctx.write_file(cache / f"f_{i:06x}", rng.randbytes(18000), 8192)
+        downloads = ctx.docs_root / "Downloads"
+        ctx.mkdir(downloads)
+        for stem, maker in (("statement", make_pdf), ("itinerary", make_pdf)):
+            partial = downloads / f"{stem}.pdf.crdownload"
+            ctx.write_file(partial, maker(rng, 60000), 16384)
+            ctx.rename(partial, downloads / f"{stem}.pdf")
+
+
+class Dropbox(BenignApplication):
+    """Two-way sync of a folder inside Documents: reads everything for
+    hashing, rewrites a few remotely-changed files (mostly-same bytes),
+    downloads a couple of new ones."""
+
+    name = "Dropbox.exe"
+
+    def prepare(self, machine) -> None:
+        rng = random.Random(self.seed ^ 0xD50)
+        for i in range(14):
+            machine.vfs.peek_write(
+                machine.docs_root / "Dropbox" / f"shared{i:02d}.docx",
+                make_docx(rng, 9000), parents=True)
+
+    def run(self, ctx) -> None:
+        rng = random.Random(self.seed)
+        sync_dir = ctx.docs_root / "Dropbox"
+        names = sorted(ctx.listdir(sync_dir))
+        # index pass: hash every file
+        contents = {}
+        for name in names:
+            contents[name] = ctx.read_file(sync_dir / name, 32768)
+        # three files changed remotely: same container, extended body
+        for name in names[:3]:
+            updated = contents[name] + b"PK_sync_delta" + rng.randbytes(64)
+            temp_save_dance(ctx, sync_dir / name, updated, rng, chunk=16384)
+        # two brand-new files arrive
+        for i in range(2):
+            ctx.write_file(sync_dir / f"from_team_{i}.docx",
+                           make_docx(rng, 8000), 16384)
+
+
+class Skype(BenignApplication):
+    """Chat: message database lives in AppData."""
+
+    name = "Skype.exe"
+
+    def run(self, ctx) -> None:
+        rng = random.Random(self.seed)
+        profile = APPDATA / "Skype" / "victim"
+        ctx.mkdir(profile, parents=True)
+        for _ in range(5):
+            ctx.write_file(profile / "main.db",
+                           b"SQLite format 3\x00" + rng.randbytes(40000),
+                           16384)
+
+
+class Pidgin(BenignApplication):
+    """IM logs: small text appends under AppData."""
+
+    name = "pidgin.exe"
+
+    def run(self, ctx) -> None:
+        logs = APPDATA / ".purple" / "logs"
+        ctx.mkdir(logs, parents=True)
+        path = logs / "2015-06-01.txt"
+        ctx.write_file(path, b"(09:01) alice: morning\n")
+        handle = ctx.open(path, "a")
+        try:
+            for minute in range(2, 30):
+                ctx.write(handle,
+                          f"(09:{minute:02d}) bob: status update\n".encode())
+        finally:
+            ctx.close(handle)
+
+
+class PrivateInternetAccess(BenignApplication):
+    """VPN client: a config write and nothing else on disk."""
+
+    name = "pia_manager.exe"
+
+    def run(self, ctx) -> None:
+        ctx.mkdir(APPDATA / "PIA", parents=True)
+        ctx.write_file(APPDATA / "PIA" / "settings.json",
+                       b'{"region": "us-east", "killswitch": true}\n')
+
+
+class UTorrent(BenignApplication):
+    """Downloads land in the Downloads folder (outside My Documents);
+    only the .torrent file itself is read from the documents tree."""
+
+    name = "uTorrent.exe"
+
+    def prepare(self, machine) -> None:
+        machine.vfs.peek_write(
+            machine.docs_root / "linux-distro.torrent",
+            b"d8:announce35:udp://tracker.example.invalid:696913:piece"
+            b" lengthi262144e4:infod4:name11:distro.iso6:lengthi700e" * 8,
+            parents=True)
+
+    def run(self, ctx) -> None:
+        rng = random.Random(self.seed)
+        ctx.read_file(ctx.docs_root / "linux-distro.torrent")
+        ctx.mkdir(DOWNLOADS, parents=True)
+        partial = DOWNLOADS / "distro.iso.!ut"
+        handle = ctx.open(partial, "w", create=True)
+        try:
+            for _ in range(24):
+                ctx.write(handle, rng.randbytes(65536))
+        finally:
+            ctx.close(handle)
+        try:
+            ctx.rename(partial, DOWNLOADS / "distro.iso")
+        except FsError:
+            pass

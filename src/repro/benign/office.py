@@ -1,0 +1,191 @@
+"""Office application simulators (paper §V-F workloads).
+
+The Word and Excel workloads follow the paper's test scripts verbatim;
+the LibreOffice pair and the Office Viewers get equivalent lighter
+treatments.  All editors use the temp-file save dance
+(:func:`~repro.benign.base.temp_save_dance`), which is what real Office
+does and what exposes each save to CryptoDrop's move-over inspection.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..corpus.content import (make_csv, make_docx, make_jpeg, make_odt,
+                              make_xlsx, ooxml_members, rebuild_ooxml)
+from ..corpus.wordlists import paragraph
+from ..fs.paths import DOCUMENTS
+from .base import BenignApplication, temp_save_dance
+
+__all__ = ["MicrosoftWord", "MicrosoftExcel", "LibreOfficeWriter",
+           "LibreOfficeCalc", "OfficeViewers"]
+
+
+def _replace_member(data: bytes, member_suffix: str,
+                    transform) -> bytes:
+    """Rebuild an OOXML container with one member transformed."""
+    members = ooxml_members(data)
+    out: List[Tuple[str, bytes, bool]] = []
+    for name, payload, stored in members:
+        if name.endswith(member_suffix):
+            payload = transform(payload)
+        out.append((name, payload, stored))
+    return rebuild_ooxml(out)
+
+
+def _append_member(data: bytes, name: str, payload: bytes,
+                   stored: bool = True) -> bytes:
+    members = ooxml_members(data)
+    members.append((name, payload, stored))
+    return rebuild_ooxml(members)
+
+
+class MicrosoftWord(BenignApplication):
+    """§V-F script: blank doc → 5 paragraphs → save → table → save →
+    photo import → save → SmartArt → save.  Paper score: 0."""
+
+    name = "WINWORD.EXE"
+    paper_score = 0.0
+
+    def prepare(self, machine) -> None:
+        rng = random.Random(self.seed ^ 0x0FF1CE)
+        photo = make_jpeg(rng, 24000)
+        machine.vfs.peek_write(DOCUMENTS / "Photos" / "party.jpg", photo,
+                               parents=True)
+
+    def run(self, ctx) -> None:
+        rng = random.Random(self.seed)
+        path = ctx.docs_root / "New Document.docx"
+        # lock file appears while the document is open
+        lock = ctx.docs_root / "~$New Document.docx"
+        ctx.write_file(lock, b"\x00victim\x00" * 8)
+        doc = make_docx(random.Random(self.seed ^ 1), 6000)
+        body = "".join(f"<w:p><w:r><w:t>{paragraph(rng)}</w:t></w:r></w:p>"
+                       for _ in range(5)).encode()
+        doc = _replace_member(doc, "document.xml", lambda d: d + body)
+        temp_save_dance(ctx, path, doc, rng)
+
+        table = ("<w:tbl>" + "".join(
+            f"<w:tr><w:tc><w:p>{paragraph(rng)}</w:p></w:tc></w:tr>"
+            for _ in range(4)) + "</w:tbl>").encode()
+        doc = _replace_member(doc, "document.xml", lambda d: d + table)
+        temp_save_dance(ctx, path, doc, rng)
+
+        photo = ctx.read_file(ctx.docs_root / "Photos" / "party.jpg")
+        doc = _append_member(doc, "word/media/image1.jpg", photo)
+        temp_save_dance(ctx, path, doc, rng)
+
+        smartart = (b"<w:drawing><dgm:relIds/><dgm:pts>"
+                    + paragraph(rng).encode() + b"</dgm:pts></w:drawing>")
+        doc = _replace_member(doc, "document.xml", lambda d: d + smartart)
+        temp_save_dance(ctx, path, doc, rng)
+        ctx.delete(lock)
+
+
+class MicrosoftExcel(BenignApplication):
+    """§V-F script plus the ambient machinery real Excel brings: a CSV
+    data import (low-entropy reads), autosave snapshots, lock files, and
+    chart cache temp files.  Paper score: 150 — the highest benign
+    scorer, driven by entropy hits (high-entropy .xlsx writes against
+    low-entropy CSV/lock-file reads)."""
+
+    name = "EXCEL.EXE"
+    paper_score = 150.0
+
+    def prepare(self, machine) -> None:
+        rng = random.Random(self.seed ^ 0xCA1C)
+        machine.vfs.peek_write(DOCUMENTS / "Budget" / "raw_data.csv",
+                               make_csv(rng, 24000), parents=True)
+
+    def run(self, ctx) -> None:
+        rng = random.Random(self.seed)
+        path = ctx.docs_root / "Budget" / "analysis.xlsx"
+        lock = ctx.docs_root / "Budget" / "~$analysis.xlsx"
+        ctx.write_file(lock, b"\x00victim\x00" * 8)
+        # import the raw data (big low-entropy read)
+        ctx.read_file(ctx.docs_root / "Budget" / "raw_data.csv", 4096)
+        book = make_xlsx(random.Random(self.seed ^ 2), 9000)
+        temp_save_dance(ctx, path, book, rng, chunk=4096)
+        # work session: edits, autosaves, a chart, a second session
+        for session in range(2):
+            for autosave in range(5):
+                extra = "".join(
+                    f'<row r="{600 + autosave * 10 + i}"><c><v>'
+                    f"{rng.random() * 1e4:.2f}</v></c></row>"
+                    for i in range(10)).encode()
+                book = _replace_member(book, "worksheet1.xml",
+                                       lambda d, e=extra: d + e)
+                autopath = (ctx.docs_root / "Budget"
+                            / f"analysis((Autosaved-{session}{autosave})).xlsx")
+                ctx.write_file(autopath, book, 4096)
+                ctx.delete(autopath)
+            chart = b'<c:chart><c:plotArea>' + rng.randbytes(2048) + b"</c:plotArea></c:chart>"
+            book = _append_member(book, f"xl/charts/chart{session + 1}.xml",
+                                  chart, stored=True)
+            temp_save_dance(ctx, path, book, rng, chunk=4096)
+            if session == 0:
+                # close and re-open: Excel re-reads the whole workbook
+                ctx.read_file(path, 4096)
+        ctx.delete(lock)
+
+
+class LibreOfficeWriter(BenignApplication):
+    """Edit and save an .odt a few times; saves rewrite content.xml only."""
+
+    name = "soffice.bin"
+
+    def prepare(self, machine) -> None:
+        machine.vfs.peek_write(
+            DOCUMENTS / "Letters" / "draft.odt",
+            make_odt(random.Random(self.seed ^ 3), 9000), parents=True)
+
+    def run(self, ctx) -> None:
+        rng = random.Random(self.seed)
+        path = ctx.docs_root / "Letters" / "draft.odt"
+        doc = ctx.read_file(path)
+        for _ in range(3):
+            addition = f"<text:p>{paragraph(rng)}</text:p>".encode()
+            doc = _replace_member(doc, "content.xml",
+                                  lambda d, a=addition: d + a)
+            temp_save_dance(ctx, path, doc, rng)
+
+
+class LibreOfficeCalc(BenignApplication):
+    """Spreadsheet editing on .ods, mirroring the Writer workload."""
+
+    name = "soffice.bin"
+
+    def prepare(self, machine) -> None:
+        from ..corpus.content import make_odt
+        base = make_odt(random.Random(self.seed ^ 4), 7000)
+        machine.vfs.peek_write(DOCUMENTS / "Budget" / "sheet.ods",
+                               base, parents=True)
+
+    def run(self, ctx) -> None:
+        rng = random.Random(self.seed)
+        path = ctx.docs_root / "Budget" / "sheet.ods"
+        doc = ctx.read_file(path)
+        for _ in range(4):
+            rows = "".join(
+                f"<table:row><table:cell>{rng.randint(0, 9999)}"
+                "</table:cell></table:row>" for _ in range(40)).encode()
+            doc = _replace_member(doc, "content.xml",
+                                  lambda d, r=rows: d + r)
+            temp_save_dance(ctx, path, doc, rng)
+
+
+class OfficeViewers(BenignApplication):
+    """Microsoft Office Viewers: read-only consumption of documents."""
+
+    name = "DOCVIEW.EXE"
+
+    def run(self, ctx) -> None:
+        opened = 0
+        for dirpath, _dirs, files in ctx.walk(ctx.docs_root):
+            for name in files:
+                if name.lower().endswith((".doc", ".docx", ".xls", ".ppt")):
+                    ctx.read_file(dirpath / name, 8192)
+                    opened += 1
+                    if opened >= 25:
+                        return

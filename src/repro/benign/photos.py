@@ -1,0 +1,178 @@
+"""Photo application simulators.
+
+ImageMagick and Adobe Lightroom are two of the paper's five analysed
+applications (§V-F): mogrify batch-rotated 1,073 JPEGs in place and
+scored **0** (type preserved, EXIF keeps similarity alive, read and write
+entropy identical); Lightroom imported the same photo set, toned every
+picture, and exported five — ending near the paper's **107**, mostly
+similarity collapses on its constantly-rewritten catalog journal plus a
+sprinkle of entropy hits from preview writes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..corpus.content import (jpeg_reencode, make_jpeg, make_png,
+                              make_sqlite)
+from ..fs.paths import DOCUMENTS
+from .base import BenignApplication, temp_save_dance
+
+__all__ = ["ImageMagickMogrify", "AdobeLightroom", "Picasa", "Gimp",
+           "PaintDotNet", "PHOTO_SET_SIZE"]
+
+#: scaled stand-in for the paper's 1,073-photo import set
+PHOTO_SET_SIZE = 220
+
+
+def _plant_photo_set(machine, seed: int, count: int = PHOTO_SET_SIZE) -> None:
+    rng = random.Random(seed ^ 0x9407)
+    for i in range(count):
+        photo = make_jpeg(rng, 14000 + (i % 7) * 3000)
+        machine.vfs.peek_write(
+            DOCUMENTS / "Photos" / "Camera" / f"IMG_{1000 + i}.jpg",
+            photo, parents=True)
+
+
+class ImageMagickMogrify(BenignApplication):
+    """``mogrify -rotate 90 *.jpg``: in-place batch re-encode.
+
+    Every write rides the same handle choreography as Class A ransomware
+    — open, read, overwrite, close — yet scores nothing: type unchanged,
+    EXIF-anchored similarity stays positive, and read/write entropy match.
+    Paper score: 0."""
+
+    name = "mogrify.exe"
+    paper_score = 0.0
+
+    def prepare(self, machine) -> None:
+        _plant_photo_set(machine, self.seed)
+
+    def run(self, ctx) -> None:
+        photos_dir = ctx.docs_root / "Photos" / "Camera"
+        for name in ctx.listdir(photos_dir):
+            if not name.lower().endswith(".jpg"):
+                continue
+            path = photos_dir / name
+            handle = ctx.open(path, "rw")
+            try:
+                data = ctx.read(handle)
+                rotated = jpeg_reencode(data, variant=90)
+                ctx.seek(handle, 0)
+                ctx.write(handle, rotated)
+                if len(rotated) < len(data):
+                    ctx.vfs.truncate_handle(ctx.pid, handle, len(rotated))
+            finally:
+                ctx.close(handle)
+
+
+class AdobeLightroom(BenignApplication):
+    """§V-F script: import the photo set, auto-tone every picture,
+    convert five to black-and-white and export them.  Catalog and
+    previews live in Documents\\Lightroom (the real default).
+    Paper score: 107."""
+
+    name = "lightroom.exe"
+    paper_score = 107.0
+
+    def prepare(self, machine) -> None:
+        _plant_photo_set(machine, self.seed)
+
+    def run(self, ctx) -> None:
+        rng = random.Random(self.seed)
+        lr_dir = ctx.docs_root / "Lightroom"
+        previews = lr_dir / "Previews.lrdata"
+        ctx.mkdir(lr_dir, parents=True)
+        ctx.mkdir(previews)
+        catalog = lr_dir / "catalog.lrcat"
+        photos_dir = ctx.docs_root / "Photos" / "Camera"
+        names = [n for n in ctx.listdir(photos_dir)
+                 if n.lower().endswith(".jpg")]
+        journal = lr_dir / "catalog.lrcat-journal"
+        # import: read every photo, build standard previews for a subset
+        # (previews are pure entropy-coded pyramid data, no metadata).
+        # The SQLite journal is rewritten page-by-page throughout — each
+        # rewrite replaces its content wholesale, which is where most of
+        # Lightroom's reputation points come from (similarity collapses
+        # on a file CryptoDrop tracks but cannot match across versions).
+        for index, name in enumerate(names):
+            data = ctx.read_file(photos_dir / name)
+            if index % 9 == 0:
+                ctx.write_file(previews / f"{name}.lrprev",
+                               rng.randbytes(6144))
+            if index % 16 == 0:
+                ctx.write_file(journal,
+                               rng.randbytes(2048) + bytes(2048))
+            if index % 100 == 0:
+                ctx.write_file(catalog, make_sqlite(rng, 40000), 32768)
+        # auto tone: metadata-only (catalog + journal) updates, batched
+        for _ in range(2):
+            ctx.write_file(journal, rng.randbytes(2048) + bytes(2048))
+            ctx.write_file(catalog, make_sqlite(rng, 50000), 32768)
+        ctx.delete(journal)
+        # convert 5 photos to B&W and export to the documents folder
+        export_dir = ctx.docs_root / "Exported"
+        ctx.mkdir(export_dir)
+        for name in names[:5]:
+            data = ctx.read_file(photos_dir / name)
+            ctx.write_file(export_dir / f"bw_{name}",
+                           jpeg_reencode(data, variant=255))
+
+
+class Picasa(BenignApplication):
+    """Indexes the photo tree and maintains thumbnail caches."""
+
+    name = "Picasa3.exe"
+
+    def prepare(self, machine) -> None:
+        _plant_photo_set(machine, self.seed, count=60)
+
+    def run(self, ctx) -> None:
+        rng = random.Random(self.seed)
+        photos_dir = ctx.docs_root / "Photos" / "Camera"
+        db_dir = ctx.docs_root / "Picasa"
+        ctx.mkdir(db_dir, parents=True)
+        for name in ctx.listdir(photos_dir):
+            ctx.read_file(photos_dir / name, 16384)
+        ctx.write_file(db_dir / "thumbs.db", make_sqlite(rng, 80000), 32768)
+
+
+class Gimp(BenignApplication):
+    """Open a few photos, export edited PNG copies."""
+
+    name = "gimp-2.8.exe"
+
+    def prepare(self, machine) -> None:
+        _plant_photo_set(machine, self.seed, count=8)
+
+    def run(self, ctx) -> None:
+        rng = random.Random(self.seed)
+        photos_dir = ctx.docs_root / "Photos" / "Camera"
+        out_dir = ctx.docs_root / "Photos" / "Edited"
+        ctx.mkdir(out_dir, parents=True)
+        for name in list(ctx.listdir(photos_dir))[:3]:
+            ctx.read_file(photos_dir / name)
+            ctx.write_file(out_dir / (name[:-4] + ".png"),
+                           make_png(rng, 30000), 16384)
+
+
+class PaintDotNet(BenignApplication):
+    """Edit PNGs and save over the originals (full IDAT rewrite)."""
+
+    name = "PaintDotNet.exe"
+
+    def prepare(self, machine) -> None:
+        rng = random.Random(self.seed ^ 0xA1)
+        for i in range(4):
+            machine.vfs.peek_write(
+                DOCUMENTS / "Photos" / "Sketches" / f"sketch{i}.png",
+                make_png(rng, 20000), parents=True)
+
+    def run(self, ctx) -> None:
+        rng = random.Random(self.seed)
+        sketch_dir = ctx.docs_root / "Photos" / "Sketches"
+        for name in list(ctx.listdir(sketch_dir))[:2]:
+            path = sketch_dir / name
+            ctx.read_file(path)
+            temp_save_dance(ctx, path, make_png(rng, 21000), rng,
+                            chunk=16384)

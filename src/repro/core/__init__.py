@@ -1,0 +1,28 @@
+"""CryptoDrop — the paper's primary contribution.
+
+A data-centric ransomware early-warning system: indicator measurement over
+a filtered stream of filesystem operations, a per-process reputation
+scoreboard with union indication, and policy-mediated process suspension.
+"""
+
+from .config import CryptoDropConfig, LatencyModel, default_config
+from .detection import (AlertPolicy, AllowPolicy, CallbackPolicy, Detection,
+                        SuspendPolicy)
+from .engine import AnalysisEngine
+from .filestate import FileStateCache, TrackedFile
+from .indicators import (PRIMARY, SECONDARY, IndicatorHit,
+                         ProcessDeletionState, ProcessEntropyState,
+                         ProcessFunnelState, similarity_collapsed,
+                         similarity_score, type_changed)
+from .monitor import CryptoDropMonitor
+from .scoring import ProcessScore, Scoreboard, ScoreEvent
+
+__all__ = [
+    "AlertPolicy", "AllowPolicy", "AnalysisEngine", "CallbackPolicy",
+    "CryptoDropConfig", "CryptoDropMonitor", "Detection", "FileStateCache",
+    "IndicatorHit", "LatencyModel", "PRIMARY", "ProcessDeletionState",
+    "ProcessEntropyState", "ProcessFunnelState", "ProcessScore",
+    "SECONDARY", "Scoreboard", "ScoreEvent", "SuspendPolicy",
+    "TrackedFile", "default_config", "similarity_collapsed",
+    "similarity_score", "type_changed",
+]

@@ -1,0 +1,81 @@
+"""Detections and alert policies.
+
+When a process's reputation score crosses its threshold, CryptoDrop
+"pauses disk accesses for the flagged process and requests permission from
+the user to allow the process to continue" (§IV-A).  The reproduction
+models that prompt as an :class:`AlertPolicy`:
+
+* :class:`SuspendPolicy` — the default "drop it": every detection suspends.
+* :class:`AllowPolicy` — the user always clicks allow (whitelists the
+  process family; used to let 7-zip finish in the FP experiments).
+* :class:`CallbackPolicy` — arbitrary decision logic, e.g. an interactive
+  prompt in the live-monitor example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set
+
+__all__ = ["Detection", "AlertPolicy", "SuspendPolicy", "AllowPolicy",
+           "CallbackPolicy"]
+
+
+@dataclass
+class Detection:
+    """One threshold crossing."""
+
+    root_pid: int
+    process_name: str
+    score: float
+    threshold: float
+    union_fired: bool
+    flags: Set[str]
+    timestamp_us: float
+    trigger_op: str = ""
+    trigger_path: str = ""
+    suspended: bool = True
+    #: filled in by the sandbox runner after damage assessment
+    files_lost: Optional[int] = None
+    history_len: int = 0
+
+    def summary(self) -> str:
+        verb = "suspended" if self.suspended else "allowed by user"
+        union = " [union]" if self.union_fired else ""
+        return (f"{self.process_name} (pid {self.root_pid}) {verb} at "
+                f"score {self.score:.0f}/{self.threshold:.0f}{union} "
+                f"on {self.trigger_op} {self.trigger_path}")
+
+
+class AlertPolicy:
+    """Decides what the 'user' answers when CryptoDrop raises an alert."""
+
+    def decide(self, detection: Detection) -> bool:
+        """Return True to suspend ("drop it"), False to allow."""
+        raise NotImplementedError
+
+
+class SuspendPolicy(AlertPolicy):
+    """Always drop it (the experimental default)."""
+
+    def decide(self, detection: Detection) -> bool:
+        return True
+
+
+class AllowPolicy(AlertPolicy):
+    """Always allow; detections are still recorded."""
+
+    def decide(self, detection: Detection) -> bool:
+        return False
+
+
+@dataclass
+class CallbackPolicy(AlertPolicy):
+    """Delegate to a callable; records every consultation."""
+
+    callback: Callable[[Detection], bool]
+    consulted: List[Detection] = field(default_factory=list)
+
+    def decide(self, detection: Detection) -> bool:
+        self.consulted.append(detection)
+        return bool(self.callback(detection))

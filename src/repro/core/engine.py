@@ -1,0 +1,387 @@
+"""The CryptoDrop analysis engine.
+
+A filter driver (paper Fig. 2) that receives every filesystem operation
+touching the protected documents tree and converts it into indicator
+measurements, reputation points, and — past threshold — a suspension
+verdict.
+
+Division of labour across the two filter hooks:
+
+* **pre-operation** — baseline capture.  The first time the engine sees a
+  node about to be modified (open-for-truncate, write, rename, delete) it
+  snapshots the *previous version*: magic type + similarity digest.  This
+  must happen pre-op or a truncating open would destroy the evidence.
+* **post-operation** — measurement and scoring.  Reads/writes feed the
+  per-process entropy means; closes after writes trigger full-file
+  inspection (type change + similarity); renames handle move tracking and
+  Class-C linking; deletes feed the deletion counter.
+
+The engine never blocks an operation outright — ransomware is free to run
+until its reputation crosses threshold, at which point the process family
+is suspended and the (policy-modelled) user is asked.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..fs.errors import FsError
+from ..fs.events import Decision, FsOperation, OpKind
+from ..fs.filters import FilterDriver, PostVerdict
+from ..fs.vfs import SYSTEM_PID, VirtualFileSystem
+from ..magic import identify
+from .config import CryptoDropConfig
+from .detection import AlertPolicy, Detection, SuspendPolicy
+from .filestate import FileStateCache, TrackedFile
+from .indicators import (IndicatorHit, ProcessDeletionState,
+                         ProcessEntropyState, ProcessFunnelState,
+                         similarity_collapsed, similarity_score,
+                         type_changed)
+from .scoring import Scoreboard
+
+__all__ = ["AnalysisEngine"]
+
+
+class _ProcessState:
+    """Per-process-family indicator accumulators."""
+
+    __slots__ = ("entropy", "deletion", "funnel")
+
+    def __init__(self, config: CryptoDropConfig) -> None:
+        self.entropy = ProcessEntropyState(config.entropy_delta)
+        self.deletion = ProcessDeletionState(config.deletion_allowance)
+        self.funnel = ProcessFunnelState(config.funnel_spread)
+
+
+class AnalysisEngine(FilterDriver):
+    """CryptoDrop, as a filter driver over a virtual filesystem."""
+
+    name = "cryptodrop"
+
+    def __init__(self, vfs: VirtualFileSystem,
+                 config: Optional[CryptoDropConfig] = None,
+                 policy: Optional[AlertPolicy] = None) -> None:
+        self.vfs = vfs
+        self.config = config or CryptoDropConfig()
+        self.policy = policy or SuspendPolicy()
+        self.scoreboard = Scoreboard(self.config)
+        self.cache = FileStateCache(self.config.similarity_backend,
+                                    self.config.max_inspect_bytes,
+                                    digests_enabled=self.config.enable_similarity)
+        self.detections: List[Detection] = []
+        self._proc: Dict[int, _ProcessState] = {}
+        self._whitelist: set = set()
+        self._pending_cost_us = 0.0
+        self.op_counts: Dict[str, int] = {}
+        self.bytes_inspected = 0
+
+    # ------------------------------------------------------------------
+    # filter driver interface
+    # ------------------------------------------------------------------
+
+    def added_latency_us(self, op: FsOperation) -> float:
+        cost, self._pending_cost_us = self._pending_cost_us, 0.0
+        return cost
+
+    def pre_operation(self, op: FsOperation) -> Decision:
+        if op.pid == SYSTEM_PID:
+            return Decision.ALLOW
+        # Baselines are captured at the last moment the previous version is
+        # guaranteed intact: before destructive opens, first writes, moves,
+        # and deletes.  Plain read-opens never trigger a digest, so purely
+        # observational workloads (AV scanners, viewers) stay cheap.
+        if (op.kind in (OpKind.WRITE, OpKind.TRUNCATE, OpKind.RENAME,
+                        OpKind.DELETE)
+                or (op.kind is OpKind.OPEN and op.truncate)):
+            self._maybe_capture_baseline(op)
+        if (op.kind is OpKind.RENAME and op.dest_existed
+                and op.dest_node_id is not None
+                and op.dest_node_id not in self.cache
+                and op.dest_path is not None
+                and self.config.is_protected(op.dest_path)):
+            # A move is about to clobber a protected file: snapshot the
+            # victim's last version now so the incoming content can be
+            # linked against it (§V-B2's Class-C linking).
+            try:
+                content = self.vfs.peek_read(op.dest_path)
+            except FsError:
+                content = None
+            if content is not None:
+                self.cache.ensure_baseline(op.dest_node_id, op.dest_path,
+                                           content)
+                self.bytes_inspected += len(content)
+                self._charge_inspection(len(content))
+        return Decision.ALLOW
+
+    def post_operation(self, op: FsOperation) -> PostVerdict:
+        if op.pid == SYSTEM_PID:
+            return PostVerdict.ALLOW
+        if not self._relevant(op):
+            return PostVerdict.ALLOW
+        self.op_counts[op.kind.value] = self.op_counts.get(op.kind.value, 0) + 1
+        handler = {
+            OpKind.CREATE: self._on_create,
+            OpKind.OPEN: self._on_open,
+            OpKind.READ: self._on_read,
+            OpKind.WRITE: self._on_write,
+            OpKind.CLOSE: self._on_close,
+            OpKind.RENAME: self._on_rename,
+            OpKind.DELETE: self._on_delete,
+        }.get(op.kind)
+        if handler is not None:
+            handler(op)
+        return self._verdict(op)
+
+    # ------------------------------------------------------------------
+    # scope and baselines
+    # ------------------------------------------------------------------
+
+    def _relevant(self, op: FsOperation) -> bool:
+        """Protected-path ops, plus any op on a node we already track
+        (Class B files riding outside the documents tree)."""
+        if self.config.is_protected(op.path):
+            return True
+        if op.dest_path is not None and self.config.is_protected(op.dest_path):
+            return True
+        return self.cache.is_tracked(op.node_id)
+
+    def _maybe_capture_baseline(self, op: FsOperation) -> None:
+        if op.node_id is None or op.node_id in self.cache:
+            return
+        if not self._relevant(op):
+            return
+        try:
+            content = self.vfs.peek_read(op.path)
+        except FsError:
+            return
+        self.cache.ensure_baseline(op.node_id, op.path, content)
+        self.bytes_inspected += len(content)
+        self._charge_inspection(len(content))
+
+    # ------------------------------------------------------------------
+    # per-operation measurement
+    # ------------------------------------------------------------------
+
+    def _on_create(self, op: FsOperation) -> None:
+        if op.node_id is not None and self.config.is_protected(op.path):
+            self.cache.track_new(op.node_id, op.path)
+        self._pending_cost_us += self.config.latency.open_us
+
+    def _on_open(self, op: FsOperation) -> None:
+        self._pending_cost_us += self.config.latency.open_us
+
+    def _on_read(self, op: FsOperation) -> None:
+        self._pending_cost_us += self.config.latency.read_us
+        if not op.data:
+            return
+        state = self._state(op.pid)
+        if self.config.enable_entropy:
+            state.entropy.on_read(op.data)
+        if self.config.enable_funneling:
+            record = self.cache.get(op.node_id) if op.node_id else None
+            type_name = None
+            if record is not None and record.base_type is not None:
+                type_name = record.base_type.name
+            elif op.offset == 0:
+                type_name = identify(op.data).name
+            if type_name and state.funnel.on_read_type(type_name):
+                self._apply(op, IndicatorHit(
+                    "funneling", self.config.funnel_points,
+                    detail=f"spread={state.funnel.spread}"))
+
+    def _on_write(self, op: FsOperation) -> None:
+        lat = self.config.latency
+        self._pending_cost_us += (lat.write_base_us
+                                  + lat.write_per_kb_us * op.size / 1024.0)
+        if not op.data:
+            return
+        state = self._state(op.pid)
+        if not self.config.enable_entropy:
+            return
+        delta = state.entropy.on_write(op.data)
+        if delta is not None:
+            self._apply(op, IndicatorHit(
+                "entropy", self.config.entropy_points,
+                primary_flag="entropy",
+                detail=f"delta={delta:.3f}"))
+
+    def _on_close(self, op: FsOperation) -> None:
+        lat = self.config.latency
+        if not op.wrote_since_open or op.node_id is None:
+            self._pending_cost_us += lat.other_us
+            return
+        self._pending_cost_us += (lat.close_base_us
+                                  + lat.close_per_kb_us * op.size / 1024.0)
+        try:
+            content = self.vfs.peek_read(op.path)
+        except FsError:
+            return
+        record = self.cache.get(op.node_id)
+        if record is None:
+            if self.config.is_protected(op.path):
+                record = self.cache.track_new(op.node_id, op.path)
+            else:
+                return
+        self._inspect_version(op, record, content)
+
+    def _on_rename(self, op: FsOperation) -> None:
+        lat = self.config.latency
+        self._pending_cost_us += (lat.rename_base_us
+                                  + lat.rename_per_kb_us * op.size / 1024.0)
+        if op.node_id is None or op.dest_path is None:
+            return
+        clobbered_id = op.dest_node_id if op.dest_existed else None
+        clobbered_tracked = (clobbered_id is not None
+                             and self.cache.is_tracked(clobbered_id))
+        record = self.cache.on_rename(op.node_id, op.dest_path, clobbered_id)
+        if clobbered_tracked and record is not None:
+            # Move-over of a tracked file: the original content is gone —
+            # the deletion indicator counts it, and the incoming bytes are
+            # inspected against the inherited ("linked") baseline.
+            self._count_deletion(op)
+            try:
+                content = self.vfs.peek_read(op.dest_path)
+            except FsError:
+                return
+            self._inspect_version(op, record, content)
+        elif (record is None and self.config.is_protected(op.dest_path)):
+            # Untracked file moved into the documents tree: it becomes the
+            # baseline for future comparisons.
+            try:
+                content = self.vfs.peek_read(op.dest_path)
+            except FsError:
+                return
+            self.cache.ensure_baseline(op.node_id, op.dest_path, content)
+            self.bytes_inspected += len(content)
+
+    def _on_delete(self, op: FsOperation) -> None:
+        self._pending_cost_us += self.config.latency.delete_us
+        was_tracked = self.cache.is_tracked(op.node_id)
+        self.cache.on_delete(op.node_id)
+        if was_tracked or self.config.is_protected(op.path):
+            self._count_deletion(op)
+
+    # ------------------------------------------------------------------
+    # inspection and scoring
+    # ------------------------------------------------------------------
+
+    def _inspect_version(self, op: FsOperation, record: TrackedFile,
+                         content: bytes) -> None:
+        """Close/link-time comparison of the new version to the baseline."""
+        state = self._state(op.pid)
+        new_type = identify(content)
+        self.bytes_inspected += len(content)
+        self._charge_inspection(len(content))
+        if self.config.enable_funneling and new_type.name != "empty":
+            state.funnel.on_write_type(new_type.name)
+        if record.has_baseline and not record.born_empty:
+            score = None
+            if self.config.enable_similarity:
+                score = similarity_score(record, content,
+                                         self.config.similarity_backend)
+            # §V-C dynamic scoring: when the similarity indicator cannot
+            # speak (file below sdhash's floor), the remaining evidence
+            # is weighted up so small-file sweeps convict sooner
+            boost = 1.0
+            if (self.config.dynamic_scoring
+                    and self.config.enable_similarity and score is None):
+                boost = self.config.dynamic_boost
+            if (self.config.enable_type_change
+                    and type_changed(record.base_type, new_type)):
+                self._apply(op, IndicatorHit(
+                    "type_change",
+                    self.config.type_change_points * boost,
+                    primary_flag="type_change",
+                    detail=f"{record.base_type.name}->{new_type.name}"
+                           + (" [boosted]" if boost > 1.0 else "")))
+            if similarity_collapsed(score,
+                                    self.config.similarity_trigger_max):
+                self._apply(op, IndicatorHit(
+                    "similarity", self.config.similarity_points,
+                    primary_flag="similarity",
+                    detail=f"score={score}"))
+        self.cache.refresh_baseline(op.node_id, op.path
+                                    if op.dest_path is None else op.dest_path,
+                                    content)
+
+    def _count_deletion(self, op: FsOperation) -> None:
+        if not self.config.enable_deletion:
+            return
+        state = self._state(op.pid)
+        if state.deletion.on_delete():
+            self._apply(op, IndicatorHit(
+                "deletion", self.config.deletion_points,
+                detail=f"count={state.deletion.count}"))
+
+    def _apply(self, op: FsOperation, hit: IndicatorHit) -> None:
+        root = self._root_pid(op.pid)
+        name = self._proc_name(root)
+        self.scoreboard.apply(root, hit, op.timestamp_us,
+                              str(op.dest_path or op.path), name)
+
+    def _verdict(self, op: FsOperation) -> PostVerdict:
+        root = self._root_pid(op.pid)
+        if root in self._whitelist:
+            return PostVerdict.ALLOW
+        row = self.scoreboard.row(root, self._proc_name(root))
+        if row.detected or not row.over_threshold:
+            return PostVerdict.ALLOW
+        row.detected = True
+        detection = Detection(
+            root_pid=root, process_name=row.name, score=row.score,
+            threshold=row.threshold, union_fired=row.union_fired,
+            flags=set(row.flags), timestamp_us=op.timestamp_us,
+            trigger_op=op.kind.value,
+            trigger_path=str(op.dest_path or op.path),
+            history_len=len(row.history))
+        suspend = self.policy.decide(detection)
+        detection.suspended = suspend
+        self.detections.append(detection)
+        if not suspend:
+            self._whitelist.add(root)
+            return PostVerdict.ALLOW
+        return PostVerdict(
+            suspend=True,
+            reason=f"cryptodrop: score {row.score:.0f} >= "
+                   f"{row.threshold:.0f} ({'union' if row.union_fired else 'non-union'})")
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+
+    def _root_pid(self, pid: int) -> int:
+        if self.config.score_process_families and pid in self.vfs.processes:
+            return self.vfs.processes.family_root(pid)
+        return pid
+
+    def _proc_name(self, pid: int) -> str:
+        if pid in self.vfs.processes:
+            return self.vfs.processes.get(pid).name
+        return f"pid{pid}"
+
+    def _state(self, pid: int) -> _ProcessState:
+        root = self._root_pid(pid)
+        state = self._proc.get(root)
+        if state is None:
+            state = _ProcessState(self.config)
+            self._proc[root] = state
+        return state
+
+    def _charge_inspection(self, n_bytes: int) -> None:
+        # digesting/identifying cost, folded into the op's charged latency
+        self._pending_cost_us += 40.0 + 0.004 * n_bytes
+
+    # -- introspection helpers (examples, tests, experiments) ----------------
+
+    def score_of(self, pid: int) -> float:
+        return self.scoreboard.row(self._root_pid(pid)).score
+
+    def row_of(self, pid: int):
+        return self.scoreboard.row(self._root_pid(pid),
+                                   self._proc_name(self._root_pid(pid)))
+
+    def entropy_state_of(self, pid: int) -> ProcessEntropyState:
+        return self._state(pid).entropy
+
+    def funnel_state_of(self, pid: int) -> ProcessFunnelState:
+        return self._state(pid).funnel

@@ -1,0 +1,159 @@
+"""Per-file state tracking — baselines, moves, and links.
+
+CryptoDrop measures *change*, so it must know what each protected file
+looked like before the current writer touched it.  :class:`FileStateCache`
+keys state by the VFS's stable node ids (paper Fig. 2 "Caching"), which is
+what makes the paper's hard cases work:
+
+* **Class B** — a file moved out of the documents tree stays tracked by
+  node id; the close-time inspection in the temp directory still compares
+  against the documents-era baseline, and the move back re-keys the path
+  ("the state of the file must be carefully tracked each time a file is
+  moved", §III).
+* **Class C move-over** — when a *new* file is renamed on top of a tracked
+  file, the incoming node inherits the clobbered baseline, "allowing
+  linking the original and new content and ultimately leading to union
+  detection" (§V-B2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..fs.paths import WinPath
+from ..magic import FileType, identify
+from ..simhash import sdhash as _sdhash
+from ..simhash.sdhash import SdDigest
+from ..simhash.ssdeep import CtphSignature, ctph
+
+__all__ = ["TrackedFile", "FileStateCache"]
+
+
+@dataclass
+class TrackedFile:
+    """Baseline (previous-version) state for one file node."""
+
+    node_id: int
+    path: WinPath
+    base_type: Optional[FileType] = None
+    base_digest: Optional[SdDigest] = None
+    base_ctph: Optional[CtphSignature] = None
+    base_size: int = 0
+    #: True once a baseline has actually been captured from content
+    has_baseline: bool = False
+    #: True if this node was newly created by the writer (no prior version)
+    born_empty: bool = False
+
+
+class FileStateCache:
+    """Node-id-keyed baseline cache with move/link handling."""
+
+    def __init__(self, backend: str = "sdhash",
+                 max_inspect_bytes: int = 4 * 1024 * 1024,
+                 digests_enabled: bool = True) -> None:
+        if backend not in ("sdhash", "ctph"):
+            raise ValueError(f"unknown similarity backend {backend!r}")
+        self.backend = backend
+        self.max_inspect_bytes = max_inspect_bytes
+        #: ablation runs with the similarity indicator off skip digesting
+        #: entirely (type identification is kept — it is cheap)
+        self.digests_enabled = digests_enabled
+        self._by_node: Dict[int, TrackedFile] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_node)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._by_node
+
+    def get(self, node_id: int) -> Optional[TrackedFile]:
+        return self._by_node.get(node_id)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def track_new(self, node_id: int, path: WinPath) -> TrackedFile:
+        """Start tracking a freshly created (empty) file."""
+        record = TrackedFile(node_id=node_id, path=path, born_empty=True,
+                             has_baseline=True, base_size=0)
+        self._by_node[node_id] = record
+        return record
+
+    def ensure_baseline(self, node_id: int, path: WinPath,
+                        content: bytes) -> TrackedFile:
+        """Capture the previous-version baseline if not already cached."""
+        record = self._by_node.get(node_id)
+        if record is None:
+            record = TrackedFile(node_id=node_id, path=path)
+            self._by_node[node_id] = record
+        record.path = path
+        if not record.has_baseline:
+            self._capture(record, content)
+        return record
+
+    def _capture(self, record: TrackedFile, content: bytes) -> None:
+        record.base_type = identify(content)
+        record.base_size = len(content)
+        if not self.digests_enabled:
+            record.base_digest = None
+            record.base_ctph = None
+        elif len(content) <= self.max_inspect_bytes:
+            if self.backend == "sdhash":
+                record.base_digest = _sdhash(content)
+            else:
+                record.base_ctph = ctph(content)
+        else:
+            record.base_digest = None
+            record.base_ctph = None
+        record.has_baseline = True
+
+    def refresh_baseline(self, node_id: int, path: WinPath,
+                         content: bytes) -> TrackedFile:
+        """After an inspection, the new version becomes the baseline."""
+        record = self._by_node.get(node_id)
+        if record is None:
+            record = TrackedFile(node_id=node_id, path=path)
+            self._by_node[node_id] = record
+        record.path = path
+        record.born_empty = False
+        self._capture(record, content)
+        return record
+
+    # -- moves -----------------------------------------------------------------
+
+    def on_rename(self, node_id: Optional[int], dest: WinPath,
+                  clobbered_node_id: Optional[int]) -> Optional[TrackedFile]:
+        """Handle a rename: re-key, and link a move-over to the old baseline.
+
+        Returns the record that should be *compared against* for the moved
+        node (the clobbered file's baseline when linking applies), or None
+        when nothing is tracked on either side.
+        """
+        if node_id is None:
+            return None
+        moved = self._by_node.get(node_id)
+        clobbered = (self._by_node.pop(clobbered_node_id, None)
+                     if clobbered_node_id is not None else None)
+        if clobbered is not None and clobbered.has_baseline and not clobbered.born_empty:
+            # Link: the incoming node inherits the overwritten baseline.
+            inherited = TrackedFile(
+                node_id=node_id, path=dest,
+                base_type=clobbered.base_type,
+                base_digest=clobbered.base_digest,
+                base_ctph=clobbered.base_ctph,
+                base_size=clobbered.base_size,
+                has_baseline=True, born_empty=False)
+            self._by_node[node_id] = inherited
+            return inherited
+        if moved is not None:
+            moved.path = dest
+            return moved
+        return None
+
+    def on_delete(self, node_id: Optional[int]) -> Optional[TrackedFile]:
+        if node_id is None:
+            return None
+        return self._by_node.pop(node_id, None)
+
+    def is_tracked(self, node_id: Optional[int]) -> bool:
+        return node_id is not None and node_id in self._by_node

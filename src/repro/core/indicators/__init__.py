@@ -1,0 +1,19 @@
+"""CryptoDrop's five behaviour indicators.
+
+Three primary (file type change, similarity collapse, entropy delta) whose
+union drives accelerated detection, and two secondary (bulk deletion, file
+type funneling) that fill the gaps (paper §III).
+"""
+
+from .base import PRIMARY, SECONDARY, IndicatorHit
+from .deletion import ProcessDeletionState
+from .entropy import ProcessEntropyState
+from .filetype import type_changed
+from .funneling import ProcessFunnelState
+from .similarity import similarity_collapsed, similarity_score
+
+__all__ = [
+    "IndicatorHit", "PRIMARY", "ProcessDeletionState",
+    "ProcessEntropyState", "ProcessFunnelState", "SECONDARY",
+    "similarity_collapsed", "similarity_score", "type_changed",
+]

@@ -1,0 +1,29 @@
+"""Indicator plumbing shared by all five indicators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["IndicatorHit", "PRIMARY", "SECONDARY"]
+
+#: canonical indicator names
+PRIMARY = ("type_change", "similarity", "entropy")
+SECONDARY = ("deletion", "funneling")
+
+
+@dataclass(frozen=True)
+class IndicatorHit:
+    """One suspicious observation, ready for the scoreboard.
+
+    ``primary_flag`` names the primary indicator this hit sets for union
+    accounting (None for secondary indicators).
+    """
+
+    indicator: str
+    points: float
+    primary_flag: Optional[str] = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.indicator}(+{self.points:g}) {self.detail}".strip()

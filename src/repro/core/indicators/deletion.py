@@ -1,0 +1,29 @@
+"""Secondary indicator: bulk deletion (paper §III-D).
+
+"Deletion is a basic filesystem operation and is not generally suspicious
+... However, the deletion of many files from a user's documents may
+indicate malicious activity."  Class C ransomware deletes originals after
+writing independent ciphertext files; this indicator is what catches the
+22 Class-C samples that evade union indication (§V-B2).
+
+A small allowance absorbs normal temp-file churn before points accrue.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ProcessDeletionState"]
+
+
+class ProcessDeletionState:
+    """Per-process deletion counter with a grace allowance."""
+
+    __slots__ = ("count", "allowance")
+
+    def __init__(self, allowance: int = 4) -> None:
+        self.count = 0
+        self.allowance = allowance
+
+    def on_delete(self) -> bool:
+        """Record one protected-file deletion; True when it should score."""
+        self.count += 1
+        return self.count > self.allowance

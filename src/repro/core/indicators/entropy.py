@@ -1,0 +1,56 @@
+"""Primary indicator: read/write entropy delta (paper §IV-C1).
+
+Per process, CryptoDrop keeps weighted means of the Shannon entropy of
+every atomic read (``Pread``) and write (``Pwrite``) against protected
+files, weighted by ``w = 0.125 × ⌊e⌉ × b`` so that ransom notes — "small,
+low-entropy writes" — cannot drag the averages around.  After any update,
+once the process has at least one read and one write on record, the delta
+``e = Pwrite − Pread`` is evaluated; ``e ≥ 0.1`` marks the operation
+suspicious.  The measurement is stateless with respect to files: it is a
+property of the process's I/O, not of any file version.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...entropy import WeightedEntropyMean
+
+__all__ = ["ProcessEntropyState"]
+
+
+class ProcessEntropyState:
+    """Pread/Pwrite accumulator for one process (family)."""
+
+    __slots__ = ("p_read", "p_write", "delta_threshold")
+
+    def __init__(self, delta_threshold: float = 0.1) -> None:
+        # bias-corrected estimation: see repro.entropy.corrected_entropy
+        self.p_read = WeightedEntropyMean(corrected=True)
+        self.p_write = WeightedEntropyMean(corrected=True)
+        self.delta_threshold = delta_threshold
+
+    def on_read(self, data: bytes) -> None:
+        if data:
+            self.p_read.update(data)
+
+    def on_write(self, data: bytes) -> Optional[float]:
+        """Fold a write; return the delta when it trips the threshold."""
+        if not data:
+            return None
+        self.p_write.update(data)
+        return self.current_trigger()
+
+    def current_trigger(self) -> Optional[float]:
+        delta = self.delta()
+        if delta is not None and delta >= self.delta_threshold:
+            return delta
+        return None
+
+    def delta(self) -> Optional[float]:
+        """``Pwrite − Pread`` clamped at 0, or None before both exist."""
+        read_mean = self.p_read.value
+        write_mean = self.p_write.value
+        if read_mean is None or write_mean is None:
+            return None
+        return max(0.0, write_mean - read_mean)

@@ -1,0 +1,51 @@
+"""Secondary indicator: file type funneling (paper §III-D).
+
+"File type funneling occurs when an application reads an unusually
+disparate number of files as it writes ... By tracking the number of file
+types a process has read and written, the difference of these can be
+assigned a threshold before considering it suspicious."
+
+Ransomware reads every type in the documents tree but writes essentially
+one (ciphertext / its renamed container).  A word processor legitimately
+funnels a little (reads pictures + audio, writes one document), so the
+spread threshold leaves normal applications room.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+__all__ = ["ProcessFunnelState"]
+
+
+class ProcessFunnelState:
+    """Distinct read/write type tracking for one process (family)."""
+
+    __slots__ = ("types_read", "types_written", "spread_threshold",
+                 "_scored_spread")
+
+    def __init__(self, spread_threshold: int = 5) -> None:
+        self.types_read: Set[str] = set()
+        self.types_written: Set[str] = set()
+        self.spread_threshold = spread_threshold
+        self._scored_spread = 0
+
+    @property
+    def spread(self) -> int:
+        return max(0, len(self.types_read) - len(self.types_written))
+
+    def on_read_type(self, type_name: str) -> bool:
+        """Record a read of ``type_name``; True when the widened spread
+        crosses (or extends past) the threshold and should score."""
+        self.types_read.add(type_name)
+        return self._maybe_score()
+
+    def on_write_type(self, type_name: str) -> None:
+        self.types_written.add(type_name)
+
+    def _maybe_score(self) -> bool:
+        spread = self.spread
+        if spread >= self.spread_threshold and spread > self._scored_spread:
+            self._scored_spread = spread
+            return True
+        return False

@@ -1,0 +1,45 @@
+"""Primary indicator: similarity collapse (paper §III-B).
+
+"Given the similarity hash of the previous version of a file, a comparison
+with the hash of the encrypted version of that file should yield no match"
+— ciphertext is indistinguishable from random data, and sdhash scores two
+random blobs near zero.  A comparable pair of digests scoring at or below
+the near-zero threshold is one hit.
+
+Files too small to digest (< 512 B for sdhash) yield ``None`` and score
+nothing — the CTB-Locker delay of §V-C.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...simhash import compare, compare_signatures, ctph, sdhash
+from ..filestate import TrackedFile
+
+__all__ = ["similarity_score", "similarity_collapsed"]
+
+
+def similarity_score(record: TrackedFile, new_content: bytes,
+                     backend: str = "sdhash") -> Optional[int]:
+    """0–100 similarity of ``new_content`` to the record's baseline.
+
+    None when either side has no digest (too small, never captured, or the
+    file was born empty under the current writer).
+    """
+    if not record.has_baseline or record.born_empty:
+        return None
+    if backend == "sdhash":
+        if record.base_digest is None:
+            return None
+        return compare(record.base_digest, sdhash(new_content))
+    if backend == "ctph":
+        if record.base_ctph is None:
+            return None
+        return compare_signatures(record.base_ctph, ctph(new_content))
+    raise ValueError(f"unknown similarity backend {backend!r}")
+
+
+def similarity_collapsed(score: Optional[int], trigger_max: int = 5) -> bool:
+    """True when the comparison succeeded and came back near zero."""
+    return score is not None and score <= trigger_max

@@ -1,0 +1,151 @@
+"""CryptoDrop public facade.
+
+:class:`CryptoDropMonitor` is what downstream users instantiate: it wires
+an :class:`~repro.core.engine.AnalysisEngine` into a virtual filesystem's
+filter stack, exposes detections and scores, and detaches cleanly.
+
+>>> from repro.fs import VirtualFileSystem, DOCUMENTS
+>>> from repro.core import CryptoDropMonitor
+>>> vfs = VirtualFileSystem()
+>>> vfs.mkdir(vfs.processes.spawn("setup").pid, DOCUMENTS, parents=True)
+>>> monitor = CryptoDropMonitor(vfs)
+>>> monitor.attach()
+>>> # ... run workloads ...
+>>> monitor.detach()
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..fs.vfs import VirtualFileSystem
+from .config import CryptoDropConfig
+from .detection import AlertPolicy, Detection, SuspendPolicy
+from .engine import AnalysisEngine
+from .scoring import ProcessScore
+
+__all__ = ["CryptoDropMonitor"]
+
+
+class CryptoDropMonitor:
+    """Attach/detach lifecycle and reporting around the analysis engine."""
+
+    def __init__(self, vfs: VirtualFileSystem,
+                 config: Optional[CryptoDropConfig] = None,
+                 policy: Optional[AlertPolicy] = None) -> None:
+        self.vfs = vfs
+        self.config = config or CryptoDropConfig()
+        self.engine = AnalysisEngine(vfs, self.config,
+                                     policy or SuspendPolicy())
+        self._attached = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def attach(self) -> "CryptoDropMonitor":
+        if self._attached:
+            raise RuntimeError("monitor already attached")
+        self.vfs.filters.attach(self.engine)
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if self._attached:
+            self.vfs.filters.detach(self.engine)
+            self._attached = False
+
+    def __enter__(self) -> "CryptoDropMonitor":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    @property
+    def attached(self) -> bool:
+        return self._attached
+
+    # -- results ---------------------------------------------------------------
+
+    @property
+    def detections(self) -> List[Detection]:
+        return self.engine.detections
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.engine.detections)
+
+    def suspended_detections(self) -> List[Detection]:
+        return [d for d in self.engine.detections if d.suspended]
+
+    def score_rows(self) -> List[ProcessScore]:
+        return self.engine.scoreboard.rows()
+
+    def score_of(self, pid: int) -> float:
+        return self.engine.score_of(pid)
+
+    def union_count(self) -> int:
+        return self.engine.scoreboard.union_count()
+
+    def export_report(self) -> dict:
+        """JSON-serialisable forensic report of the session.
+
+        Contains every detection, every process's score trajectory, and
+        the engine's operational counters — what an incident responder
+        would pull off the machine after an alert.
+        """
+        return {
+            "config": {
+                "non_union_threshold": self.config.non_union_threshold,
+                "union_threshold": self.config.union_threshold,
+                "union_bonus": self.config.union_bonus,
+                "entropy_delta": self.config.entropy_delta,
+                "similarity_backend": self.config.similarity_backend,
+                "indicators": self.config.indicators_enabled(),
+            },
+            "detections": [
+                {
+                    "process": d.process_name,
+                    "root_pid": d.root_pid,
+                    "score": d.score,
+                    "threshold": d.threshold,
+                    "union": d.union_fired,
+                    "flags": sorted(d.flags),
+                    "timestamp_us": d.timestamp_us,
+                    "trigger": f"{d.trigger_op} {d.trigger_path}",
+                    "suspended": d.suspended,
+                    "files_lost": d.files_lost,
+                }
+                for d in self.detections
+            ],
+            "processes": [
+                {
+                    "root_pid": row.root_pid,
+                    "name": row.name,
+                    "score": row.score,
+                    "threshold": row.threshold,
+                    "union": row.union_fired,
+                    "flags": sorted(row.flags),
+                    "events": [
+                        {
+                            "t_us": e.timestamp_us,
+                            "indicator": e.indicator,
+                            "points": e.points,
+                            "score": e.score_after,
+                            "path": e.path,
+                            "detail": e.detail,
+                        }
+                        for e in row.history
+                    ],
+                }
+                for row in self.score_rows()
+            ],
+            "stats": self.stats(),
+        }
+
+    def stats(self) -> dict:
+        return {
+            "ops_seen": dict(self.engine.op_counts),
+            "bytes_inspected": self.engine.bytes_inspected,
+            "tracked_files": len(self.engine.cache),
+            "detections": len(self.engine.detections),
+            "processes_scored": len(self.engine.scoreboard.rows()),
+        }

@@ -1,0 +1,134 @@
+"""Reputation scoreboard and union indication (paper §IV-A/B).
+
+Each process (or process family) accumulates points from indicator hits.
+The first time all three primary flags are set for one process, *union
+indication* fires: the score receives a bonus and the process's detection
+threshold drops — "this both dramatically increasing the current score of
+a process and lowering that process's detection threshold" (§V-B2).
+
+Every hit is journalled, which lets the false-positive experiments replay
+a workload's score trajectory under arbitrary thresholds (Fig. 6) without
+re-running it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from .config import CryptoDropConfig
+from .indicators import PRIMARY, IndicatorHit
+
+__all__ = ["ScoreEvent", "ProcessScore", "Scoreboard"]
+
+
+@dataclass(frozen=True)
+class ScoreEvent:
+    """One scoreboard mutation (indicator hit or union bonus)."""
+
+    timestamp_us: float
+    indicator: str
+    points: float
+    score_after: float
+    path: str = ""
+    detail: str = ""
+
+
+@dataclass
+class ProcessScore:
+    """Scoreboard row for one process family."""
+
+    root_pid: int
+    name: str
+    score: float = 0.0
+    threshold: float = 200.0
+    flags: Set[str] = field(default_factory=set)
+    union_fired: bool = False
+    detected: bool = False
+    history: List[ScoreEvent] = field(default_factory=list)
+
+    @property
+    def over_threshold(self) -> bool:
+        return self.score >= self.threshold
+
+    def first_crossing(self, non_union_threshold: float,
+                       union_threshold: Optional[float] = None,
+                       with_union: bool = True) -> Optional[float]:
+        """Replay: earliest timestamp the score crosses under a
+        hypothetical threshold configuration, or None if it never does.
+
+        Used by the Fig. 6 threshold sweep — benign runs are recorded once
+        and their journalled trajectories evaluated at every candidate
+        threshold.  With ``with_union=False`` the union bonus events are
+        excluded from the running score (the no-union ablation).
+        """
+        effective = non_union_threshold
+        running = 0.0
+        for event in self.history:
+            if event.indicator == "union":
+                if not with_union:
+                    continue
+                if union_threshold is not None:
+                    effective = min(effective, union_threshold)
+            running += event.points
+            if running >= effective:
+                return event.timestamp_us
+        return None
+
+
+class Scoreboard:
+    """All process scores for one engine instance."""
+
+    def __init__(self, config: CryptoDropConfig) -> None:
+        self.config = config
+        self._rows: Dict[int, ProcessScore] = {}
+
+    def row(self, root_pid: int, name: str = "") -> ProcessScore:
+        row = self._rows.get(root_pid)
+        if row is None:
+            row = ProcessScore(root_pid=root_pid, name=name,
+                               threshold=self.config.non_union_threshold)
+            self._rows[root_pid] = row
+        elif name and not row.name:
+            row.name = name
+        return row
+
+    def rows(self) -> List[ProcessScore]:
+        return list(self._rows.values())
+
+    def apply(self, root_pid: int, hit: IndicatorHit, timestamp_us: float,
+              path: str = "", name: str = "") -> ProcessScore:
+        """Fold one indicator hit; handles flags and union indication."""
+        row = self.row(root_pid, name)
+        row.score += hit.points
+        row.history.append(ScoreEvent(timestamp_us, hit.indicator,
+                                      hit.points, row.score, path,
+                                      hit.detail))
+        if hit.primary_flag:
+            row.flags.add(hit.primary_flag)
+            self._maybe_union(row, timestamp_us, path)
+        return row
+
+    def set_flag(self, root_pid: int, flag: str, timestamp_us: float,
+                 path: str = "", name: str = "") -> ProcessScore:
+        """Set a primary flag without points (flag-only observations)."""
+        row = self.row(root_pid, name)
+        if flag not in row.flags:
+            row.flags.add(flag)
+            self._maybe_union(row, timestamp_us, path)
+        return row
+
+    def _maybe_union(self, row: ProcessScore, timestamp_us: float,
+                     path: str) -> None:
+        if row.union_fired or not self.config.enable_union:
+            return
+        if all(flag in row.flags for flag in PRIMARY):
+            row.union_fired = True
+            row.score += self.config.union_bonus
+            row.threshold = min(row.threshold, self.config.union_threshold)
+            row.history.append(ScoreEvent(
+                timestamp_us, "union", self.config.union_bonus, row.score,
+                path, "all three primary indicators present"))
+
+    def union_count(self) -> int:
+        return sum(1 for row in self._rows.values() if row.union_fired)

@@ -1,0 +1,25 @@
+"""Synthetic user-document corpus (the paper's Govdocs1/OPF/Coldwell mix).
+
+>>> from repro.corpus import generate
+>>> corpus = generate(seed=1, n_files=100, n_dirs=12)
+>>> len(corpus.files)
+100
+"""
+
+from . import content
+from .builder import (PAPER_DIRS, PAPER_FILES, CorpusFile, GeneratedCorpus,
+                      build_corpus, generate, plant)
+from .profiles import PROFILE_NAMES, profile_spec
+from .spec import CorpusSpec, TypeSpec, default_spec
+from .tree import build_tree
+from .wordlists import (FILE_STEMS, FOLDER_NAMES, WORDS, file_stem,
+                        paragraph, paragraphs, sentence, title_words)
+
+__all__ = [
+    "CorpusFile", "CorpusSpec", "FILE_STEMS", "FOLDER_NAMES",
+    "GeneratedCorpus", "PAPER_DIRS", "PAPER_FILES", "PROFILE_NAMES",
+    "TypeSpec", "WORDS", "profile_spec",
+    "build_corpus", "build_tree", "content", "default_spec", "file_stem",
+    "generate", "paragraph", "paragraphs", "plant", "sentence",
+    "title_words",
+]

@@ -1,0 +1,146 @@
+"""Corpus assembly: generate once, plant into any filesystem.
+
+``generate()`` renders a full corpus (manifest + content bytes) and caches
+it by parameters, because the campaign harness builds one corpus and runs
+hundreds of samples against journal-reverted copies.  ``plant()`` installs
+a generated corpus under a protected root in a VFS via out-of-band writes
+(corpus installation must not look like process I/O to the detector).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..fs.nodes import FileAttributes
+from ..fs.paths import DOCUMENTS, WinPath
+from ..fs.vfs import VirtualFileSystem
+from .spec import CorpusSpec, default_spec
+from .tree import build_tree
+from .wordlists import file_stem
+
+__all__ = ["CorpusFile", "GeneratedCorpus", "generate", "plant",
+           "build_corpus", "PAPER_FILES", "PAPER_DIRS"]
+
+#: the paper's §V-A corpus dimensions
+PAPER_FILES = 5099
+PAPER_DIRS = 511
+
+
+@dataclass(frozen=True)
+class CorpusFile:
+    """Manifest row for one generated file."""
+
+    rel_dir: Tuple[str, ...]
+    name: str
+    type_name: str
+    size: int
+    read_only: bool
+
+    @property
+    def rel_path(self) -> str:
+        return "\\".join(self.rel_dir + (self.name,))
+
+    @property
+    def suffix(self) -> str:
+        dot = self.name.rfind(".")
+        return self.name[dot:].lower() if dot >= 0 else ""
+
+
+@dataclass
+class GeneratedCorpus:
+    """A rendered corpus, independent of any filesystem."""
+
+    seed: int
+    dirs: List[Tuple[str, ...]]
+    files: List[CorpusFile]
+    contents: Dict[str, bytes] = field(repr=False, default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(f.size for f in self.files)
+
+    def files_by_type(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for f in self.files:
+            counts[f.type_name] = counts.get(f.type_name, 0) + 1
+        return counts
+
+    def without_small_files(self, min_bytes: int = 512) -> "GeneratedCorpus":
+        """The §V-C rerun corpus: drop every file smaller than ``min_bytes``."""
+        keep = [f for f in self.files if f.size >= min_bytes]
+        contents = {f.rel_path: self.contents[f.rel_path] for f in keep}
+        return GeneratedCorpus(self.seed, list(self.dirs), keep, contents)
+
+
+_CACHE: Dict[Tuple[int, int, int], GeneratedCorpus] = {}
+
+
+def generate(seed: int = 2016, n_files: int = PAPER_FILES,
+             n_dirs: int = PAPER_DIRS,
+             spec: Optional[CorpusSpec] = None,
+             use_cache: bool = True) -> GeneratedCorpus:
+    """Render a corpus; results are cached per (seed, n_files, n_dirs)."""
+    cache_key = (seed, n_files, n_dirs)
+    if use_cache and spec is None and cache_key in _CACHE:
+        return _CACHE[cache_key]
+    spec = spec or default_spec()
+    rng = random.Random(seed)
+    dirs = build_tree(seed, n_dirs)
+    counts = spec.counts(n_files)
+
+    # Interleave the type populations deterministically, then deal files
+    # round-robin-ishly into directories with per-directory weights, so
+    # every directory mixes types the way real folders do.
+    population: List[str] = []
+    for name in sorted(counts):
+        population.extend([name] * counts[name])
+    rng.shuffle(population)
+    dir_weights = [rng.lognormvariate(0.0, 0.8) for _ in dirs]
+
+    files: List[CorpusFile] = []
+    contents: Dict[str, bytes] = {}
+    used_names: Dict[Tuple[str, ...], set] = {d: set() for d in dirs}
+    for type_name in population:
+        tspec = spec.by_name(type_name)
+        rel_dir = rng.choices(dirs, weights=dir_weights, k=1)[0]
+        stem = file_stem(rng)
+        name = f"{stem}.{type_name}"
+        bump = 2
+        while name.lower() in used_names[rel_dir]:
+            name = f"{stem} ({bump}).{type_name}"
+            bump += 1
+        used_names[rel_dir].add(name.lower())
+        size_hint = tspec.draw_size(rng)
+        data = tspec.maker(rng, size_hint)
+        read_only = rng.random() < spec.read_only_fraction
+        row = CorpusFile(rel_dir, name, type_name, len(data), read_only)
+        files.append(row)
+        contents[row.rel_path] = data
+    corpus = GeneratedCorpus(seed, dirs, files, contents)
+    if use_cache and cache_key not in _CACHE:
+        _CACHE[cache_key] = corpus
+    return corpus
+
+
+def plant(vfs: VirtualFileSystem, corpus: GeneratedCorpus,
+          root: WinPath = DOCUMENTS) -> None:
+    """Install ``corpus`` under ``root`` (out-of-band; emits no events)."""
+    vfs._ensure_dirs(root)
+    for rel_dir in corpus.dirs:
+        if rel_dir:
+            vfs._ensure_dirs(root.joinpath(*rel_dir))
+    for row in corpus.files:
+        path = root.joinpath(*(row.rel_dir + (row.name,)))
+        attrs = FileAttributes(read_only=row.read_only)
+        vfs.peek_write(path, corpus.contents[row.rel_path], attrs=attrs)
+
+
+def build_corpus(vfs: VirtualFileSystem, seed: int = 2016,
+                 n_files: int = PAPER_FILES, n_dirs: int = PAPER_DIRS,
+                 root: WinPath = DOCUMENTS) -> GeneratedCorpus:
+    """Generate (cached) and plant in one call."""
+    corpus = generate(seed, n_files, n_dirs)
+    plant(vfs, corpus, root)
+    return corpus

@@ -1,0 +1,587 @@
+"""Synthetic file content generators.
+
+One ``make_<type>`` function per corpus format.  Each produces bytes that
+
+* carry the correct magic numbers (so :mod:`repro.magic` identifies them
+  exactly as ``file`` would),
+* have realistic entropy profiles (compressed containers ≈ 7.9 bits/byte,
+  legacy Office ≈ 4–6, plain text ≈ 4.2–4.8),
+* contain enough *stable structure* (EXIF blocks, shared zip members,
+  OLE2 headers) that similarity digests behave the way they do on real
+  files — e.g. a re-encoded JPEG that keeps its EXIF still scores > 0
+  against the original, which is why ImageMagick produced zero false
+  positives in the paper (§V-F).
+
+Media generators embed an 8-byte seed marker so the benign application
+simulators can perform *semantic* transforms (rotate a photo, transcode a
+song) by regenerating payload deterministically while preserving metadata.
+"""
+
+from __future__ import annotations
+
+import io
+import random
+import struct
+import zipfile
+import zlib
+from typing import List, Optional, Tuple
+
+from .wordlists import paragraph, paragraphs, sentence, title_words
+
+__all__ = [
+    "make_pdf", "make_docx", "make_xlsx", "make_pptx", "make_odt",
+    "make_doc", "make_xls", "make_ppt", "make_rtf", "make_jpeg", "make_png",
+    "make_gif", "make_bmp", "make_mp3", "make_wav", "make_m4a", "make_flac",
+    "make_txt", "make_md", "make_csv", "make_html", "make_xml",
+    "make_sqlite", "make_m4a", "jpeg_parts", "jpeg_reencode", "wav_seed",
+    "ooxml_members", "rebuild_ooxml", "SEED_MARKER",
+]
+
+SEED_MARKER = b"RPSEED::"
+
+
+def _seed_blob(rng: random.Random) -> Tuple[bytes, int]:
+    seed = rng.getrandbits(48)
+    return SEED_MARKER + seed.to_bytes(8, "big"), seed
+
+
+def _stream_bytes(seed: int, n: int) -> bytes:
+    """Deterministic high-entropy payload (stand-in for compressed media)."""
+    return random.Random(seed).randbytes(n)
+
+
+# ---------------------------------------------------------------------------
+# documents
+# ---------------------------------------------------------------------------
+
+def make_pdf(rng: random.Random, size_hint: int) -> bytes:
+    """A structurally valid small PDF with Flate content streams."""
+    out = io.BytesIO()
+    out.write(b"%PDF-1.5\n%\xe2\xe3\xcf\xd3\n")
+    offsets: List[int] = []
+
+    def obj(body: bytes) -> None:
+        offsets.append(out.tell())
+        out.write(f"{len(offsets)} 0 obj\n".encode())
+        out.write(body)
+        out.write(b"\nendobj\n")
+
+    n_pages = max(1, size_hint // 6000)
+    page_refs = " ".join(f"{5 + 2 * i} 0 R" for i in range(n_pages))
+    obj(b"<< /Type /Catalog /Pages 2 0 R >>")
+    obj(f"<< /Type /Pages /Kids [{page_refs}] /Count {n_pages} >>".encode())
+    obj(b"<< /Type /Font /Subtype /Type1 /BaseFont /Helvetica >>")
+    # an embedded font program: real PDFs carry large, highly structured
+    # font tables (hmtx/glyf), which is much of why whole-file PDF entropy
+    # sits near 7 rather than 8
+    glyph_table = b"".join(struct.pack(">HHhh", g, (g * 37) & 0x3FF,
+                                       (g * 11) % 600 - 300, 512)
+                           for g in range(min(900, size_hint // 24)))
+    obj(b"<< /Type /FontDescriptor /FontFile2 "
+        + str(len(glyph_table)).encode() + b" >>\nstream\n"
+        + glyph_table + b"\nendstream")
+    budget = max(1200, size_hint - out.tell() - 800)
+    per_page = budget // n_pages
+    for i in range(n_pages):
+        content = io.StringIO()
+        content.write("BT /F1 11 Tf 72 720 Td 14 TL\n")
+        text_bytes = 0
+        while text_bytes < per_page:
+            line = sentence(rng)
+            content.write(f"({line}) Tj T*\n")
+            text_bytes += len(line) + 10
+        raw = content.getvalue().encode()
+        obj(f"<< /Type /Page /Parent 2 0 R /MediaBox [0 0 612 792] "
+            f"/Resources << /Font << /F1 3 0 R >> >> "
+            f"/Contents {6 + 2 * i} 0 R >>".encode())
+        if rng.random() < 0.45:
+            # plenty of real-world producers leave content streams raw
+            obj(b"<< /Length " + str(len(raw)).encode() + b" >>\nstream\n"
+                + raw + b"\nendstream")
+        else:
+            stream = zlib.compress(raw, 6)
+            obj(b"<< /Filter /FlateDecode /Length "
+                + str(len(stream)).encode() + b" >>\nstream\n" + stream
+                + b"\nendstream")
+    xref_at = out.tell()
+    out.write(f"xref\n0 {len(offsets) + 1}\n0000000000 65535 f \n".encode())
+    for off in offsets:
+        out.write(f"{off:010d} 00000 n \n".encode())
+    out.write(f"trailer\n<< /Size {len(offsets) + 1} /Root 1 0 R >>\n"
+              f"startxref\n{xref_at}\n%%EOF\n".encode())
+    return out.getvalue()
+
+
+_CONTENT_TYPES = (
+    '<?xml version="1.0" encoding="UTF-8" standalone="yes"?>\n'
+    '<Types xmlns="http://schemas.openxmlformats.org/package/2006/content-types">'
+    '<Default Extension="rels" ContentType="application/vnd.openxmlformats-'
+    'package.relationships+xml"/><Default Extension="xml" ContentType="'
+    'application/xml"/>{overrides}</Types>'
+)
+
+_RELS = (
+    '<?xml version="1.0" encoding="UTF-8" standalone="yes"?>\n'
+    '<Relationships xmlns="http://schemas.openxmlformats.org/package/2006/'
+    'relationships"><Relationship Id="rId1" Type="http://schemas.openxml'
+    'formats.org/officeDocument/2006/relationships/officeDocument" '
+    'Target="{target}"/></Relationships>'
+)
+
+
+def _core_props(rng: random.Random) -> str:
+    return (
+        '<?xml version="1.0" encoding="UTF-8" standalone="yes"?>\n'
+        '<cp:coreProperties xmlns:cp="http://schemas.openxmlformats.org/'
+        'package/2006/metadata/core-properties" xmlns:dc="http://purl.org/'
+        f'dc/elements/1.1/"><dc:title>{title_words(rng)}</dc:title>'
+        f'<dc:creator>user{rng.randint(1, 40)}</dc:creator></cp:coreProperties>'
+    )
+
+
+def _zip_bytes(members: List[Tuple[str, bytes, bool]]) -> bytes:
+    """Build a zip; ``members`` items are (name, data, stored_uncompressed)."""
+    buf = io.BytesIO()
+    with zipfile.ZipFile(buf, "w") as zf:
+        for name, data, stored in members:
+            method = zipfile.ZIP_STORED if stored else zipfile.ZIP_DEFLATED
+            info = zipfile.ZipInfo(name, date_time=(2014, 6, 1, 12, 0, 0))
+            zf.writestr(info, data, compress_type=method)
+    return buf.getvalue()
+
+
+def _ooxml(rng: random.Random, size_hint: int, app_dir: str,
+           main_part: str, content_type: str, body_xml: str) -> bytes:
+    overrides = (f'<Override PartName="/{app_dir}/{main_part}" '
+                 f'ContentType="{content_type}"/>')
+    # fixed-boilerplate members (theme, fonts, settings) mirror the real
+    # OOXML overhead every Office save carries unchanged; they are what
+    # keeps version-to-version similarity well above the ciphertext floor
+    theme = ('<?xml version="1.0"?><a:theme>'
+             + "".join(f'<a:clr idx="{i}" val="{(i * 1234567) & 0xFFFFFF:06x}"'
+                       f'/><a:font idx="{i}" typeface="Font {i}"/>'
+                       for i in range(160)) + "</a:theme>")
+    fonts = ('<?xml version="1.0"?><w:fonts>'
+             + "".join(f'<w:font w:name="Family {i}"><w:panose1 w:val='
+                       f'"{i:016x}"/><w:sig w:usb0="{i * 99991:08x}"/></w:font>'
+                       for i in range(40)) + "</w:fonts>")
+    settings = ('<?xml version="1.0"?><w:settings>'
+                + "".join(f'<w:compat w:name="opt{i}" w:val="{i % 3}"/>'
+                          for i in range(80)) + "</w:settings>")
+    members: List[Tuple[str, bytes, bool]] = [
+        ("[Content_Types].xml",
+         _CONTENT_TYPES.format(overrides=overrides).encode(), False),
+        ("_rels/.rels",
+         _RELS.format(target=f"{app_dir}/{main_part}").encode(), False),
+        (f"{app_dir}/{main_part}", body_xml.encode(), False),
+        (f"{app_dir}/styles.xml",
+         ('<?xml version="1.0"?><styles>'
+          + "".join(f'<style id="s{i}" font="Calibri" size="{10 + i}"/>'
+                    for i in range(20)) + "</styles>").encode(), False),
+        (f"{app_dir}/theme/theme1.xml", theme.encode(), False),
+        (f"{app_dir}/fontTable.xml", fonts.encode(), False),
+        (f"{app_dir}/settings.xml", settings.encode(), False),
+        ("docProps/core.xml", _core_props(rng).encode(), False),
+    ]
+    if size_hint > 24000:
+        # larger documents carry an embedded image
+        members.append((f"{app_dir}/media/image1.jpg",
+                        make_jpeg(rng, min(size_hint // 2, 40000)), True))
+    return _zip_bytes(members)
+
+
+def make_docx(rng: random.Random, size_hint: int) -> bytes:
+    text = paragraphs(rng, max(800, size_hint * 3))
+    body = ('<?xml version="1.0"?><w:document xmlns:w="http://schemas.open'
+            'xmlformats.org/wordprocessingml/2006/main"><w:body>'
+            + "".join(f"<w:p><w:r><w:t>{para}</w:t></w:r></w:p>"
+                      for para in text.split("\n\n"))
+            + "</w:body></w:document>")
+    return _ooxml(rng, size_hint, "word", "document.xml",
+                  "application/vnd.openxmlformats-officedocument."
+                  "wordprocessingml.document.main+xml", body)
+
+
+def make_xlsx(rng: random.Random, size_hint: int) -> bytes:
+    n_rows = max(20, size_hint // 60)
+    rows = []
+    for r in range(1, n_rows + 1):
+        cells = "".join(
+            f'<c r="{chr(65 + c)}{r}"><v>{rng.randint(0, 99999) / 100:.2f}</v></c>'
+            for c in range(6))
+        rows.append(f'<row r="{r}">{cells}</row>')
+    body = ('<?xml version="1.0"?><worksheet xmlns="http://schemas.openxml'
+            'formats.org/spreadsheetml/2006/main"><sheetData>'
+            + "".join(rows) + "</sheetData></worksheet>")
+    return _ooxml(rng, size_hint, "xl", "worksheet1.xml",
+                  "application/vnd.openxmlformats-officedocument."
+                  "spreadsheetml.sheet.main+xml", body)
+
+
+def make_pptx(rng: random.Random, size_hint: int) -> bytes:
+    n_slides = max(2, size_hint // 8000)
+    slides = "".join(
+        f"<p:sld><p:title>{title_words(rng)}</p:title>"
+        f"<p:body>{paragraph(rng)}</p:body></p:sld>"
+        for _ in range(n_slides))
+    body = ('<?xml version="1.0"?><p:presentation xmlns:p="http://schemas.'
+            'openxmlformats.org/presentationml/2006/main">'
+            + slides + "</p:presentation>")
+    return _ooxml(rng, size_hint, "ppt", "presentation.xml",
+                  "application/vnd.openxmlformats-officedocument."
+                  "presentationml.presentation.main+xml", body)
+
+
+def make_odt(rng: random.Random, size_hint: int) -> bytes:
+    text = paragraphs(rng, max(600, size_hint * 3))
+    content = ('<?xml version="1.0"?><office:document-content>'
+               + "".join(f"<text:p>{p}</text:p>" for p in text.split("\n\n"))
+               + "</office:document-content>")
+    members = [
+        ("mimetype", b"application/vnd.oasis.opendocument.text", True),
+        ("content.xml", content.encode(), False),
+        ("styles.xml", b'<?xml version="1.0"?><office:styles/>', False),
+        ("meta.xml", _core_props(rng).encode(), False),
+    ]
+    return _zip_bytes(members)
+
+
+def _ole2(rng: random.Random, size_hint: int, stream_marker: str) -> bytes:
+    """Legacy Composite Document File (doc/xls/ppt)."""
+    header = bytearray(512)
+    header[0:8] = b"\xd0\xcf\x11\xe0\xa1\xb1\x1a\xe1"
+    header[24:28] = struct.pack("<HH", 0x3E, 0x3)   # minor/major version
+    header[28:30] = struct.pack("<H", 0xFFFE)        # little-endian marker
+    header[30:34] = struct.pack("<HH", 9, 6)         # sector shifts
+    # directory sector with the stream name that magic refinement keys on
+    directory = bytearray(512)
+    name = stream_marker.encode("utf-16-le")
+    directory[0:len(name)] = name
+    directory[64:66] = struct.pack("<H", len(name) + 2)
+    text = paragraphs(rng, max(600, int(size_hint * 0.7)))
+    payload = text.encode("utf-16-le")
+    # FAT chain table: monotone sector numbers, structured & low entropy
+    n_fat = max(1, size_hint // 2048)
+    fat = b"".join(struct.pack("<I", i + 1) for i in range(n_fat * 128))
+    blob = bytes(header) + bytes(directory) + payload + fat
+    pad = -len(blob) % 512
+    return blob + b"\x00" * pad
+
+
+def make_doc(rng: random.Random, size_hint: int) -> bytes:
+    return _ole2(rng, size_hint, "WordDocument")
+
+
+def make_xls(rng: random.Random, size_hint: int) -> bytes:
+    return _ole2(rng, size_hint, "Workbook")
+
+
+def make_ppt(rng: random.Random, size_hint: int) -> bytes:
+    return _ole2(rng, size_hint, "PowerPoint")
+
+
+def make_rtf(rng: random.Random, size_hint: int) -> bytes:
+    text = paragraphs(rng, size_hint).replace("\n\n", "\\par\n")
+    return (r"{\rtf1\ansi\deff0{\fonttbl{\f0 Times New Roman;}}" + "\n"
+            + text + "\n}").encode()
+
+
+# ---------------------------------------------------------------------------
+# images
+# ---------------------------------------------------------------------------
+
+def _jpeg_exif(rng: random.Random, seed_blob: bytes,
+               thumb_bytes: int = 4096, makernote_bytes: int = 1024) -> bytes:
+    """A structured APP1/EXIF segment with an embedded thumbnail.
+
+    Real camera JPEGs carry 4–16 KiB of EXIF including a compressed
+    thumbnail; editors that preserve metadata (mogrify, Lightroom exports)
+    leave this block byte-identical, which is why a re-encoded photo still
+    similarity-matches its original — and why ImageMagick produced no
+    false positives in the paper (§V-F).
+    """
+    entries = io.BytesIO()
+    entries.write(b"Exif\x00\x00MM\x00*\x00\x00\x00\x08")
+    for tag in range(40):
+        entries.write(struct.pack(">HHI4s", 0x0100 + tag, 3, 1,
+                                  struct.pack(">I", rng.randint(0, 4000))))
+    entries.write(b"Make\x00Canon\x00Model\x00EOS 5D\x00")
+    entries.write(seed_blob)
+    # maker note: the structured lens/exposure tables real cameras write
+    # (low entropy, pulls whole-file JPEG entropy to the realistic ~7.8)
+    seed = int.from_bytes(seed_blob[-8:], "big")
+    note = bytearray(b"MakerNote\x00")
+    for i in range(makernote_bytes // 8):
+        note += struct.pack(">HHI", i & 0x3FF, (seed + i) & 7,
+                            (i * 257) & 0xFFFF)
+    entries.write(bytes(note))
+    # embedded thumbnail: deterministic compressed-looking payload
+    entries.write(b"\xff\xd8\xff\xdb")
+    entries.write(_stream_bytes(seed ^ 0x7B, thumb_bytes))
+    entries.write(b"\xff\xd9")
+    entries.write(b"\x00" * 64)
+    body = entries.getvalue()
+    return b"\xff\xe1" + struct.pack(">H", min(65533, len(body) + 2)) + body
+
+
+def make_jpeg(rng: random.Random, size_hint: int) -> bytes:
+    blob, seed = _seed_blob(rng)
+    out = io.BytesIO()
+    out.write(b"\xff\xd8\xff\xe0\x00\x10JFIF\x00\x01\x01\x01\x00H\x00H\x00\x00")
+    # metadata scales with the photo, as real camera EXIF does; it is the
+    # stable anchor that keeps edited re-encodes similarity-matchable
+    thumb = max(3072, min(12288, size_hint // 4))
+    note = max(768, min(4096, size_hint // 12))
+    out.write(_jpeg_exif(rng, blob, thumb_bytes=thumb,
+                         makernote_bytes=note))
+    # quantisation + huffman table stubs: structured, low entropy
+    out.write(b"\xff\xdb\x00\x43\x00" + bytes(range(1, 65)))
+    out.write(b"\xff\xc4\x00\x1f\x00" + bytes(29))
+    out.write(b"\xff\xda\x00\x0c\x03\x01\x00\x02\x11\x03\x11\x00\x3f\x00")
+    scan = _stream_bytes(seed, max(1024, size_hint - out.tell() - 2))
+    out.write(scan.replace(b"\xff", b"\xfe"))  # real scans byte-stuff 0xFF
+    out.write(b"\xff\xd9")
+    return out.getvalue()
+
+
+def jpeg_parts(data: bytes) -> Optional[Tuple[bytes, int, int]]:
+    """Split a synthetic JPEG into (pre-scan bytes, seed, scan length).
+
+    Returns None if the seed marker is absent (not one of our JPEGs)."""
+    at = data.find(SEED_MARKER)
+    if at < 0 or data[:3] != b"\xff\xd8\xff":
+        return None
+    seed = int.from_bytes(data[at + 8:at + 16], "big")
+    # match the full start-of-scan header our generator writes, so random
+    # thumbnail bytes inside the EXIF block cannot alias it
+    sos_header = b"\xff\xda\x00\x0c\x03\x01\x00\x02\x11\x03\x11\x00\x3f\x00"
+    sos = data.find(sos_header)
+    if sos < 0:
+        return None
+    header_end = sos + len(sos_header)
+    return bytes(data[:header_end]), seed, max(0, len(data) - header_end - 2)
+
+
+def jpeg_reencode(data: bytes, variant: int) -> bytes:
+    """Semantic transform (rotate/tone): new scan, same metadata."""
+    parts = jpeg_parts(data)
+    if parts is None:
+        raise ValueError("not a synthetic JPEG")
+    header, seed, scan_len = parts
+    scan = _stream_bytes(seed ^ (0xA5A5 + variant), scan_len)
+    return header + scan.replace(b"\xff", b"\xfe") + b"\xff\xd9"
+
+
+def make_png(rng: random.Random, size_hint: int) -> bytes:
+    def chunk(tag: bytes, body: bytes) -> bytes:
+        raw = tag + body
+        return struct.pack(">I", len(body)) + raw + struct.pack(
+            ">I", zlib.crc32(raw) & 0xFFFFFFFF)
+
+    width = max(16, int((size_hint / 3) ** 0.5))
+    height = width
+    rows = bytearray()
+    base = rng.randrange(256)
+    for y in range(height):
+        rows.append(0)  # filter byte
+        rows.extend(((base + x + y + rng.randrange(8)) & 0xFF)
+                    for x in range(width))
+    idat = zlib.compress(bytes(rows), 6)
+    return (b"\x89PNG\r\n\x1a\n"
+            + chunk(b"IHDR", struct.pack(">IIBBBBB", width, height, 8, 0, 0, 0, 0))
+            + chunk(b"IDAT", idat)
+            + chunk(b"IEND", b""))
+
+
+def make_gif(rng: random.Random, size_hint: int) -> bytes:
+    width = height = max(8, int(size_hint ** 0.5) & 0xFFFF)
+    header = (b"GIF89a" + struct.pack("<HH", width, height)
+              + b"\xf7\x00\x00" + bytes(rng.randrange(256) for _ in range(768)))
+    body = _stream_bytes(rng.getrandbits(48), max(256, size_hint - len(header) - 1))
+    return header + body + b"\x3b"
+
+
+def make_bmp(rng: random.Random, size_hint: int) -> bytes:
+    width = max(16, int((size_hint / 3) ** 0.5))
+    height = width
+    pixels = bytearray()
+    for y in range(height):
+        for x in range(width):
+            # blocky, banded image: a few dozen distinct byte values, so
+            # the per-byte histogram stays low entropy like real bitmaps
+            shade = 96 + ((x // 8 + y // 8) % 24) * 4
+            pixels += bytes((shade, shade, (shade + 40) & 0xFF))
+        pixels += b"\x00" * (-(width * 3) % 4)
+    header = struct.pack("<2sIHHIIiiHHIIiiII", b"BM", 54 + len(pixels), 0, 0,
+                         54, 40, width, height, 1, 24, 0, len(pixels),
+                         2835, 2835, 0, 0)
+    return header + bytes(pixels)
+
+
+# ---------------------------------------------------------------------------
+# audio
+# ---------------------------------------------------------------------------
+
+def make_mp3(rng: random.Random, size_hint: int) -> bytes:
+    blob, seed = _seed_blob(rng)
+    tag_body = (b"TIT2" + struct.pack(">I", 24) + b"\x00\x00\x01"
+                + title_words(rng).encode()[:20].ljust(21, b"\x00")
+                + b"TPE1" + struct.pack(">I", 16) + b"\x00\x00\x01"
+                + b"Unknown Artist\x00" + blob)
+    out = io.BytesIO()
+    out.write(b"ID3\x04\x00\x00" + struct.pack(">I", len(tag_body)) + tag_body)
+    n_frames = max(4, (size_hint - out.tell()) // 418)
+    for i in range(n_frames):
+        out.write(b"\xff\xfb\x90\x00")
+        out.write(_stream_bytes(seed + i, 414))
+    return out.getvalue()
+
+
+def make_wav(rng: random.Random, size_hint: int) -> bytes:
+    import numpy as np
+    blob, seed = _seed_blob(rng)
+    n_samples = max(512, (size_hint - 60) // 2)
+    t = np.arange(n_samples, dtype=np.float64)
+    freq = 220.0 + (seed % 440)
+    wave = (0.6 * np.sin(2 * np.pi * freq * t / 44100.0)
+            + 0.25 * np.sin(2 * np.pi * 2.01 * freq * t / 44100.0)
+            + 0.05 * np.asarray(
+                random.Random(seed).choices(range(-100, 100), k=n_samples)) / 100.0)
+    pcm = (wave * 12000).astype("<i2").tobytes()
+    data_len = len(pcm)
+    header = (b"RIFF" + struct.pack("<I", 36 + data_len + len(blob) + 8) + b"WAVE"
+              + b"fmt " + struct.pack("<IHHIIHH", 16, 1, 1, 44100, 88200, 2, 16)
+              + b"LIST" + struct.pack("<I", len(blob)) + blob
+              + b"data" + struct.pack("<I", data_len))
+    return header + pcm
+
+
+def wav_seed(data: bytes) -> Optional[int]:
+    at = data.find(SEED_MARKER)
+    if at < 0:
+        return None
+    return int.from_bytes(data[at + 8:at + 16], "big")
+
+
+def make_m4a(rng_or_seed, size_hint: int) -> bytes:
+    """AAC-in-MP4; accepts an RNG or a raw seed (for deterministic
+    transcodes by the iTunes simulator)."""
+    if isinstance(rng_or_seed, random.Random):
+        seed = rng_or_seed.getrandbits(48)
+    else:
+        seed = int(rng_or_seed)
+    ftyp = b"\x00\x00\x00\x20ftypM4A \x00\x00\x00\x00M4A mp42isom\x00\x00\x00\x00"
+    moov = (b"\x00\x00\x00\x40moov" + b"\x00" * 24
+            + SEED_MARKER + seed.to_bytes(8, "big") + b"\x00" * 20)
+    mdat_payload = _stream_bytes(seed ^ 0xAAC, max(1024, size_hint - 128))
+    mdat = struct.pack(">I", len(mdat_payload) + 8) + b"mdat" + mdat_payload
+    return ftyp + moov + mdat
+
+
+def make_flac(rng: random.Random, size_hint: int) -> bytes:
+    header = b"fLaC\x00\x00\x00\x22" + bytes(34)
+    return header + _stream_bytes(rng.getrandbits(48), max(512, size_hint - 42))
+
+
+# ---------------------------------------------------------------------------
+# text
+# ---------------------------------------------------------------------------
+
+def make_txt(rng: random.Random, size_hint: int) -> bytes:
+    return paragraphs(rng, size_hint).encode()[:max(24, size_hint)]
+
+
+def make_md(rng: random.Random, size_hint: int) -> bytes:
+    out = [f"# {title_words(rng)}", ""]
+    total = len(out[0])
+    while total < size_hint:
+        kind = rng.randrange(4)
+        if kind == 0:
+            piece = f"## {title_words(rng, 2)}"
+        elif kind == 1:
+            piece = "\n".join(f"- {sentence(rng, rng.randint(3, 8))}"
+                              for _ in range(rng.randint(2, 5)))
+        elif kind == 2:
+            piece = f"> {sentence(rng)}"
+        else:
+            piece = paragraph(rng)
+        out.extend([piece, ""])
+        total += len(piece) + 2
+    return "\n".join(out).encode()[:max(24, size_hint + 200)]
+
+
+def make_csv(rng: random.Random, size_hint: int) -> bytes:
+    cols = ["id", "date", "amount", "category", "notes"]
+    lines = [",".join(cols)]
+    total = len(lines[0])
+    row_id = 1
+    while total < size_hint:
+        line = (f"{row_id},2014-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d},"
+                f"{rng.randint(1, 900000) / 100:.2f},"
+                f"{rng.choice(['travel', 'office', 'meals', 'equipment'])},"
+                f"{sentence(rng, 4)[:-1]}")
+        lines.append(line)
+        total += len(line) + 1
+        row_id += 1
+    return "\n".join(lines).encode()
+
+
+def make_html(rng: random.Random, size_hint: int) -> bytes:
+    body = "".join(f"<p>{paragraph(rng)}</p>\n"
+                   for _ in range(max(2, size_hint // 400)))
+    return (f"<!DOCTYPE html>\n<html><head><title>{title_words(rng)}"
+            f"</title></head>\n<body>\n<h1>{title_words(rng)}</h1>\n"
+            f"{body}</body></html>\n").encode()
+
+
+def make_xml(rng: random.Random, size_hint: int) -> bytes:
+    records = []
+    total = 0
+    idx = 0
+    while total < size_hint:
+        rec = (f'  <record id="{idx}" date="2014-{rng.randint(1, 12):02d}">'
+               f"<name>{title_words(rng, 2)}</name>"
+               f"<value>{rng.randint(0, 10000)}</value>"
+               f"<note>{sentence(rng, 6)}</note></record>")
+        records.append(rec)
+        total += len(rec)
+        idx += 1
+    return ('<?xml version="1.0" encoding="UTF-8"?>\n<records>\n'
+            + "\n".join(records) + "\n</records>\n").encode()
+
+
+def make_sqlite(rng: random.Random, size_hint: int) -> bytes:
+    """A SQLite-shaped database file (Lightroom catalogs, iTunes library)."""
+    page = 4096
+    n_pages = max(2, size_hint // page)
+    header = bytearray(100)
+    header[0:16] = b"SQLite format 3\x00"
+    header[16:18] = struct.pack(">H", page)
+    header[28:32] = struct.pack(">I", n_pages)
+    body = io.BytesIO()
+    body.write(bytes(header) + b"\x00" * (page - 100))
+    for _ in range(n_pages - 1):
+        cells = b"".join(
+            struct.pack(">HB", rng.randrange(page), 13)
+            + sentence(rng, 6).encode()[:48].ljust(48)
+            for _ in range(page // 64))
+        body.write(b"\x0d" + cells[:page - 1])
+    return body.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# OOXML editing support (benign Word/Excel simulators)
+# ---------------------------------------------------------------------------
+
+def ooxml_members(data: bytes) -> List[Tuple[str, bytes, bool]]:
+    """Explode an OOXML/zip file back into (name, data, stored) members."""
+    members = []
+    with zipfile.ZipFile(io.BytesIO(data)) as zf:
+        for info in zf.infolist():
+            members.append((info.filename, zf.read(info.filename),
+                            info.compress_type == zipfile.ZIP_STORED))
+    return members
+
+
+def rebuild_ooxml(members: List[Tuple[str, bytes, bool]]) -> bytes:
+    return _zip_bytes(members)

@@ -1,0 +1,69 @@
+"""Alternative user-profile corpus compositions.
+
+The paper's corpus models a *generic* user (Govdocs1/Hicks proportions).
+Real victims differ: the detector's speed depends on what the victim
+actually stores, because the entropy indicator keys off the read mix and
+sdhash's floor keys off file sizes.  These profiles support the
+sensitivity experiment (how files-lost moves with corpus composition):
+
+* ``writer``     — text-heavy: notes, manuscripts, markdown; lots of
+  small low-entropy files (entropy delta trips instantly, but many files
+  fall under sdhash's floor),
+* ``photographer`` — JPEG/PNG-heavy: almost everything is compressed
+  (entropy delta is starved; type change and similarity do the work),
+* ``accountant`` — spreadsheets/OLE2/CSV-heavy: large structured files
+  (every indicator fires; the friendliest case for the detector).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .spec import CorpusSpec, TypeSpec, default_spec
+
+__all__ = ["profile_spec", "PROFILE_NAMES"]
+
+PROFILE_NAMES = ("generic", "writer", "photographer", "accountant")
+
+#: per-profile fraction overrides; unlisted types are scaled down
+#: proportionally so the total stays at 1.0
+_OVERRIDES: Dict[str, Dict[str, float]] = {
+    "writer": {
+        "txt": 0.30, "md": 0.18, "rtf": 0.08, "docx": 0.12, "doc": 0.08,
+        "html": 0.05, "pdf": 0.08,
+    },
+    "photographer": {
+        "jpg": 0.46, "png": 0.14, "gif": 0.05, "bmp": 0.03, "pdf": 0.06,
+        "txt": 0.04,
+    },
+    "accountant": {
+        "xlsx": 0.22, "xls": 0.18, "csv": 0.16, "doc": 0.07, "docx": 0.07,
+        "pdf": 0.12, "txt": 0.05,
+    },
+}
+
+
+def profile_spec(name: str) -> CorpusSpec:
+    """A :class:`CorpusSpec` for the named user profile."""
+    base = default_spec()
+    if name == "generic":
+        return base
+    try:
+        overrides = _OVERRIDES[name]
+    except KeyError:
+        raise ValueError(f"unknown profile {name!r}; "
+                         f"choose from {PROFILE_NAMES}") from None
+    fixed = sum(overrides.values())
+    if fixed >= 1.0:
+        raise AssertionError(f"profile {name} overrides exceed 1.0")
+    remaining_base = sum(t.fraction for t in base.types
+                         if t.name not in overrides)
+    scale = (1.0 - fixed) / remaining_base
+    types = []
+    for spec in base.types:
+        fraction = overrides.get(spec.name, spec.fraction * scale)
+        types.append(TypeSpec(spec.name, fraction, spec.median_bytes,
+                              spec.sigma, spec.min_bytes, spec.max_bytes,
+                              spec.maker))
+    return CorpusSpec(types=types,
+                      read_only_fraction=base.read_only_fraction)

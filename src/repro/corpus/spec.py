@@ -1,0 +1,99 @@
+"""Corpus composition model.
+
+The paper built its 5,099-file corpus from the Govdocs1 threads, an OOXML
+set, the OPF format corpus, and the Coldwell audio files, proportioned to
+match measured user document directories (Hicks et al. [22], Douceur [16],
+Agrawal [2]).  :func:`default_spec` encodes those proportions; sizes are
+log-normal per type, which is the accepted model for file-size
+distributions in both filesystem studies the paper cites.
+
+The text-type small tail matters: CTB-Locker's size-ascending attack found
+dozens of sub-512-byte files, too small for sdhash (§V-C) — the default
+spec reproduces that population.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from . import content
+
+__all__ = ["TypeSpec", "CorpusSpec", "default_spec"]
+
+
+@dataclass(frozen=True)
+class TypeSpec:
+    """One file type's population parameters."""
+
+    name: str                      # extension without dot, e.g. "pdf"
+    fraction: float                # share of the corpus
+    median_bytes: int
+    sigma: float                   # log-normal shape
+    min_bytes: int
+    max_bytes: int
+    maker: Callable[[random.Random, int], bytes]
+
+    def draw_size(self, rng: random.Random) -> int:
+        size = int(self.median_bytes * math.exp(rng.gauss(0.0, self.sigma)))
+        return max(self.min_bytes, min(self.max_bytes, size))
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """A full corpus recipe."""
+
+    types: List[TypeSpec]
+    read_only_fraction: float = 0.02
+
+    def counts(self, n_files: int) -> Dict[str, int]:
+        """Deterministic per-type counts summing exactly to ``n_files``."""
+        raw = {t.name: t.fraction * n_files for t in self.types}
+        counts = {name: int(value) for name, value in raw.items()}
+        remainder = n_files - sum(counts.values())
+        # hand leftovers to the largest fractional parts, ties by name
+        order = sorted(raw, key=lambda k: (counts[k] - raw[k], k))
+        for name in order[:remainder]:
+            counts[name] += 1
+        return counts
+
+    def by_name(self, name: str) -> TypeSpec:
+        for spec in self.types:
+            if spec.name == name:
+                return spec
+        raise KeyError(name)
+
+
+def default_spec() -> CorpusSpec:
+    """The Govdocs1/OPF/Coldwell-modelled composition used by the paper."""
+    k = 1024
+    types = [
+        TypeSpec("pdf", 0.165, 14 * k, 0.90, 3 * k, 220 * k, content.make_pdf),
+        TypeSpec("html", 0.065, 6 * k, 1.00, 600, 80 * k, content.make_html),
+        TypeSpec("txt", 0.106, 3000, 1.03, 150, 60 * k, content.make_txt),
+        TypeSpec("md", 0.030, 2000, 0.85, 150, 30 * k, content.make_md),
+        TypeSpec("csv", 0.045, 4 * k, 1.10, 200, 90 * k, content.make_csv),
+        TypeSpec("xml", 0.035, 5 * k, 1.00, 300, 70 * k, content.make_xml),
+        TypeSpec("doc", 0.085, 12 * k, 0.80, 4 * k, 150 * k, content.make_doc),
+        TypeSpec("xls", 0.055, 12 * k, 0.80, 4 * k, 150 * k, content.make_xls),
+        TypeSpec("ppt", 0.035, 16 * k, 0.80, 6 * k, 200 * k, content.make_ppt),
+        TypeSpec("docx", 0.075, 11 * k, 0.80, 3 * k, 120 * k, content.make_docx),
+        TypeSpec("xlsx", 0.045, 10 * k, 0.80, 3 * k, 120 * k, content.make_xlsx),
+        TypeSpec("pptx", 0.035, 14 * k, 0.80, 4 * k, 160 * k, content.make_pptx),
+        TypeSpec("odt", 0.020, 9 * k, 0.80, 3 * k, 90 * k, content.make_odt),
+        TypeSpec("rtf", 0.025, 7 * k, 1.00, 500, 90 * k, content.make_rtf),
+        TypeSpec("jpg", 0.090, 16 * k, 0.70, 4 * k, 180 * k, content.make_jpeg),
+        TypeSpec("png", 0.035, 8 * k, 0.80, 1 * k, 90 * k, content.make_png),
+        TypeSpec("gif", 0.020, 6 * k, 0.80, 1 * k, 60 * k, content.make_gif),
+        TypeSpec("bmp", 0.007, 10 * k, 0.60, 2 * k, 60 * k, content.make_bmp),
+        TypeSpec("wav", 0.008, 60 * k, 0.50, 8 * k, 300 * k, content.make_wav),
+        TypeSpec("mp3", 0.012, 70 * k, 0.50, 8 * k, 300 * k, content.make_mp3),
+        TypeSpec("m4a", 0.004, 50 * k, 0.50, 8 * k, 250 * k, content.make_m4a),
+        TypeSpec("flac", 0.003, 80 * k, 0.50, 8 * k, 300 * k, content.make_flac),
+    ]
+    total = sum(t.fraction for t in types)
+    if not 0.995 <= total <= 1.005:
+        raise AssertionError(f"spec fractions sum to {total}")
+    return CorpusSpec(types=types)

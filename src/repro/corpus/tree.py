@@ -1,0 +1,56 @@
+"""Directory tree synthesis.
+
+Builds a nested directory skeleton with a target directory count (511 for
+the paper's corpus), shaped like real user document trees: a handful of
+broad top-level folders, year/month subtrees, and occasional deep chains.
+Deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from .wordlists import FOLDER_NAMES
+
+__all__ = ["build_tree", "DirSpec"]
+
+#: a directory, as a tuple of path parts relative to the corpus root
+DirSpec = Tuple[str, ...]
+
+
+def build_tree(seed: int, n_dirs: int) -> List[DirSpec]:
+    """Return ``n_dirs`` relative directory paths (root included as ``()``).
+
+    Growth procedure: start from the root; repeatedly pick an existing
+    directory (biased toward shallow ones, so the tree stays bushy rather
+    than becoming one long chain) and attach a child with a plausible name,
+    avoiding collisions case-insensitively.
+    """
+    if n_dirs < 1:
+        raise ValueError("need at least the root directory")
+    rng = random.Random(seed ^ 0xD1285)
+    dirs: List[DirSpec] = [()]
+    names_in: dict = {(): set()}
+    while len(dirs) < n_dirs:
+        # Bias: weight each candidate parent by 1/(depth+1)^1.5.
+        weights = [1.0 / (len(d) + 1) ** 1.5 for d in dirs]
+        parent = rng.choices(dirs, weights=weights, k=1)[0]
+        if len(parent) >= 8:
+            continue
+        base = rng.choice(FOLDER_NAMES)
+        name = base
+        suffix = 2
+        taken = names_in[parent]
+        while name.lower() in taken:
+            name = f"{base} {suffix}"
+            suffix += 1
+            if suffix > 30:
+                break
+        if name.lower() in taken:
+            continue
+        taken.add(name.lower())
+        child = parent + (name,)
+        dirs.append(child)
+        names_in[child] = set()
+    return dirs

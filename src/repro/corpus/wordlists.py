@@ -1,0 +1,102 @@
+"""Vocabulary for synthetic document content.
+
+The generators need text with realistic English letter statistics (Shannon
+entropy ≈ 4.2–4.8 bits/byte, matching the Govdocs1 text population) and
+plausible file/directory names.  Everything is generated from seeded RNGs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+__all__ = ["WORDS", "FOLDER_NAMES", "FILE_STEMS", "sentence", "paragraph",
+           "paragraphs", "title_words", "file_stem"]
+
+WORDS = (
+    "the of and a to in is was he for it with as his on be at by i this had "
+    "not are but from or have an they which one you were her all she there "
+    "would their we him been has when who will more no if out so said what "
+    "up its about into than them can only other new some could time these "
+    "two may then do first any my now such like our over man me even most "
+    "made after also did many before must through back years where much your "
+    "way well down should because each just those people mr how too little "
+    "state good very make world still own see men work long get here between "
+    "both life being under never day same another know while last might us "
+    "great old year off come since against go came right used take three "
+    "department report budget analysis summary review project committee "
+    "federal agency program policy management office research development "
+    "quarterly annual fiscal revenue expense forecast proposal contract "
+    "meeting minutes agenda schedule deadline milestone deliverable invoice "
+    "customer vendor account balance statement audit compliance regulation "
+    "engineering design specification requirement implementation testing "
+    "deployment maintenance documentation procedure guideline standard "
+    "performance evaluation assessment metric baseline threshold capacity "
+    "network server database application software hardware system security "
+    "family vacation birthday wedding holiday recipe garden music photo"
+).split()
+
+FOLDER_NAMES = (
+    "Projects Reports Taxes Receipts Photos Music Work Personal Archive "
+    "Budget Invoices Contracts Travel Family School Research Presentations "
+    "Spreadsheets Letters Notes Backup Old Drafts Final Shared Clients "
+    "Vendors Legal Medical Insurance Recipes Scans Forms Templates Meeting "
+    "Planning Marketing Sales Engineering Admin Finance HR Quarterly Annual "
+    "2012 2013 2014 2015 January February March April May June July August "
+    "September October November December Misc Important Pending Completed"
+).split()
+
+FILE_STEMS = (
+    "report summary budget notes draft final analysis minutes agenda memo "
+    "invoice receipt statement proposal contract letter form schedule plan "
+    "review outline checklist inventory roster survey results data figures "
+    "chart presentation slides handout worksheet ledger expenses forecast "
+    "timeline status update brief overview appendix attachment exhibit "
+    "scan photo image song track recording interview transcript journal "
+    "readme changelog howto faq guide manual spec design architecture"
+).split()
+
+
+def sentence(rng: random.Random, n_words: int = 0) -> str:
+    """One capitalised sentence of 5-18 corpus words."""
+    n = n_words or rng.randint(5, 18)
+    words = [rng.choice(WORDS) for _ in range(n)]
+    words[0] = words[0].capitalize()
+    return " ".join(words) + "."
+
+
+def paragraph(rng: random.Random, n_sentences: int = 0) -> str:
+    """A paragraph of several sentences."""
+    n = n_sentences or rng.randint(3, 8)
+    return " ".join(sentence(rng) for _ in range(n))
+
+
+def paragraphs(rng: random.Random, approx_bytes: int) -> str:
+    """Paragraphs totalling roughly ``approx_bytes`` characters."""
+    pieces: List[str] = []
+    total = 0
+    while total < approx_bytes:
+        para = paragraph(rng)
+        pieces.append(para)
+        total += len(para) + 2
+    return "\n\n".join(pieces)
+
+
+def title_words(rng: random.Random, n: int = 3) -> str:
+    """A Title-Cased phrase of ``n`` words."""
+    return " ".join(rng.choice(WORDS).capitalize() for _ in range(n))
+
+
+def file_stem(rng: random.Random) -> str:
+    """A plausible user file stem (report_2014, minutes (3), ...)."""
+    stem = rng.choice(FILE_STEMS)
+    style = rng.randrange(5)
+    if style == 0:
+        return f"{stem}_{rng.randint(1, 2015)}"
+    if style == 1:
+        return f"{stem} {rng.randint(1, 31)}-{rng.randint(1, 12)}"
+    if style == 2:
+        return f"{rng.choice(FILE_STEMS)}_{stem}"
+    if style == 3:
+        return f"{stem} ({rng.randint(1, 9)})"
+    return stem

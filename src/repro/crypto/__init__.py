@@ -1,0 +1,24 @@
+"""From-scratch cryptography used by the ransomware family simulators.
+
+Nothing here should ever protect real data — the point is that the
+*simulated attackers* use genuine cipher constructions so that CryptoDrop's
+indicators face realistic ciphertext statistics (and the deliberately weak
+ones, XOR/TEA, stress the entropy indicator the way Xorist did).
+"""
+
+from .aes import AES, aes_cbc_decrypt, aes_cbc_encrypt, aes_ctr_xor
+from .chacha20 import chacha20_block, chacha20_keystream, chacha20_xor
+from .padding import PaddingError, pad, unpad
+from .rsa import (RsaKeyPair, generate_keypair, is_probable_prime,
+                  rsa_decrypt_int, rsa_encrypt_int, unwrap_key, wrap_key)
+from .stream import (rc4_crypt, tea_crypt, tea_decrypt_blocks,
+                     tea_encrypt_blocks, xor_crypt)
+
+__all__ = [
+    "AES", "PaddingError", "RsaKeyPair", "aes_cbc_decrypt",
+    "aes_cbc_encrypt", "aes_ctr_xor", "chacha20_block",
+    "chacha20_keystream", "chacha20_xor", "generate_keypair",
+    "is_probable_prime", "pad", "rc4_crypt", "rsa_decrypt_int",
+    "rsa_encrypt_int", "tea_crypt", "tea_decrypt_blocks",
+    "tea_encrypt_blocks", "unpad", "unwrap_key", "wrap_key", "xor_crypt",
+]

@@ -1,0 +1,205 @@
+"""AES-128/192/256 from scratch (FIPS-197).
+
+Many ransomware families "implement their own versions of these
+algorithms" (paper §III), which is exactly why CryptoDrop cannot rely on
+hooking crypto libraries.  This is a clean-room, table-driven AES with ECB,
+CBC, and CTR modes.  It is pure Python and therefore slow; family
+simulators use it for key material and small payloads, and the
+NumPy-vectorised stream ciphers for bulk data.
+
+Test vectors from FIPS-197 Appendix C are enforced in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .padding import pad, unpad
+
+__all__ = ["AES", "aes_cbc_encrypt", "aes_cbc_decrypt", "aes_ctr_xor"]
+
+
+def _build_sbox() -> tuple:
+    """Generate the S-box from first principles (GF(2^8) inverse + affine)."""
+    # exp/log tables over GF(2^8) with generator 3
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply by 3 = x * 2 ^ x
+        x ^= (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    def inverse(a: int) -> int:
+        return 0 if a == 0 else exp[255 - log[a]]
+
+    sbox = [0] * 256
+    for value in range(256):
+        inv = inverse(value)
+        result = 0
+        for shift in (0, 1, 2, 3, 4):
+            result ^= ((inv << shift) | (inv >> (8 - shift))) & 0xFF
+        sbox[value] = result ^ 0x63
+    inv_sbox = [0] * 256
+    for i, s in enumerate(sbox):
+        inv_sbox[s] = i
+    return tuple(sbox), tuple(inv_sbox), tuple(exp), tuple(log)
+
+
+_SBOX, _INV_SBOX, _EXP, _LOG = _build_sbox()
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36,
+         0x6C, 0xD8, 0xAB, 0x4D)
+
+
+def _gmul(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[(_LOG[a] + _LOG[b]) % 255]
+
+
+class AES:
+    """One AES key schedule; encrypt/decrypt single 16-byte blocks."""
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in (16, 24, 32):
+            raise ValueError("AES key must be 16, 24, or 32 bytes")
+        self.key = bytes(key)
+        self._round_keys = self._expand(self.key)
+        self.rounds = len(self._round_keys) - 1
+
+    @staticmethod
+    def _expand(key: bytes) -> List[List[int]]:
+        nk = len(key) // 4
+        rounds = {4: 10, 6: 12, 8: 14}[nk]
+        words = [list(key[4 * i:4 * i + 4]) for i in range(nk)]
+        for i in range(nk, 4 * (rounds + 1)):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [_SBOX[b] for b in temp]
+            words.append([a ^ b for a, b in zip(words[i - nk], temp)])
+        round_keys = []
+        for r in range(rounds + 1):
+            rk = []
+            for c in range(4):
+                rk.extend(words[4 * r + c])
+            round_keys.append(rk)
+        return round_keys
+
+    # state is a 16-int list in column-major order (as FIPS-197 lays it out)
+
+    @staticmethod
+    def _shift_rows(s: List[int]) -> List[int]:
+        return [s[0], s[5], s[10], s[15],
+                s[4], s[9], s[14], s[3],
+                s[8], s[13], s[2], s[7],
+                s[12], s[1], s[6], s[11]]
+
+    @staticmethod
+    def _inv_shift_rows(s: List[int]) -> List[int]:
+        return [s[0], s[13], s[10], s[7],
+                s[4], s[1], s[14], s[11],
+                s[8], s[5], s[2], s[15],
+                s[12], s[9], s[6], s[3]]
+
+    @staticmethod
+    def _mix_columns(s: List[int]) -> List[int]:
+        out = [0] * 16
+        for c in range(4):
+            a = s[4 * c:4 * c + 4]
+            out[4 * c + 0] = _gmul(a[0], 2) ^ _gmul(a[1], 3) ^ a[2] ^ a[3]
+            out[4 * c + 1] = a[0] ^ _gmul(a[1], 2) ^ _gmul(a[2], 3) ^ a[3]
+            out[4 * c + 2] = a[0] ^ a[1] ^ _gmul(a[2], 2) ^ _gmul(a[3], 3)
+            out[4 * c + 3] = _gmul(a[0], 3) ^ a[1] ^ a[2] ^ _gmul(a[3], 2)
+        return out
+
+    @staticmethod
+    def _inv_mix_columns(s: List[int]) -> List[int]:
+        out = [0] * 16
+        for c in range(4):
+            a = s[4 * c:4 * c + 4]
+            out[4 * c + 0] = _gmul(a[0], 14) ^ _gmul(a[1], 11) ^ _gmul(a[2], 13) ^ _gmul(a[3], 9)
+            out[4 * c + 1] = _gmul(a[0], 9) ^ _gmul(a[1], 14) ^ _gmul(a[2], 11) ^ _gmul(a[3], 13)
+            out[4 * c + 2] = _gmul(a[0], 13) ^ _gmul(a[1], 9) ^ _gmul(a[2], 14) ^ _gmul(a[3], 11)
+            out[4 * c + 3] = _gmul(a[0], 11) ^ _gmul(a[1], 13) ^ _gmul(a[2], 9) ^ _gmul(a[3], 14)
+        return out
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("block must be 16 bytes")
+        state = [b ^ k for b, k in zip(block, self._round_keys[0])]
+        for rnd in range(1, self.rounds):
+            state = [_SBOX[b] for b in state]
+            state = self._shift_rows(state)
+            state = self._mix_columns(state)
+            state = [b ^ k for b, k in zip(state, self._round_keys[rnd])]
+        state = [_SBOX[b] for b in state]
+        state = self._shift_rows(state)
+        state = [b ^ k for b, k in zip(state, self._round_keys[self.rounds])]
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("block must be 16 bytes")
+        state = [b ^ k for b, k in zip(block, self._round_keys[self.rounds])]
+        state = self._inv_shift_rows(state)
+        state = [_INV_SBOX[b] for b in state]
+        for rnd in range(self.rounds - 1, 0, -1):
+            state = [b ^ k for b, k in zip(state, self._round_keys[rnd])]
+            state = self._inv_mix_columns(state)
+            state = self._inv_shift_rows(state)
+            state = [_INV_SBOX[b] for b in state]
+        return bytes(b ^ k for b, k in zip(state, self._round_keys[0]))
+
+
+def aes_cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
+    """CBC with PKCS#7 padding."""
+    if len(iv) != 16:
+        raise ValueError("IV must be 16 bytes")
+    cipher = AES(key)
+    previous = iv
+    out = []
+    for start in range(0, len(padded := pad(plaintext)), 16):
+        block = bytes(a ^ b for a, b in zip(padded[start:start + 16], previous))
+        previous = cipher.encrypt_block(block)
+        out.append(previous)
+    return b"".join(out)
+
+
+def aes_cbc_decrypt(key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
+    """Inverse of :func:`aes_cbc_encrypt`; strips the PKCS#7 padding."""
+    if len(iv) != 16:
+        raise ValueError("IV must be 16 bytes")
+    if len(ciphertext) % 16:
+        raise ValueError("ciphertext is not block aligned")
+    cipher = AES(key)
+    previous = iv
+    out = []
+    for start in range(0, len(ciphertext), 16):
+        block = ciphertext[start:start + 16]
+        plain = cipher.decrypt_block(block)
+        out.append(bytes(a ^ b for a, b in zip(plain, previous)))
+        previous = block
+    return unpad(b"".join(out))
+
+
+def aes_ctr_xor(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """CTR keystream XOR (encrypt == decrypt). ``nonce`` is 12 bytes."""
+    if len(nonce) != 12:
+        raise ValueError("nonce must be 12 bytes")
+    cipher = AES(key)
+    out = bytearray()
+    counter = 0
+    for start in range(0, len(data), 16):
+        block = cipher.encrypt_block(nonce + counter.to_bytes(4, "big"))
+        chunk = data[start:start + 16]
+        out.extend(a ^ b for a, b in zip(chunk, block))
+        counter += 1
+    return bytes(out)

@@ -1,0 +1,83 @@
+"""ChaCha20 (RFC 8439), NumPy-vectorised.
+
+The block function is evaluated for *all* counter values at once: the
+16-word state is tiled into a (blocks × 16) uint32 matrix and the 20 rounds
+are applied column-parallel.  This keeps bulk encryption fast enough for
+the campaign experiments (hundreds of megabytes across 492 samples) while
+remaining a from-scratch implementation.
+
+RFC 8439 §2.3.2 / §2.4.2 test vectors are enforced in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["chacha20_block", "chacha20_xor", "chacha20_keystream"]
+
+_CONSTANTS = np.frombuffer(b"expand 32-byte k", dtype="<u4").copy()
+
+
+def _quarter_round(state: np.ndarray, a: int, b: int, c: int, d: int) -> None:
+    """One quarter round applied to columns a,b,c,d of all blocks."""
+    sa, sb, sc, sd = state[:, a], state[:, b], state[:, c], state[:, d]
+    sa += sb
+    sd ^= sa
+    sd[:] = (sd << np.uint32(16)) | (sd >> np.uint32(16))
+    sc += sd
+    sb ^= sc
+    sb[:] = (sb << np.uint32(12)) | (sb >> np.uint32(20))
+    sa += sb
+    sd ^= sa
+    sd[:] = (sd << np.uint32(8)) | (sd >> np.uint32(24))
+    sc += sd
+    sb ^= sc
+    sb[:] = (sb << np.uint32(7)) | (sb >> np.uint32(25))
+
+
+def chacha20_keystream(key: bytes, nonce: bytes, n_bytes: int,
+                       initial_counter: int = 0) -> bytes:
+    """Generate ``n_bytes`` of keystream."""
+    if len(key) != 32:
+        raise ValueError("key must be 32 bytes")
+    if len(nonce) != 12:
+        raise ValueError("nonce must be 12 bytes")
+    if n_bytes <= 0:
+        return b""
+    n_blocks = (n_bytes + 63) // 64
+    key_words = np.frombuffer(key, dtype="<u4")
+    nonce_words = np.frombuffer(nonce, dtype="<u4")
+    state = np.zeros((n_blocks, 16), dtype=np.uint32)
+    state[:, 0:4] = _CONSTANTS
+    state[:, 4:12] = key_words
+    state[:, 12] = (np.arange(n_blocks, dtype=np.uint64)
+                    + np.uint64(initial_counter)).astype(np.uint32)
+    state[:, 13:16] = nonce_words
+    working = state.copy()
+    with np.errstate(over="ignore"):
+        for _ in range(10):  # 20 rounds = 10 double rounds
+            _quarter_round(working, 0, 4, 8, 12)
+            _quarter_round(working, 1, 5, 9, 13)
+            _quarter_round(working, 2, 6, 10, 14)
+            _quarter_round(working, 3, 7, 11, 15)
+            _quarter_round(working, 0, 5, 10, 15)
+            _quarter_round(working, 1, 6, 11, 12)
+            _quarter_round(working, 2, 7, 8, 13)
+            _quarter_round(working, 3, 4, 9, 14)
+        working += state
+    return working.astype("<u4").tobytes()[:n_bytes]
+
+
+def chacha20_block(key: bytes, nonce: bytes, counter: int) -> bytes:
+    """One 64-byte keystream block (RFC 8439 block function)."""
+    return chacha20_keystream(key, nonce, 64, counter)
+
+
+def chacha20_xor(key: bytes, nonce: bytes, data: bytes,
+                 initial_counter: int = 1) -> bytes:
+    """Encrypt/decrypt ``data`` (RFC 8439 starts data at counter 1)."""
+    stream = np.frombuffer(
+        chacha20_keystream(key, nonce, len(data), initial_counter),
+        dtype=np.uint8)
+    buf = np.frombuffer(bytes(data), dtype=np.uint8)
+    return (buf ^ stream).tobytes()

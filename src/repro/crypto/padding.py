@@ -1,0 +1,29 @@
+"""PKCS#7 padding for block ciphers."""
+
+from __future__ import annotations
+
+__all__ = ["pad", "unpad", "PaddingError"]
+
+
+class PaddingError(ValueError):
+    """The padding bytes are inconsistent (wrong key / corrupt data)."""
+
+
+def pad(data: bytes, block_size: int = 16) -> bytes:
+    """Append PKCS#7 padding up to a multiple of ``block_size``."""
+    if not 1 <= block_size <= 255:
+        raise ValueError("block_size must be in [1, 255]")
+    amount = block_size - (len(data) % block_size)
+    return bytes(data) + bytes([amount]) * amount
+
+
+def unpad(data: bytes, block_size: int = 16) -> bytes:
+    """Strip and validate PKCS#7 padding."""
+    if not data or len(data) % block_size:
+        raise PaddingError("length is not a multiple of the block size")
+    amount = data[-1]
+    if not 1 <= amount <= block_size:
+        raise PaddingError(f"invalid pad byte {amount}")
+    if data[-amount:] != bytes([amount]) * amount:
+        raise PaddingError("inconsistent padding bytes")
+    return bytes(data[:-amount])

@@ -1,0 +1,127 @@
+"""Textbook RSA for hybrid key wrapping.
+
+GPcode was the canonical "RSA public key embedded in the binary" family:
+it generates a per-victim symmetric key, encrypts user files with it, and
+wraps the key with the attacker's RSA public key so only the attacker can
+recover it.  Several modern families (CryptoWall, CryptoDefense) follow the
+same pattern.  The simulators reproduce the ritual so the key material
+dropped in ransom notes is genuine RSA ciphertext.
+
+Includes deterministic Miller–Rabin primality testing and seeded key
+generation (no OS entropy — runs must be replayable).  Textbook (unpadded)
+RSA is exactly what early GPcode shipped; this module is attack substrate,
+not a recommendation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+__all__ = ["RsaKeyPair", "generate_keypair", "is_probable_prime",
+           "rsa_encrypt_int", "rsa_decrypt_int", "wrap_key", "unwrap_key"]
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
+                 53, 59, 61, 67, 71, 73, 79, 83, 89, 97)
+
+
+def is_probable_prime(n: int, rng: Optional[random.Random] = None,
+                      rounds: int = 24) -> bool:
+    """Miller–Rabin with ``rounds`` random bases (plus small-prime sieve)."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    rng = rng or random.Random(0x5D)
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: random.Random) -> int:
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, rng):
+            return candidate
+
+
+class RsaKeyPair:
+    """(n, e) public / (n, d) private pair."""
+
+    __slots__ = ("n", "e", "d", "bits")
+
+    def __init__(self, n: int, e: int, d: int, bits: int) -> None:
+        self.n = n
+        self.e = e
+        self.d = d
+        self.bits = bits
+
+    @property
+    def public(self) -> Tuple[int, int]:
+        return self.n, self.e
+
+    def __repr__(self) -> str:
+        return f"RsaKeyPair(bits={self.bits}, n=0x{self.n:x})"
+
+
+def generate_keypair(bits: int = 512, seed: int = 0xC0DE,
+                     e: int = 65537) -> RsaKeyPair:
+    """Deterministically generate an RSA keypair from ``seed``."""
+    if bits < 64:
+        raise ValueError("modulus too small even for a toy")
+    rng = random.Random(seed)
+    while True:
+        p = _random_prime(bits // 2, rng)
+        q = _random_prime(bits - bits // 2, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % e == 0:
+            continue
+        d = pow(e, -1, phi)
+        return RsaKeyPair(n, e, d, bits)
+
+
+def rsa_encrypt_int(message: int, public: Tuple[int, int]) -> int:
+    """Textbook RSA encryption of an integer message."""
+    n, e = public
+    if not 0 <= message < n:
+        raise ValueError("message out of range for modulus")
+    return pow(message, e, n)
+
+
+def rsa_decrypt_int(ciphertext: int, keypair: RsaKeyPair) -> int:
+    """Textbook RSA decryption with the private exponent."""
+    return pow(ciphertext, keypair.d, keypair.n)
+
+
+def wrap_key(sym_key: bytes, public: Tuple[int, int]) -> bytes:
+    """Wrap a symmetric key; output is modulus-sized big-endian bytes."""
+    n, _ = public
+    size = (n.bit_length() + 7) // 8
+    value = int.from_bytes(sym_key, "big")
+    return rsa_encrypt_int(value, public).to_bytes(size, "big")
+
+
+def unwrap_key(wrapped: bytes, keypair: RsaKeyPair, key_len: int) -> bytes:
+    """Recover a wrapped symmetric key with the private key."""
+    value = rsa_decrypt_int(int.from_bytes(wrapped, "big"), keypair)
+    return value.to_bytes(key_len, "big")

@@ -1,0 +1,95 @@
+"""Lesser stream/block ciphers ransomware families actually shipped.
+
+* :func:`rc4_crypt` — RC4, as used by several early CryptoLocker knockoffs.
+* :func:`xor_crypt` — repeating-key XOR; the Xorist family is literally
+  named for it.  Deliberately weak: the ciphertext's byte distribution is a
+  permutation of the plaintext's per key-phase, so its entropy rise is
+  smaller than real ciphers' — a useful stressor for the entropy indicator.
+* :func:`tea_encrypt_blocks` / :func:`tea_decrypt_blocks` — TEA (the other
+  cipher Xorist ships), NumPy-vectorised over blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rc4_crypt", "xor_crypt", "tea_encrypt_blocks",
+           "tea_decrypt_blocks", "tea_crypt"]
+
+_TEA_DELTA = np.uint32(0x9E3779B9)
+_TEA_ROUNDS = 32
+
+
+def rc4_crypt(key: bytes, data: bytes) -> bytes:
+    """RC4 (encrypt == decrypt)."""
+    if not 1 <= len(key) <= 256:
+        raise ValueError("RC4 key must be 1..256 bytes")
+    s = list(range(256))
+    j = 0
+    for i in range(256):
+        j = (j + s[i] + key[i % len(key)]) & 0xFF
+        s[i], s[j] = s[j], s[i]
+    out = bytearray(len(data))
+    i = j = 0
+    for idx, byte in enumerate(data):
+        i = (i + 1) & 0xFF
+        j = (j + s[i]) & 0xFF
+        s[i], s[j] = s[j], s[i]
+        out[idx] = byte ^ s[(s[i] + s[j]) & 0xFF]
+    return bytes(out)
+
+
+def xor_crypt(key: bytes, data: bytes) -> bytes:
+    """Repeating-key XOR (encrypt == decrypt)."""
+    if not key:
+        raise ValueError("empty XOR key")
+    buf = np.frombuffer(bytes(data), dtype=np.uint8)
+    reps = -(-len(buf) // len(key))
+    stream = np.frombuffer(bytes(key) * reps, dtype=np.uint8)[:len(buf)]
+    return (buf ^ stream).tobytes()
+
+
+def _tea_key_words(key: bytes) -> np.ndarray:
+    if len(key) != 16:
+        raise ValueError("TEA key must be 16 bytes")
+    return np.frombuffer(key, dtype="<u4")
+
+
+def _pad_to_blocks(data: bytes) -> np.ndarray:
+    padded = bytes(data) + b"\x00" * (-len(data) % 8)
+    return np.frombuffer(padded, dtype="<u4").reshape(-1, 2).copy()
+
+
+def tea_encrypt_blocks(key: bytes, data: bytes) -> bytes:
+    """TEA over zero-padded 8-byte blocks, all blocks in parallel."""
+    k = _tea_key_words(key)
+    blocks = _pad_to_blocks(data)
+    v0, v1 = blocks[:, 0], blocks[:, 1]
+    total = np.uint32(0)
+    with np.errstate(over="ignore"):
+        for _ in range(_TEA_ROUNDS):
+            total = np.uint32(total + _TEA_DELTA)
+            v0 += ((v1 << np.uint32(4)) + k[0]) ^ (v1 + total) ^ ((v1 >> np.uint32(5)) + k[1])
+            v1 += ((v0 << np.uint32(4)) + k[2]) ^ (v0 + total) ^ ((v0 >> np.uint32(5)) + k[3])
+    return blocks.astype("<u4").tobytes()
+
+
+def tea_decrypt_blocks(key: bytes, data: bytes) -> bytes:
+    """Inverse of :func:`tea_encrypt_blocks` (zero padding not stripped)."""
+    if len(data) % 8:
+        raise ValueError("TEA ciphertext must be 8-byte aligned")
+    k = _tea_key_words(key)
+    blocks = np.frombuffer(bytes(data), dtype="<u4").reshape(-1, 2).copy()
+    v0, v1 = blocks[:, 0], blocks[:, 1]
+    with np.errstate(over="ignore"):
+        total = np.uint32((_TEA_DELTA * np.uint64(_TEA_ROUNDS)) & np.uint64(0xFFFFFFFF))
+        for _ in range(_TEA_ROUNDS):
+            v1 -= ((v0 << np.uint32(4)) + k[2]) ^ (v0 + total) ^ ((v0 >> np.uint32(5)) + k[3])
+            v0 -= ((v1 << np.uint32(4)) + k[0]) ^ (v1 + total) ^ ((v1 >> np.uint32(5)) + k[1])
+            total = np.uint32(total - _TEA_DELTA)
+    return blocks.astype("<u4").tobytes()
+
+
+def tea_crypt(key: bytes, data: bytes) -> bytes:
+    """Encrypt convenience alias used by family simulators."""
+    return tea_encrypt_blocks(key, data)

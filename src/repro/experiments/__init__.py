@@ -1,0 +1,53 @@
+"""Experiment harness — one module per paper table/figure/section.
+
+| Paper artifact | Module | Entry point |
+|---|---|---|
+| Table I | table1 | run_table1 |
+| Figure 3 | fig3 | run_fig3 |
+| Figure 4 | fig4 | run_fig4 |
+| Figure 5 | fig5 | run_fig5 |
+| Figure 6 / §V-F | fig6 | run_fig6 |
+| §V-B2 union accounting | union_effect | run_union_effect |
+| §V-C CTB small-file rerun | ablations | run_ctb_small_file_rerun |
+| §V-E scripts vs AV | scripts_experiment | run_scripts_experiment |
+| §V-H performance | performance | run_performance |
+| design ablations | ablations | run_indicator_ablation |
+"""
+
+from .ablations import (AblationResult, AblationRow, CtbRerunResult,
+                        DynamicScoringResult, run_ctb_small_file_rerun,
+                        run_dynamic_scoring, run_indicator_ablation)
+from .common import (FULL, SMALL, TINY, ExperimentScale, campaign_at_scale,
+                     corpus_at_scale, samples_at_scale)
+from .fig3 import Fig3Result, run_fig3
+from .fig4 import Fig4Result, Fig4Sample, run_fig4
+from .fig5 import Fig5Result, run_fig5
+from .fig6 import DEFAULT_THRESHOLDS, Fig6Result, run_fig6
+from .paper_constants import (PAPER_CTB_RERUN, PAPER_FIG5_TOP,
+                              PAPER_FP_SCORES, PAPER_OVERALL,
+                              PAPER_PERF_MS, PAPER_POSHCODER, PAPER_TABLE1,
+                              PAPER_UNION)
+from .performance import (PerformanceResult, run_performance,
+                          standard_io_workload)
+from .reporting import ascii_bars, ascii_cdf, ascii_table, header
+from .scripts_experiment import ScriptsResult, run_scripts_experiment
+from .sensitivity import (SensitivityResult, SensitivityRow,
+                          run_sensitivity)
+from .table1 import Table1Result, Table1Row, run_table1
+from .union_effect import UnionEffectResult, run_union_effect
+
+__all__ = [
+    "AblationResult", "AblationRow", "CtbRerunResult", "DynamicScoringResult",
+    "DEFAULT_THRESHOLDS", "ExperimentScale", "FULL", "Fig3Result",
+    "Fig4Result", "Fig4Sample", "Fig5Result", "Fig6Result",
+    "PAPER_CTB_RERUN", "PAPER_FIG5_TOP", "PAPER_FP_SCORES",
+    "PAPER_OVERALL", "PAPER_PERF_MS", "PAPER_POSHCODER", "PAPER_TABLE1",
+    "PAPER_UNION", "PerformanceResult", "SMALL", "ScriptsResult",
+    "TINY", "Table1Result", "Table1Row", "UnionEffectResult",
+    "ascii_bars", "ascii_cdf", "ascii_table", "campaign_at_scale",
+    "corpus_at_scale", "header", "run_ctb_small_file_rerun", "run_fig3",
+    "run_fig4", "run_fig5", "run_fig6", "run_indicator_ablation",
+    "run_dynamic_scoring", "run_performance", "run_scripts_experiment", "run_table1",
+    "run_sensitivity", "run_union_effect", "samples_at_scale",
+    "SensitivityResult", "SensitivityRow", "standard_io_workload",
+]

@@ -1,0 +1,109 @@
+"""Shared experiment scaffolding: scales, cached campaigns.
+
+The paper's full experiment (492 samples × 5,099-file corpus) takes a few
+minutes of CPU; unit tests and quick looks use a scaled-down
+configuration with identical structure.  A completed campaign is cached
+per (scale, config-fingerprint) so Table I, Fig. 3, Fig. 5, and the union
+analysis all read from one sweep, exactly as they did in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.config import CryptoDropConfig
+from ..corpus.builder import PAPER_DIRS, PAPER_FILES, GeneratedCorpus, generate
+from ..ransomware import working_cohort
+from ..sandbox import CampaignResult, run_campaign
+
+__all__ = ["ExperimentScale", "FULL", "SMALL", "TINY", "campaign_at_scale",
+           "corpus_at_scale", "samples_at_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How big to run: corpus dimensions + per-family sample cap."""
+
+    name: str
+    n_files: int
+    n_dirs: int
+    per_family: Optional[int]   # None = every sample
+    corpus_seed: int = 2016
+    cohort_seed: int = 0
+
+    def describe(self) -> str:
+        cap = "all" if self.per_family is None else f"<= {self.per_family}"
+        return (f"{self.name}: corpus {self.n_files} files / "
+                f"{self.n_dirs} dirs, {cap} samples per family")
+
+
+#: the paper's full configuration (§V-A)
+FULL = ExperimentScale("full", PAPER_FILES, PAPER_DIRS, None)
+#: a faithful scaled-down run for quick iteration
+SMALL = ExperimentScale("small", 800, 80, 4)
+#: the minimum that still exercises every family (unit tests)
+TINY = ExperimentScale("tiny", 300, 30, 1)
+
+
+def corpus_at_scale(scale: ExperimentScale) -> GeneratedCorpus:
+    """Generate (cached) the corpus for an experiment scale."""
+    return generate(scale.corpus_seed, scale.n_files, scale.n_dirs)
+
+
+def samples_at_scale(scale: ExperimentScale) -> List:
+    """The cohort (or a class-balanced per-family subset) for a scale."""
+    cohort = working_cohort(scale.cohort_seed)
+    if scale.per_family is None:
+        return cohort
+    grouped: Dict[str, List] = {}
+    for sample in cohort:
+        grouped.setdefault(sample.profile.family, []).append(sample)
+    subset: List = []
+    for family in sorted(grouped):
+        rows = grouped[family]
+        # interleave behaviour classes so scaled runs keep each family's
+        # full class mix rather than only its first (usually A) samples
+        by_class: Dict[str, List] = {}
+        for sample in rows:
+            by_class.setdefault(sample.profile.behavior_class,
+                                []).append(sample)
+        interleaved: List = []
+        index = 0
+        while len(interleaved) < len(rows):
+            added = False
+            for cls in sorted(by_class):
+                bucket = by_class[cls]
+                if index < len(bucket):
+                    interleaved.append(bucket[index])
+                    added = True
+            if not added:
+                break
+            index += 1
+        take = interleaved[:scale.per_family]
+        # always include each family's off-class stragglers (they carry
+        # the paper's corner cases: GPcode-C read-only, TeslaCrypt-C link)
+        for straggler in rows[-2:]:
+            if straggler not in take:
+                take.append(straggler)
+        subset.extend(take)
+    return subset
+
+
+_CAMPAIGNS: Dict[Tuple, CampaignResult] = {}
+
+
+def campaign_at_scale(scale: ExperimentScale,
+                      config: Optional[CryptoDropConfig] = None,
+                      record_ops: bool = True,
+                      use_cache: bool = True) -> CampaignResult:
+    """Run (or fetch) the cohort sweep for a scale + configuration."""
+    key = (scale, config, record_ops)
+    if use_cache and key in _CAMPAIGNS:
+        return _CAMPAIGNS[key]
+    corpus = corpus_at_scale(scale)
+    samples = samples_at_scale(scale)
+    campaign = run_campaign(samples, corpus, config, record_ops=record_ops)
+    if use_cache:
+        _CAMPAIGNS[key] = campaign
+    return campaign

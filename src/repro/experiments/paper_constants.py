@@ -1,0 +1,89 @@
+"""Ground-truth numbers from the paper, for side-by-side reporting.
+
+Every experiment prints its measured value next to the corresponding
+value below; EXPERIMENTS.md records both.  Sources: Table I, Fig. 3,
+Fig. 5, Fig. 6 / §V-F prose, §V-B2, §V-C, §V-E, §V-H.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAPER_TABLE1", "PAPER_OVERALL", "PAPER_UNION", "PAPER_FIG5_TOP",
+    "PAPER_FP_SCORES", "PAPER_PERF_MS", "PAPER_CTB_RERUN",
+    "PAPER_POSHCODER",
+]
+
+#: Table I: family -> (class A, class B, class C, total, median files lost)
+PAPER_TABLE1 = {
+    "cryptodefense":        (0, 0, 18, 18, 6.5),
+    "cryptofortress":       (2, 0, 0, 2, 14),
+    "cryptolocker":         (13, 16, 2, 31, 10),
+    "cryptolocker-copycat": (0, 1, 1, 2, 20),
+    "cryptotorlocker2015":  (1, 0, 0, 1, 3),
+    "cryptowall":           (2, 0, 6, 8, 10),
+    "ctb-locker":           (1, 120, 1, 122, 29),
+    "filecoder":            (51, 9, 12, 72, 10),
+    "gpcode":               (12, 0, 1, 13, 22),
+    "mbladvisory":          (0, 0, 1, 1, 9),
+    "poshcoder":            (1, 0, 0, 1, 10),
+    "ransom-fue":           (0, 1, 0, 1, 19),
+    "teslacrypt":           (148, 0, 1, 149, 10),
+    "virlock":              (0, 0, 20, 20, 8),
+    "xorist":               (51, 0, 0, 51, 3),
+}
+
+#: headline results (abstract, §V-B)
+PAPER_OVERALL = {
+    "samples": 492,
+    "families": 14,           # +1 for the unattributed Ransom-FUE
+    "detection_rate": 1.0,
+    "median_files_lost": 10,
+    "min_files_lost": 0,
+    "max_files_lost": 33,
+    "corpus_files": 5099,
+    "corpus_dirs": 511,
+}
+
+#: §V-B2 union-indication accounting
+PAPER_UNION = {
+    "samples_with_union": 457,
+    "union_rate": 457 / 492,
+    "class_c_total": 63,
+    "class_c_linkable": 41,     # move-over: linking restores union
+    "class_c_evaders": 22,      # delete-disposal: union evaded
+    "evader_median_files_lost": 6,
+    "non_union_class_a": 13,    # detected before similarity triggered
+}
+
+#: Fig. 5: top formats attacked first, in order
+PAPER_FIG5_TOP = (".pdf", ".odt", ".docx", ".pptx")
+
+#: §V-F / Fig. 6 final scores of the analysed five, + the one detection
+PAPER_FP_SCORES = {
+    "lightroom.exe": 107.0,
+    "mogrify.exe": 0.0,
+    "iTunes.exe": 16.0,
+    "WINWORD.EXE": 0.0,
+    "EXCEL.EXE": 150.0,
+}
+PAPER_BENIGN_DETECTIONS = {"7z.exe"}
+
+#: §V-H added latency (milliseconds) per operation class
+PAPER_PERF_MS = {
+    "open": 1.0,       # "less than 1ms" (upper bound)
+    "read": 1.0,       # "less than 1ms" (upper bound)
+    "close": 1.58,
+    "write": 9.0,
+    "rename": 16.0,
+}
+
+#: §V-C CTB-Locker rerun without sub-512-byte files: 29 -> 7 files lost
+PAPER_CTB_RERUN = {"with_small": 29, "without_small": 7}
+
+#: §V-E PoshCoder vs VirusTotal
+PAPER_POSHCODER = {
+    "engines": 57,
+    "detections_original": 8,
+    "detections_lost_after_mutation": 2,
+    "cryptodrop_files_lost": 11,
+}

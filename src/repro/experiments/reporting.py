@@ -1,0 +1,82 @@
+"""Plain-text rendering for experiment output.
+
+The benches print the same rows/series the paper's tables and figures
+report; these helpers keep that output aligned and readable in a
+terminal (no plotting dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["ascii_table", "ascii_bars", "ascii_cdf", "header"]
+
+
+def header(title: str, width: int = 72) -> str:
+    """A boxed section title."""
+    bar = "=" * width
+    return f"{bar}\n{title}\n{bar}"
+
+
+def ascii_table(columns: Sequence[str], rows: Iterable[Sequence],
+                align_right: bool = True) -> str:
+    """Render rows as a fixed-width table."""
+    rendered: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(col) for col in columns]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        pieces = []
+        for i, cell in enumerate(cells):
+            pieces.append(cell.rjust(widths[i]) if align_right and i > 0
+                          else cell.ljust(widths[i]))
+        return "  ".join(pieces)
+    lines = [fmt(list(columns)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rendered)
+    return "\n".join(lines)
+
+
+def ascii_bars(items: Sequence[Tuple[str, float]], width: int = 46,
+               unit: str = "") -> str:
+    """Horizontal bar chart (Fig. 5-style frequency plots)."""
+    if not items:
+        return "(no data)"
+    peak = max(value for _label, value in items) or 1.0
+    label_w = max(len(label) for label, _ in items)
+    lines = []
+    for label, value in items:
+        bar = "#" * max(0, int(round(width * value / peak)))
+        lines.append(f"{label.ljust(label_w)} |{bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_cdf(points: Sequence[Tuple[float, float]], width: int = 56,
+              height: int = 14, x_label: str = "x",
+              y_label: str = "cumulative fraction") -> str:
+    """Step-function CDF plot (Fig. 3-style)."""
+    if not points:
+        return "(no data)"
+    max_x = max(x for x, _ in points) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    prev_col = 0
+    prev_row = height - 1
+    for x, frac in points:
+        col = min(width - 1, int(round((width - 1) * x / max_x)))
+        row = min(height - 1, int(round((height - 1) * (1.0 - frac))))
+        for c in range(prev_col, col + 1):
+            grid[prev_row][c] = "_" if c != col else "|"
+        for r in range(min(prev_row, row), max(prev_row, row) + 1):
+            grid[r][col] = "|"
+        grid[row][col] = "*"
+        prev_col, prev_row = col, row
+    for c in range(prev_col, width):
+        grid[prev_row][c] = "_"
+    lines = ["1.0 +" + "".join(grid[0])]
+    for r in range(1, height):
+        prefix = "0.5 +" if r == height // 2 else "    |"
+        lines.append(prefix + "".join(grid[r]))
+    lines.append("0.0 +" + "-" * width)
+    lines.append(f"     0{x_label.rjust(width - 8)}{max_x:>7.0f}")
+    lines.append(f"     ({y_label} vs {x_label})")
+    return "\n".join(lines)

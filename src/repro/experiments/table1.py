@@ -1,0 +1,88 @@
+"""Table I — sample breakdown by family/class and median files lost."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.config import CryptoDropConfig
+from ..sandbox import CampaignResult
+from .common import FULL, ExperimentScale, campaign_at_scale
+from .paper_constants import PAPER_TABLE1
+from .reporting import ascii_table, header
+
+__all__ = ["Table1Row", "Table1Result", "run_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    family: str
+    class_a: int
+    class_b: int
+    class_c: int
+    total: int
+    median_files_lost: float
+    paper_median: Optional[float]
+
+
+@dataclass
+class Table1Result:
+    campaign: CampaignResult
+    rows: List[Table1Row]
+
+    @property
+    def total_samples(self) -> int:
+        return sum(row.total for row in self.rows)
+
+    def row(self, family: str) -> Table1Row:
+        for row in self.rows:
+            if row.family == family:
+                return row
+        raise KeyError(family)
+
+    def render(self) -> str:
+        body = [(r.family, r.class_a or "", r.class_b or "", r.class_c or "",
+                 r.total, f"{r.median_files_lost:g}",
+                 "" if r.paper_median is None else f"{r.paper_median:g}")
+                for r in self.rows]
+        overall = self.campaign
+        footer = ("#", sum(r.class_a for r in self.rows),
+                  sum(r.class_b for r in self.rows),
+                  sum(r.class_c for r in self.rows), self.total_samples,
+                  f"{overall.median_files_lost:g}", "10")
+        table = ascii_table(
+            ("Family", "# Class A", "# Class B", "# Class C", "Total",
+             "Median FL", "Paper FL"),
+            body + [footer])
+        return (header("Table I: detected samples by family/class, "
+                       "median files lost")
+                + "\n" + table
+                + f"\n\nDetection rate: {overall.detection_rate:.1%}"
+                  f"  (paper: 100%)"
+                + f"\nOverall median files lost: "
+                  f"{overall.median_files_lost:g} (paper: 10)"
+                + f"\nRange: {overall.min_files_lost}-"
+                  f"{overall.max_files_lost} (paper: 0-33)")
+
+
+def run_table1(scale: ExperimentScale = FULL,
+               config: Optional[CryptoDropConfig] = None,
+               campaign: Optional[CampaignResult] = None) -> Table1Result:
+    """Regenerate Table I at the given scale."""
+    if campaign is None:
+        campaign = campaign_at_scale(scale, config)
+    rows: List[Table1Row] = []
+    for family, results in sorted(campaign.by_family().items()):
+        classes = {"A": 0, "B": 0, "C": 0}
+        for result in results:
+            classes[result.behavior_class] += 1
+        paper = PAPER_TABLE1.get(family)
+        rows.append(Table1Row(
+            family=family,
+            class_a=classes["A"], class_b=classes["B"],
+            class_c=classes["C"], total=len(results),
+            median_files_lost=statistics.median(
+                r.files_lost for r in results),
+            paper_median=paper[4] if paper else None))
+    return Table1Result(campaign=campaign, rows=rows)

@@ -1,0 +1,92 @@
+"""§V-B2 — union-indicator effectiveness accounting.
+
+The paper's numbers: 457/492 (93%) of samples had at least one union
+indication; of the 63 Class C samples, 41 moved ciphertext over the
+original (restoring linkage and union) while 22 evaded union via
+delete-disposal but were still caught by entropy + deletion with a
+median loss of 6 files; 13 Class A samples were detected before their
+similarity indicator ever fired.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.config import CryptoDropConfig
+from ..sandbox import CampaignResult, SampleResult
+from .common import FULL, ExperimentScale, campaign_at_scale
+from .paper_constants import PAPER_UNION
+from .reporting import ascii_table, header
+
+__all__ = ["UnionEffectResult", "run_union_effect"]
+
+
+@dataclass
+class UnionEffectResult:
+    campaign: CampaignResult
+
+    @property
+    def working(self) -> List[SampleResult]:
+        return self.campaign.working
+
+    @property
+    def union_count(self) -> int:
+        return sum(1 for r in self.working if r.union_fired)
+
+    @property
+    def union_rate(self) -> float:
+        return self.union_count / len(self.working) if self.working else 0.0
+
+    def class_c(self) -> List[SampleResult]:
+        return [r for r in self.working if r.behavior_class == "C"]
+
+    def class_c_linkable(self) -> List[SampleResult]:
+        return [r for r in self.class_c() if r.disposal == "move_over"]
+
+    def class_c_evaders(self) -> List[SampleResult]:
+        return [r for r in self.class_c() if r.disposal == "delete"]
+
+    def evader_median_files_lost(self) -> float:
+        evaders = self.class_c_evaders()
+        if not evaders:
+            return 0.0
+        return statistics.median(r.files_lost for r in evaders)
+
+    def non_union_class_a(self) -> int:
+        return sum(1 for r in self.working
+                   if r.behavior_class == "A" and not r.union_fired)
+
+    def render(self) -> str:
+        paper = PAPER_UNION
+        rows = [
+            ("samples with >=1 union indication",
+             f"{self.union_count}/{len(self.working)} "
+             f"({self.union_rate:.0%})",
+             f"{paper['samples_with_union']}/492 "
+             f"({paper['union_rate']:.0%})"),
+            ("Class C samples", len(self.class_c()),
+             paper["class_c_total"]),
+            ("Class C linkable (move-over)",
+             len(self.class_c_linkable()), paper["class_c_linkable"]),
+            ("Class C union-evaders (delete)",
+             len(self.class_c_evaders()), paper["class_c_evaders"]),
+            ("evader median files lost",
+             f"{self.evader_median_files_lost():g}",
+             paper["evader_median_files_lost"]),
+            ("Class A detected without union", self.non_union_class_a(),
+             paper["non_union_class_a"]),
+        ]
+        return (header("§V-B2: union indicator effectiveness")
+                + "\n" + ascii_table(("metric", "measured", "paper"), rows))
+
+
+def run_union_effect(scale: ExperimentScale = FULL,
+                     config: Optional[CryptoDropConfig] = None,
+                     campaign: Optional[CampaignResult] = None
+                     ) -> UnionEffectResult:
+    """Compute the §V-B2 union-indication accounting from a campaign."""
+    if campaign is None:
+        campaign = campaign_at_scale(scale, config)
+    return UnionEffectResult(campaign=campaign)

@@ -1,0 +1,38 @@
+"""Virtual Windows filesystem substrate.
+
+This package replaces the paper's NTFS + kernel minifilter stack with a
+deterministic in-memory equivalent: a case-insensitive filesystem whose
+every operation flows through an interposable filter-driver stack, plus the
+surrounding machinery CryptoDrop and the experiments need — processes with
+suspension, a simulated clock, volume shadow copies, and journal-based
+snapshot/revert with SHA-256 damage assessment.
+"""
+
+from .clock import BASE_LATENCY_US, SimClock
+from .errors import (AccessDenied, DirectoryNotEmpty, FileExists,
+                     FileNotFound, FsError, HandleClosed, InvalidHandle,
+                     IsADirectory, NotADirectory, OperationDenied,
+                     ProcessSuspended)
+from .events import Decision, FsOperation, OpKind
+from .filters import FilterDriver, FilterStack, PostVerdict
+from .handles import Handle, HandleTable
+from .nodes import DirNode, FileAttributes, FileNode
+from .paths import APPDATA, DOCUMENTS, SYSTEM32, TEMP, WinPath
+from .processes import Process, ProcessState, ProcessTable
+from .recorder import OpRecord, OperationRecorder
+from .shadow import ShadowCopy, ShadowCopyService
+from .snapshot import BaselineIndex, DamageReport, assess_damage
+from .vfs import SYSTEM_PID, StatResult, VirtualFileSystem
+from .win32 import Win32Api
+
+__all__ = [
+    "APPDATA", "BASE_LATENCY_US", "AccessDenied", "BaselineIndex",
+    "DamageReport", "Decision", "DirNode", "DirectoryNotEmpty", "DOCUMENTS",
+    "FileAttributes", "FileExists", "FileNode", "FileNotFound",
+    "FilterDriver", "FilterStack", "FsError", "FsOperation", "Handle",
+    "HandleClosed", "HandleTable", "InvalidHandle", "IsADirectory",
+    "NotADirectory", "OpKind", "OpRecord", "OperationRecorder", "OperationDenied", "PostVerdict", "Process",
+    "ProcessState", "ProcessSuspended", "ProcessTable", "ShadowCopy",
+    "ShadowCopyService", "SimClock", "StatResult", "SYSTEM32", "SYSTEM_PID",
+    "TEMP", "VirtualFileSystem", "Win32Api", "WinPath", "assess_damage",
+]

@@ -1,0 +1,69 @@
+"""Simulated clock.
+
+Every filesystem operation advances a deterministic virtual clock by a
+modelled base latency plus whatever extra latency the attached filter
+drivers (i.e. CryptoDrop's analysis engine) charge.  This gives the
+reproduction a replayable notion of time for:
+
+* file timestamps,
+* detection-latency reporting,
+* the §V-H performance table (added latency per operation class).
+
+Real wall-clock time is never consulted, so runs are bit-for-bit
+deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["SimClock", "BASE_LATENCY_US"]
+
+#: Modelled base device latency, microseconds, per operation kind. Values are
+#: loosely calibrated to a 2010s-era SATA SSD behind NTFS; only relative
+#: ordering matters to the experiments.
+BASE_LATENCY_US: Dict[str, float] = {
+    "open": 18.0,
+    "create": 35.0,
+    "read": 22.0,
+    "write": 40.0,
+    "close": 8.0,
+    "rename": 55.0,
+    "delete": 30.0,
+    "stat": 4.0,
+    "list": 12.0,
+    "other": 10.0,
+}
+
+
+class SimClock:
+    """Monotonic virtual clock measured in microseconds since boot."""
+
+    def __init__(self, start_us: float = 0.0) -> None:
+        self._now_us = float(start_us)
+
+    @property
+    def now_us(self) -> float:
+        return self._now_us
+
+    @property
+    def now_s(self) -> float:
+        return self._now_us / 1e6
+
+    def advance_us(self, amount_us: float) -> float:
+        if amount_us < 0:
+            raise ValueError("clock cannot move backwards")
+        self._now_us += amount_us
+        return self._now_us
+
+    def charge(self, op_kind: str, extra_us: float = 0.0) -> float:
+        """Advance by the base latency for ``op_kind`` plus ``extra_us``.
+
+        Returns the new time.  Unknown kinds are charged the ``other`` rate
+        so a forgotten entry can never freeze time.
+        """
+        base = BASE_LATENCY_US.get(op_kind, BASE_LATENCY_US["other"])
+        return self.advance_us(base + extra_us)
+
+    def __repr__(self) -> str:
+        return f"SimClock(t={self._now_us:.1f}us)"

@@ -1,0 +1,78 @@
+"""Filesystem error hierarchy.
+
+All virtual-filesystem failures derive from :class:`FsError` so that
+workload simulators can catch filesystem trouble without masking detector
+signals such as :class:`ProcessSuspended`, which deliberately derives from
+``BaseException``'s ``Exception`` branch but *not* from ``FsError``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FsError",
+    "FileNotFound",
+    "FileExists",
+    "NotADirectory",
+    "IsADirectory",
+    "DirectoryNotEmpty",
+    "AccessDenied",
+    "HandleClosed",
+    "InvalidHandle",
+    "OperationDenied",
+    "ProcessSuspended",
+]
+
+
+class FsError(Exception):
+    """Base class for all virtual filesystem errors."""
+
+
+class FileNotFound(FsError):
+    """The named file or directory does not exist."""
+
+
+class FileExists(FsError):
+    """Creation failed because the target already exists."""
+
+
+class NotADirectory(FsError):
+    """A path component that must be a directory is a file."""
+
+
+class IsADirectory(FsError):
+    """A file operation was attempted on a directory."""
+
+
+class DirectoryNotEmpty(FsError):
+    """A non-recursive remove hit a populated directory."""
+
+
+class AccessDenied(FsError):
+    """The file attributes (e.g. read-only) forbid the operation."""
+
+
+class HandleClosed(FsError):
+    """I/O was attempted through a handle that was already closed."""
+
+
+class InvalidHandle(FsError):
+    """The handle does not belong to the calling process."""
+
+
+class OperationDenied(FsError):
+    """A filter driver vetoed the operation (without suspending)."""
+
+
+class ProcessSuspended(Exception):
+    """Raised into a workload when a filter suspends its process.
+
+    Deliberately *not* an :class:`FsError`: ransomware simulators catch
+    ``FsError`` to skip problem files (exactly as real samples tolerate
+    locked files), but suspension must unwind the whole program, just as a
+    suspended Windows process stops scheduling.
+    """
+
+    def __init__(self, pid: int, reason: str = "") -> None:
+        super().__init__(f"process {pid} suspended: {reason}")
+        self.pid = pid
+        self.reason = reason

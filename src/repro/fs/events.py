@@ -1,0 +1,105 @@
+"""Filesystem operation records.
+
+Every call into the VFS is reified as an :class:`FsOperation` and published
+through the filter-driver stack both *before* the operation executes
+(pre-operation callback, which may veto or suspend) and *after* it completes
+(post-operation callback, carrying results such as the bytes transferred).
+
+This mirrors the Windows minifilter model the paper instruments: CryptoDrop
+receives "Notifications, File Data, Context" and returns "Allow/Disallow
+Decisions" (paper Fig. 2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .paths import WinPath
+
+__all__ = ["OpKind", "FsOperation", "Decision"]
+
+
+class OpKind(enum.Enum):
+    """The operation vocabulary observed by filter drivers."""
+
+    CREATE = "create"          # create a new file (open for write, new node)
+    OPEN = "open"              # open an existing file
+    READ = "read"
+    WRITE = "write"
+    CLOSE = "close"
+    RENAME = "rename"          # rename/move, possibly across directories
+    DELETE = "delete"
+    TRUNCATE = "truncate"
+    SET_ATTR = "set_attr"
+    LIST_DIR = "list"
+    STAT = "stat"
+    MKDIR = "mkdir"
+
+    @property
+    def latency_key(self) -> str:
+        return {
+            OpKind.CREATE: "create",
+            OpKind.OPEN: "open",
+            OpKind.READ: "read",
+            OpKind.WRITE: "write",
+            OpKind.CLOSE: "close",
+            OpKind.RENAME: "rename",
+            OpKind.DELETE: "delete",
+            OpKind.TRUNCATE: "write",
+            OpKind.SET_ATTR: "other",
+            OpKind.LIST_DIR: "list",
+            OpKind.STAT: "stat",
+            OpKind.MKDIR: "create",
+        }[self]
+
+
+class Decision(enum.Enum):
+    """Pre-operation verdict returned by a filter driver."""
+
+    ALLOW = "allow"
+    DENY = "deny"            # fail this one operation
+    SUSPEND = "suspend"      # pause the calling process (CryptoDrop verdict)
+
+
+@dataclass
+class FsOperation:
+    """One filesystem operation as seen by the filter stack.
+
+    ``data`` carries the payload for writes (pre + post) and the returned
+    bytes for reads (post only).  ``node_id`` is the stable identity of the
+    file being operated on (None for operations on paths that do not resolve
+    to an existing file, e.g. CREATE pre-op).  ``dest_path`` is set for
+    RENAME.  ``wrote_since_open``/``read_since_open`` are filled on CLOSE so
+    the analysis engine knows whether the closing handle dirtied the file.
+    """
+
+    kind: OpKind
+    pid: int
+    path: WinPath
+    timestamp_us: float = 0.0
+    node_id: Optional[int] = None
+    handle_id: Optional[int] = None
+    data: Optional[bytes] = None
+    offset: int = 0
+    size: int = 0
+    dest_path: Optional[WinPath] = None
+    dest_existed: bool = False
+    dest_node_id: Optional[int] = None
+    wrote_since_open: bool = False
+    read_since_open: bool = False
+    truncate: bool = False
+    new_size: Optional[int] = None
+    succeeded: bool = True
+    detail: str = ""
+    #: extra per-filter scratch (engine attaches measurements here)
+    context: dict = field(default_factory=dict)
+
+    def short(self) -> str:
+        extra = ""
+        if self.kind is OpKind.RENAME and self.dest_path is not None:
+            extra = f" -> {self.dest_path}"
+        if self.kind in (OpKind.READ, OpKind.WRITE):
+            extra = f" [{self.size}B @ {self.offset}]"
+        return f"{self.kind.value} pid={self.pid} {self.path}{extra}"

@@ -1,0 +1,123 @@
+"""Filter-driver stack.
+
+A faithful, simplified model of the Windows Filter Manager: an ordered list
+of :class:`FilterDriver` instances, each seeing every operation twice —
+
+* **pre-operation**: may return :data:`Decision.DENY` (the single operation
+  fails with :class:`OperationDenied`) or :data:`Decision.SUSPEND` (the
+  calling process family is paused, the in-flight operation aborted).
+  The paper notes the ordering of other installed filters "does not affect
+  our system"; we preserve registration order for determinism.
+* **post-operation**: observes the completed operation with its results;
+  may *also* request suspension (CryptoDrop suspends after observing a write
+  that pushes the reputation score past threshold).
+
+Filters additionally report how much latency they charged per operation so
+the §V-H performance experiment can attribute overhead.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .events import Decision, FsOperation
+
+__all__ = ["FilterDriver", "FilterStack", "PostVerdict"]
+
+
+class PostVerdict:
+    """Result of a post-operation callback."""
+
+    __slots__ = ("suspend", "reason")
+
+    def __init__(self, suspend: bool = False, reason: str = "") -> None:
+        self.suspend = suspend
+        self.reason = reason
+
+    ALLOW: "PostVerdict"
+
+
+PostVerdict.ALLOW = PostVerdict()
+
+
+class FilterDriver:
+    """Base class; concrete filters override any subset of the hooks.
+
+    ``added_latency_us`` lets a filter model its own processing cost; the
+    VFS charges it to the simulated clock and records it for performance
+    accounting.
+    """
+
+    name = "filter"
+
+    def pre_operation(self, op: FsOperation) -> Decision:
+        return Decision.ALLOW
+
+    def post_operation(self, op: FsOperation) -> PostVerdict:
+        return PostVerdict.ALLOW
+
+    def added_latency_us(self, op: FsOperation) -> float:
+        return 0.0
+
+
+class FilterStack:
+    """Ordered collection of filter drivers attached to one VFS."""
+
+    def __init__(self) -> None:
+        self._filters: List[FilterDriver] = []
+        #: accumulated (filter name, op kind) -> [count, total extra us]
+        self.latency_ledger: dict = {}
+
+    def attach(self, filt: FilterDriver) -> None:
+        if filt in self._filters:
+            raise ValueError(f"filter {filt.name} already attached")
+        self._filters.append(filt)
+
+    def detach(self, filt: FilterDriver) -> None:
+        self._filters.remove(filt)
+
+    def __iter__(self):
+        return iter(self._filters)
+
+    def __len__(self) -> int:
+        return len(self._filters)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def run_pre(self, op: FsOperation) -> Tuple[Decision, Optional[FilterDriver], float]:
+        """Run pre-op hooks in order.
+
+        Returns (decision, deciding filter, extra latency charged).  The
+        first non-ALLOW decision wins and later filters are not consulted,
+        matching minifilter short-circuiting.
+        """
+        extra_us = 0.0
+        for filt in self._filters:
+            decision = filt.pre_operation(op)
+            charged = filt.added_latency_us(op)
+            extra_us += charged
+            self._ledger(filt, op, charged)
+            if decision is not Decision.ALLOW:
+                return decision, filt, extra_us
+        return Decision.ALLOW, None, extra_us
+
+    def run_post(self, op: FsOperation) -> Tuple[PostVerdict, Optional[FilterDriver], float]:
+        """Run post-op hooks; the first suspend verdict wins."""
+        extra_us = 0.0
+        verdict: PostVerdict = PostVerdict.ALLOW
+        decider: Optional[FilterDriver] = None
+        for filt in self._filters:
+            result = filt.post_operation(op)
+            charged = filt.added_latency_us(op)
+            extra_us += charged
+            self._ledger(filt, op, charged)
+            if result.suspend and not verdict.suspend:
+                verdict = result
+                decider = filt
+        return verdict, decider, extra_us
+
+    def _ledger(self, filt: FilterDriver, op: FsOperation, charged: float) -> None:
+        key = (filt.name, op.kind.latency_key)
+        bucket = self.latency_ledger.setdefault(key, [0, 0.0])
+        bucket[0] += 1
+        bucket[1] += charged

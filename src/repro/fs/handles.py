@@ -1,0 +1,92 @@
+"""Open-handle table.
+
+Handles bind a (process, file node) pair with a cursor and access-mode
+flags.  CLOSE events report whether the handle read or wrote during its
+lifetime — the trigger for CryptoDrop's close-time full-file inspection.
+Renames performed while a handle is open update the handle's recorded path,
+because the analysis engine keys per-file state by node id but reports
+human-readable paths.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, Optional
+
+from .errors import HandleClosed, InvalidHandle
+from .nodes import FileNode
+from .paths import WinPath
+
+__all__ = ["Handle", "HandleTable"]
+
+
+class Handle:
+    """One open file description."""
+
+    __slots__ = ("handle_id", "pid", "node", "path", "readable", "writable",
+                 "pos", "did_read", "did_write", "closed", "opened_us")
+
+    def __init__(self, handle_id: int, pid: int, node: FileNode, path: WinPath,
+                 readable: bool, writable: bool, opened_us: float) -> None:
+        self.handle_id = handle_id
+        self.pid = pid
+        self.node = node
+        self.path = path
+        self.readable = readable
+        self.writable = writable
+        self.pos = 0
+        self.did_read = False
+        self.did_write = False
+        self.closed = False
+        self.opened_us = opened_us
+
+    def __repr__(self) -> str:
+        mode = ("r" if self.readable else "") + ("w" if self.writable else "")
+        state = "closed" if self.closed else f"pos={self.pos}"
+        return f"Handle(#{self.handle_id} pid={self.pid} {mode} {self.path} {state})"
+
+
+class HandleTable:
+    """All open handles for one filesystem instance."""
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(4)  # Windows HANDLEs start small and even
+        self._open: Dict[int, Handle] = {}
+
+    def allocate(self, pid: int, node: FileNode, path: WinPath,
+                 readable: bool, writable: bool, now_us: float) -> Handle:
+        handle = Handle(next(self._ids), pid, node, path, readable, writable,
+                        now_us)
+        self._open[handle.handle_id] = handle
+        return handle
+
+    def require(self, handle: Handle, pid: int) -> Handle:
+        if handle.closed or handle.handle_id not in self._open:
+            raise HandleClosed(f"handle #{handle.handle_id}")
+        if handle.pid != pid:
+            raise InvalidHandle(
+                f"handle #{handle.handle_id} belongs to pid {handle.pid}, "
+                f"not {pid}")
+        return handle
+
+    def release(self, handle: Handle) -> None:
+        handle.closed = True
+        self._open.pop(handle.handle_id, None)
+
+    def open_handles(self) -> Iterator[Handle]:
+        return iter(self._open.values())
+
+    def handles_for_node(self, node_id: int) -> Iterator[Handle]:
+        for handle in self._open.values():
+            if handle.node.node_id == node_id:
+                yield handle
+
+    def repath_node(self, node_id: int, new_path: WinPath) -> None:
+        """After a rename, update the recorded path on live handles."""
+        for handle in self.handles_for_node(node_id):
+            handle.path = new_path
+
+    def open_count(self, pid: Optional[int] = None) -> int:
+        if pid is None:
+            return len(self._open)
+        return sum(1 for h in self._open.values() if h.pid == pid)

@@ -1,0 +1,152 @@
+"""Windows-semantics virtual paths.
+
+The CryptoDrop paper targets Windows, where paths are case-insensitive but
+case-preserving, use backslash separators, and are rooted at a drive letter.
+``WinPath`` reproduces exactly the semantics the detector and the workload
+simulators need, without depending on the host operating system:
+
+* parsing of both ``\\`` and ``/`` separators,
+* case-insensitive equality/hashing with case preservation for display,
+* prefix tests (``is_within``) used to scope the protected documents tree,
+* cheap parent/name/suffix accessors.
+
+Paths are immutable value objects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+__all__ = ["WinPath", "DOCUMENTS", "TEMP", "SYSTEM32", "APPDATA"]
+
+
+def _split(raw: str) -> Tuple[str, Tuple[str, ...]]:
+    """Split ``raw`` into (drive, parts). Accepts / or \\ separators."""
+    text = raw.replace("/", "\\")
+    drive = "C:"
+    if len(text) >= 2 and text[1] == ":":
+        drive = text[0].upper() + ":"
+        text = text[2:]
+    parts = tuple(piece for piece in text.split("\\") if piece not in ("", "."))
+    for piece in parts:
+        if piece == "..":
+            raise ValueError(f"relative traversal not supported: {raw!r}")
+    return drive, parts
+
+
+class WinPath:
+    """An absolute, normalised, case-insensitive Windows path."""
+
+    __slots__ = ("drive", "parts", "_key")
+
+    def __init__(self, raw: "WinPath | str") -> None:
+        if isinstance(raw, WinPath):
+            self.drive = raw.drive
+            self.parts = raw.parts
+            self._key = raw._key
+            return
+        drive, parts = _split(raw)
+        self.drive = drive
+        self.parts = parts
+        self._key = (drive.lower(), tuple(p.lower() for p in parts))
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def root(cls, drive: str = "C:") -> "WinPath":
+        return cls(drive + "\\")
+
+    def joinpath(self, *names: str) -> "WinPath":
+        child = WinPath.__new__(WinPath)
+        extra = []
+        for name in names:
+            extra.extend(piece for piece in name.replace("/", "\\").split("\\") if piece)
+        child.drive = self.drive
+        child.parts = self.parts + tuple(extra)
+        child._key = (self._key[0], self._key[1] + tuple(p.lower() for p in extra))
+        return child
+
+    def __truediv__(self, name: str) -> "WinPath":
+        return self.joinpath(name)
+
+    def with_name(self, name: str) -> "WinPath":
+        if not self.parts:
+            raise ValueError("root path has no name")
+        return self.parent / name
+
+    def with_suffix(self, suffix: str) -> "WinPath":
+        stem = self.stem
+        return self.with_name(stem + suffix)
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.parts[-1] if self.parts else ""
+
+    @property
+    def stem(self) -> str:
+        name = self.name
+        dot = name.rfind(".")
+        return name if dot <= 0 else name[:dot]
+
+    @property
+    def suffix(self) -> str:
+        """Extension including the dot, lower-cased (``.pdf``)."""
+        name = self.name
+        dot = name.rfind(".")
+        return "" if dot <= 0 else name[dot:].lower()
+
+    @property
+    def parent(self) -> "WinPath":
+        parent = WinPath.__new__(WinPath)
+        parent.drive = self.drive
+        parent.parts = self.parts[:-1]
+        parent._key = (self._key[0], self._key[1][:-1])
+        return parent
+
+    @property
+    def depth(self) -> int:
+        return len(self.parts)
+
+    def ancestors(self) -> Iterable["WinPath"]:
+        """Yield every ancestor, nearest first, ending at the drive root."""
+        node = self
+        while node.parts:
+            node = node.parent
+            yield node
+
+    def is_within(self, other: "WinPath") -> bool:
+        """True if self equals ``other`` or lies underneath it."""
+        odrive, oparts = other._key
+        sdrive, sparts = self._key
+        return sdrive == odrive and sparts[: len(oparts)] == oparts
+
+    def relative_parts(self, ancestor: "WinPath") -> Tuple[str, ...]:
+        if not self.is_within(ancestor):
+            raise ValueError(f"{self} is not within {ancestor}")
+        return self.parts[len(ancestor.parts):]
+
+    # -- value semantics ---------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, WinPath) and self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __lt__(self, other: "WinPath") -> bool:
+        return self._key < other._key
+
+    def __str__(self) -> str:
+        return self.drive + "\\" + "\\".join(self.parts)
+
+    def __repr__(self) -> str:
+        return f"WinPath({str(self)!r})"
+
+
+#: Well-known locations used throughout the reproduction.
+DOCUMENTS = WinPath(r"C:\Users\victim\Documents")
+TEMP = WinPath(r"C:\Users\victim\AppData\Local\Temp")
+APPDATA = WinPath(r"C:\Users\victim\AppData\Roaming")
+SYSTEM32 = WinPath(r"C:\Windows\System32")

@@ -1,0 +1,123 @@
+"""Process table.
+
+The virtual machine schedules workloads (ransomware, benign apps) as
+processes.  CryptoDrop can suspend "the suspicious process (or family of
+processes)" (paper §IV), so the table tracks parentage and exposes
+family-rooted aggregation: a family is the tree rooted at the outermost
+ancestor that is not a system process.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, Iterator, List, Optional
+
+from .errors import ProcessSuspended
+
+__all__ = ["ProcessState", "Process", "ProcessTable"]
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle states a process moves through."""
+    RUNNING = "running"
+    SUSPENDED = "suspended"
+    EXITED = "exited"
+
+
+class Process:
+    """One scheduled program instance."""
+
+    __slots__ = ("pid", "name", "image_path", "parent_pid", "state",
+                 "started_us", "suspend_reason", "is_system")
+
+    def __init__(self, pid: int, name: str, image_path: str = "",
+                 parent_pid: Optional[int] = None, started_us: float = 0.0,
+                 is_system: bool = False) -> None:
+        self.pid = pid
+        self.name = name
+        self.image_path = image_path
+        self.parent_pid = parent_pid
+        self.state = ProcessState.RUNNING
+        self.started_us = started_us
+        self.suspend_reason = ""
+        self.is_system = is_system
+
+    def __repr__(self) -> str:
+        return f"Process(pid={self.pid}, name={self.name!r}, {self.state.value})"
+
+
+class ProcessTable:
+    """Registry of live and exited processes."""
+
+    def __init__(self) -> None:
+        self._pids = itertools.count(1000, 4)  # Windows-style spaced pids
+        self._procs: Dict[int, Process] = {}
+
+    def spawn(self, name: str, image_path: str = "",
+              parent_pid: Optional[int] = None, started_us: float = 0.0,
+              is_system: bool = False) -> Process:
+        if parent_pid is not None and parent_pid not in self._procs:
+            raise KeyError(f"no such parent pid {parent_pid}")
+        proc = Process(next(self._pids), name, image_path, parent_pid,
+                       started_us, is_system)
+        self._procs[proc.pid] = proc
+        return proc
+
+    def get(self, pid: int) -> Process:
+        return self._procs[pid]
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._procs
+
+    def __iter__(self) -> Iterator[Process]:
+        return iter(self._procs.values())
+
+    # -- family tracking ---------------------------------------------------
+
+    def family_root(self, pid: int) -> int:
+        """Outermost non-system ancestor of ``pid`` (possibly itself)."""
+        proc = self._procs[pid]
+        root = proc
+        while proc.parent_pid is not None and proc.parent_pid in self._procs:
+            parent = self._procs[proc.parent_pid]
+            if parent.is_system:
+                break
+            root = parent
+            proc = parent
+        return root.pid
+
+    def family_members(self, pid: int) -> List[int]:
+        root = self.family_root(pid)
+        return [p.pid for p in self._procs.values()
+                if self.family_root(p.pid) == root]
+
+    # -- state transitions ---------------------------------------------------
+
+    def suspend_family(self, pid: int, reason: str) -> List[int]:
+        """Suspend ``pid`` and every process in its family; return pids."""
+        members = self.family_members(pid)
+        for member in members:
+            proc = self._procs[member]
+            if proc.state is ProcessState.RUNNING:
+                proc.state = ProcessState.SUSPENDED
+                proc.suspend_reason = reason
+        return members
+
+    def resume_family(self, pid: int) -> None:
+        for member in self.family_members(pid):
+            proc = self._procs[member]
+            if proc.state is ProcessState.SUSPENDED:
+                proc.state = ProcessState.RUNNING
+                proc.suspend_reason = ""
+
+    def exit(self, pid: int) -> None:
+        self._procs[pid].state = ProcessState.EXITED
+
+    def check_runnable(self, pid: int) -> None:
+        """Raise :class:`ProcessSuspended` if ``pid`` may not run."""
+        proc = self._procs[pid]
+        if proc.state is ProcessState.SUSPENDED:
+            raise ProcessSuspended(pid, proc.suspend_reason)
+        if proc.state is ProcessState.EXITED:
+            raise ProcessSuspended(pid, "process has exited")

@@ -1,0 +1,80 @@
+"""Operation recorder — a passive filter for experiment instrumentation.
+
+The experiments need the raw operation stream (Fig. 4's directory-access
+trees, Fig. 5's extension frequencies) without perturbing detection, so
+the recorder is a filter driver that charges no latency and never vetoes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Set, Tuple
+
+from .events import FsOperation, OpKind
+from .filters import FilterDriver, PostVerdict
+from .paths import WinPath
+
+__all__ = ["OpRecord", "OperationRecorder"]
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """A lightweight copy of one completed operation."""
+
+    kind: OpKind
+    pid: int
+    path: WinPath
+    dest_path: Optional[WinPath]
+    size: int
+    timestamp_us: float
+
+
+class OperationRecorder(FilterDriver):
+    """Record completed operations, optionally filtered by a predicate."""
+
+    name = "recorder"
+
+    def __init__(self, predicate: Optional[Callable[[FsOperation], bool]] = None,
+                 kinds: Optional[Set[OpKind]] = None) -> None:
+        self.predicate = predicate
+        self.kinds = kinds
+        self.records: List[OpRecord] = []
+
+    def post_operation(self, op: FsOperation) -> PostVerdict:
+        if self.kinds is not None and op.kind not in self.kinds:
+            return PostVerdict.ALLOW
+        if self.predicate is not None and not self.predicate(op):
+            return PostVerdict.ALLOW
+        self.records.append(OpRecord(op.kind, op.pid, op.path, op.dest_path,
+                                     op.size, op.timestamp_us))
+        return PostVerdict.ALLOW
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    # -- analysis helpers --------------------------------------------------
+
+    def touched_directories(self, pid: Optional[int] = None,
+                            kinds: Tuple[OpKind, ...] = (OpKind.READ,
+                                                         OpKind.WRITE)) -> Set[WinPath]:
+        """Directories where a matching op touched a file (Fig. 4)."""
+        dirs: Set[WinPath] = set()
+        for rec in self.records:
+            if pid is not None and rec.pid != pid:
+                continue
+            if rec.kind in kinds:
+                dirs.add(rec.path.parent)
+        return dirs
+
+    def accessed_extensions(self, pid: Optional[int] = None,
+                            kinds: Tuple[OpKind, ...] = (OpKind.READ,
+                                                         OpKind.WRITE,
+                                                         OpKind.OPEN)) -> Set[str]:
+        """Distinct file extensions touched (Fig. 5 counts one per sample)."""
+        exts: Set[str] = set()
+        for rec in self.records:
+            if pid is not None and rec.pid != pid:
+                continue
+            if rec.kind in kinds and rec.path.suffix:
+                exts.add(rec.path.suffix)
+        return exts

@@ -1,0 +1,158 @@
+"""Win32 file-API shim over the virtual filesystem.
+
+§V-E closes with the observation that CryptoDrop "is well-positioned to
+stop ransomware which manipulates the filesystem using high-level APIs".
+This adapter exposes that high-level surface — ``CreateFile`` with real
+creation dispositions, ``ReadFile``/``WriteFile``/``SetFilePointer``,
+``MoveFileEx``, ``DeleteFile`` — so workloads can be written against
+Windows semantics verbatim.  Every call lowers onto the ordinary VFS
+operations and therefore flows through the filter stack like any other
+I/O; the shim adds no side channel.
+
+Only the parameters the reproduction's workloads need are implemented;
+unsupported flag combinations raise ``ValueError`` rather than guessing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .errors import FileExists, FileNotFound
+from .handles import Handle
+from .paths import WinPath
+from .vfs import VirtualFileSystem
+
+__all__ = [
+    "Win32Api",
+    "GENERIC_READ", "GENERIC_WRITE",
+    "CREATE_NEW", "CREATE_ALWAYS", "OPEN_EXISTING", "OPEN_ALWAYS",
+    "TRUNCATE_EXISTING",
+    "FILE_BEGIN", "FILE_CURRENT", "FILE_END",
+    "MOVEFILE_REPLACE_EXISTING",
+]
+
+# dwDesiredAccess
+GENERIC_READ = 0x80000000
+GENERIC_WRITE = 0x40000000
+
+# dwCreationDisposition
+CREATE_NEW = 1
+CREATE_ALWAYS = 2
+OPEN_EXISTING = 3
+OPEN_ALWAYS = 4
+TRUNCATE_EXISTING = 5
+
+# SetFilePointer origins
+FILE_BEGIN = 0
+FILE_CURRENT = 1
+FILE_END = 2
+
+# MoveFileEx flags
+MOVEFILE_REPLACE_EXISTING = 0x1
+
+
+class Win32Api:
+    """Stateful Win32-style facade bound to one process."""
+
+    def __init__(self, vfs: VirtualFileSystem, pid: int) -> None:
+        self.vfs = vfs
+        self.pid = pid
+
+    # ------------------------------------------------------------------
+    # CreateFile and friends
+    # ------------------------------------------------------------------
+
+    def CreateFile(self, path: "WinPath | str", desired_access: int,
+                   creation_disposition: int) -> Handle:
+        """Open/create per the Windows disposition table."""
+        path = WinPath(path)
+        readable = bool(desired_access & GENERIC_READ)
+        writable = bool(desired_access & GENERIC_WRITE)
+        if not (readable or writable):
+            raise ValueError("desired_access must include read or write")
+        mode = ("r" if readable else "") + ("w" if writable else "")
+        exists = self.vfs.exists(path)
+
+        if creation_disposition == CREATE_NEW:
+            if exists:
+                raise FileExists(str(path))
+            return self.vfs.open(self.pid, path, mode, create=True)
+        if creation_disposition == CREATE_ALWAYS:
+            if not writable:
+                raise ValueError("CREATE_ALWAYS requires GENERIC_WRITE")
+            return self.vfs.open(self.pid, path, mode, create=not exists,
+                                 truncate=exists)
+        if creation_disposition == OPEN_EXISTING:
+            if not exists:
+                raise FileNotFound(str(path))
+            return self.vfs.open(self.pid, path, mode)
+        if creation_disposition == OPEN_ALWAYS:
+            return self.vfs.open(self.pid, path, mode, create=not exists)
+        if creation_disposition == TRUNCATE_EXISTING:
+            if not exists:
+                raise FileNotFound(str(path))
+            if not writable:
+                raise ValueError("TRUNCATE_EXISTING requires GENERIC_WRITE")
+            return self.vfs.open(self.pid, path, mode, truncate=True)
+        raise ValueError(f"unknown creation disposition "
+                         f"{creation_disposition}")
+
+    def ReadFile(self, handle: Handle,
+                 n_bytes: Optional[int] = None) -> bytes:
+        """Read from the current file pointer."""
+        return self.vfs.read(self.pid, handle, n_bytes)
+
+    def WriteFile(self, handle: Handle, data: bytes) -> int:
+        """Write at the current file pointer; returns bytes written."""
+        return self.vfs.write(self.pid, handle, data)
+
+    def SetFilePointer(self, handle: Handle, distance: int,
+                       move_method: int = FILE_BEGIN) -> int:
+        """Reposition the file pointer; returns the new position."""
+        if move_method == FILE_BEGIN:
+            position = distance
+        elif move_method == FILE_CURRENT:
+            position = handle.pos + distance
+        elif move_method == FILE_END:
+            position = handle.node.size + distance
+        else:
+            raise ValueError(f"unknown move method {move_method}")
+        if position < 0:
+            raise ValueError("negative file pointer")
+        self.vfs.seek(self.pid, handle, position)
+        return position
+
+    def SetEndOfFile(self, handle: Handle) -> None:
+        """Truncate the file at the current pointer."""
+        self.vfs.truncate_handle(self.pid, handle, handle.pos)
+
+    def CloseHandle(self, handle: Handle) -> None:
+        self.vfs.close(self.pid, handle)
+
+    # ------------------------------------------------------------------
+    # namespace operations
+    # ------------------------------------------------------------------
+
+    def MoveFileEx(self, src: "WinPath | str", dst: "WinPath | str",
+                   flags: int = 0) -> None:
+        self.vfs.rename(self.pid, WinPath(src), WinPath(dst),
+                        overwrite=bool(flags & MOVEFILE_REPLACE_EXISTING))
+
+    def DeleteFile(self, path: "WinPath | str") -> None:
+        self.vfs.delete(self.pid, WinPath(path))
+
+    def CreateDirectory(self, path: "WinPath | str") -> None:
+        self.vfs.mkdir(self.pid, WinPath(path))
+
+    def FindFiles(self, directory: "WinPath | str") -> list:
+        """FindFirstFile/FindNextFile, collapsed to one call."""
+        return self.vfs.listdir(self.pid, WinPath(directory))
+
+    def GetFileSize(self, path: "WinPath | str") -> int:
+        return self.vfs.stat(self.pid, WinPath(path)).size
+
+    def GetFileAttributes(self, path: "WinPath | str"):
+        return self.vfs.peek_stat(WinPath(path)).attrs
+
+    def PathFileExists(self, path: "WinPath | str") -> bool:
+        return self.vfs.exists(WinPath(path))

@@ -1,0 +1,15 @@
+"""Magic-number file-type identification (the paper's ``file`` utility).
+
+>>> from repro.magic import identify
+>>> identify(b"%PDF-1.5 ...").name
+'pdf'
+"""
+
+from .identifier import PREFIX_BYTES, identify, identify_name
+from .signatures import FILE_TYPES, SIGNATURES, Signature
+from .types import DATA, EMPTY, Category, FileType
+
+__all__ = [
+    "Category", "DATA", "EMPTY", "FILE_TYPES", "FileType", "PREFIX_BYTES",
+    "SIGNATURES", "Signature", "identify", "identify_name",
+]

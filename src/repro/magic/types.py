@@ -1,0 +1,57 @@
+"""File-type vocabulary.
+
+Types carry a category so the funneling indicator can also be analysed at
+category granularity, and an ``is_high_entropy`` hint used by corpus
+statistics and tests (compressed formats encrypt to a much smaller entropy
+*increase* than plain text — the effect §V-D discusses for the top four
+attacked formats).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FileType", "Category", "UNKNOWN", "EMPTY", "DATA"]
+
+
+class Category:
+    """Coarse content classes (string constants, not an enum, so custom
+    magic entries can introduce new categories without code changes)."""
+
+    DOCUMENT = "document"
+    SPREADSHEET = "spreadsheet"
+    PRESENTATION = "presentation"
+    IMAGE = "image"
+    AUDIO = "audio"
+    VIDEO = "video"
+    TEXT = "text"
+    ARCHIVE = "archive"
+    EXECUTABLE = "executable"
+    DATABASE = "database"
+    DATA = "data"
+
+
+@dataclass(frozen=True)
+class FileType:
+    """An identified file type, e.g. ``FileType('pdf', 'PDF document', ...)``."""
+
+    name: str                  # short stable identifier, e.g. "docx"
+    description: str           # `file`-utility style description
+    category: str = Category.DATA
+    is_high_entropy: bool = False
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Identification fell through every signature and heuristic: the byte
+#: distribution is unstructured.  This is what ciphertext identifies as, and
+#: a transition *to* DATA is the canonical type-change signal.
+DATA = FileType("data", "data", Category.DATA, is_high_entropy=True)
+
+#: Zero-length files have no type; type-change scoring skips them.
+EMPTY = FileType("empty", "empty", Category.DATA)
+
+#: Kept distinct from DATA for tests that need "signature miss" vs
+#: "statistically random" to be distinguishable.
+UNKNOWN = DATA

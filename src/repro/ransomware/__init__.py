@@ -1,0 +1,25 @@
+"""Ransomware family simulators (the paper's 492-sample live corpus).
+
+Behavioural stand-ins for the fourteen families of Table I: each performs
+its family's published traversal, transformation class (A/B/C), cipher,
+and ransom-note ritual against the virtual filesystem.  CryptoDrop never
+inspects the "malware" itself, so behaviour-true simulators exercise the
+identical detection channel as live samples.
+"""
+
+from .base import RansomwareSample, SampleProfile
+from .ciphers import ATTACKER_RSA, CipherEngine
+from .factory import (TOTAL_HAUL, TOTAL_INERT, TOTAL_WORKING,
+                      cohort_by_family, virustotal_haul, working_cohort)
+from .families import FAMILY_NAMES, all_profiles, instantiate
+from .notes import NOTE_FILENAMES, note_text, write_note
+from .traversal import PRODUCTIVITY_FIRST, STRATEGIES, order_targets, scan_tree
+
+__all__ = [
+    "ATTACKER_RSA", "CipherEngine", "FAMILY_NAMES", "NOTE_FILENAMES",
+    "PRODUCTIVITY_FIRST", "RansomwareSample", "STRATEGIES",
+    "SampleProfile", "TOTAL_HAUL", "TOTAL_INERT", "TOTAL_WORKING",
+    "all_profiles", "cohort_by_family", "instantiate", "note_text",
+    "order_targets", "scan_tree", "virustotal_haul", "working_cohort",
+    "write_note",
+]

@@ -1,0 +1,307 @@
+"""Ransomware behaviour machinery.
+
+The paper's taxonomy (§III) reduces encrypting ransomware to three
+transformation classes over the victim's documents:
+
+* **Class A** — in-place overwrite (open → read → write encrypted → close,
+  optional rename),
+* **Class B** — move the file out of the documents tree, transform it
+  there, move it back (possibly renamed),
+* **Class C** — write an *independent* ciphertext file, then dispose of
+  the original by deletion or move-over.
+
+:class:`RansomwareSample` executes one parameterised
+:class:`SampleProfile`; family modules produce profiles that match each
+family's published behaviour, and the factory stamps out the full
+492-sample cohort of Table I.  Every sample is deterministic given its
+seed, tolerant of per-file errors (locked/read-only files are skipped, as
+real samples do), and stops only when finished or suspended.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..fs.errors import FsError
+from ..fs.paths import WinPath
+from .ciphers import CipherEngine
+from .notes import write_note
+from .traversal import order_targets, scan_tree
+
+__all__ = ["SampleProfile", "RansomwareSample"]
+
+
+@dataclass
+class SampleProfile:
+    """Everything that makes one sample behave the way it does."""
+
+    family: str
+    variant: int
+    behavior_class: str                  # "A" | "B" | "C"
+    seed: int
+    cipher_kind: str = "chacha"
+    wrap_rsa: bool = False
+    traversal: str = "ext_priority"
+    extensions: Optional[Tuple[str, ...]] = None
+    min_size: int = 0
+    max_size: Optional[int] = None
+    skip_small: int = 0                  # ignore files below this size
+    rename_suffix: Optional[str] = ".encrypted"
+    scramble_names: bool = False         # Class B/C random destination names
+    note_mode: str = "per_dir"           # per_dir | once | none
+    note_first: bool = True              # drop the note before encrypting
+    read_chunk: int = 0                  # 0 = whole file
+    write_chunk: int = 0
+    #: Class A only: encrypt just the leading N bytes (GPcode.AK-style
+    #: header corruption; 0 = whole file).  Leaves the tail intact, so
+    #: similarity digests still partially match and never collapse.
+    encrypt_prefix_bytes: int = 0
+    class_c_disposal: str = "delete"     # delete | move_over
+    delete_fails: bool = False           # the 2008 GPcode quirk
+    delete_shadow_copies: bool = False
+    work_in_temp: bool = True            # Class B staging / Class C output
+    max_files: Optional[int] = None
+    inert_reason: Optional[str] = None   # set => the sample does nothing
+    #: "exe_stub" wraps ciphertext in a PE image (Virlock's file infection)
+    payload_wrapper: Optional[str] = None
+    #: byte signature shared by the family (for the signature-AV baseline)
+    family_marker: bytes = b""
+    polymorphic: bool = False
+
+    def __post_init__(self) -> None:
+        if self.behavior_class not in ("A", "B", "C"):
+            raise ValueError(f"bad behavior class {self.behavior_class!r}")
+        if self.class_c_disposal not in ("delete", "move_over"):
+            raise ValueError(f"bad disposal {self.class_c_disposal!r}")
+        if self.note_mode not in ("per_dir", "once", "none"):
+            raise ValueError(f"bad note mode {self.note_mode!r}")
+
+    @property
+    def sample_name(self) -> str:
+        return f"{self.family}-{self.variant:03d}"
+
+
+class RansomwareSample:
+    """One runnable malware instance (a *program* for the sandbox VM)."""
+
+    is_malware = True
+
+    def __init__(self, profile: SampleProfile) -> None:
+        self.profile = profile
+        self.seed = profile.seed
+        self.name = profile.sample_name + (
+            ".ps1" if profile.family == "poshcoder" else ".exe")
+        self.files_attacked: List[WinPath] = []
+        self.files_skipped: int = 0
+        self.notes_written: int = 0
+
+    # -- static artefacts ----------------------------------------------------
+
+    @property
+    def image_bytes(self) -> bytes:
+        """The on-disk image a signature AV would scan.
+
+        Non-polymorphic families share a marker blob (signature matchable);
+        polymorphic families (Virlock) and scripts (PoshCoder) vary nearly
+        every byte between variants.
+        """
+        p = self.profile
+        rng = random.Random(p.seed ^ 0x1A6E)
+        if p.family == "poshcoder":
+            body = (
+                "$key = [Convert]::FromBase64String('"
+                + rng.randbytes(24).hex() + "')\n"
+                "Get-ChildItem -Recurse $env:USERPROFILE\\Documents | "
+                "ForEach-Object { Encrypt-File $_ $key }\n"
+                "# powershell locker build " + str(p.variant) + "\n")
+            return body.encode()
+        header = b"MZ\x90\x00" + bytes(60)
+        if p.polymorphic:
+            return header + rng.randbytes(2048)
+        return (header + p.family_marker
+                + rng.randbytes(256)          # per-variant config block
+                + p.family_marker[::-1])
+
+    def __repr__(self) -> str:
+        p = self.profile
+        return (f"RansomwareSample({p.sample_name}, class={p.behavior_class},"
+                f" cipher={p.cipher_kind}, traversal={p.traversal})")
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, ctx) -> None:
+        p = self.profile
+        if p.inert_reason is not None:
+            self._run_inert(ctx)
+            return
+        rng = random.Random(p.seed)
+        cipher = CipherEngine(p.cipher_kind, p.seed, p.wrap_rsa)
+        if p.delete_shadow_copies:
+            ctx.shadow.delete_all(ctx.pid)
+        entries = scan_tree(ctx, ctx.docs_root, p.extensions)
+        entries = [e for e in entries
+                   if e[1] >= max(p.min_size, p.skip_small)
+                   and (p.max_size is None or e[1] <= p.max_size)]
+        targets = order_targets(entries, p.traversal, rng)
+        if p.max_files is not None:
+            targets = targets[:p.max_files]
+        noted_dirs = set()
+        if p.note_mode == "once":
+            write_note(ctx, ctx.docs_root, p.family, rng)
+            self.notes_written += 1
+        for path, _size, _depth in targets:
+            directory = path.parent
+            if (p.note_mode == "per_dir" and p.note_first
+                    and directory not in noted_dirs):
+                noted_dirs.add(directory)
+                try:
+                    write_note(ctx, directory, p.family, rng)
+                    self.notes_written += 1
+                except FsError:
+                    pass
+            try:
+                self._attack(ctx, rng, cipher, path)
+                self.files_attacked.append(path)
+            except FsError:
+                self.files_skipped += 1
+                continue
+            if (p.note_mode == "per_dir" and not p.note_first
+                    and directory not in noted_dirs):
+                noted_dirs.add(directory)
+                try:
+                    write_note(ctx, directory, p.family, rng)
+                    self.notes_written += 1
+                except FsError:
+                    pass
+        self._drop_key_blob(ctx, cipher)
+
+    def _run_inert(self, ctx) -> None:
+        """Mislabeled / C2-dead / VM-shy samples: no user-data activity."""
+        p = self.profile
+        scratch = ctx.temp_root / f"{p.sample_name}.tmp"
+        try:
+            if p.inert_reason in ("locker", "corrupt"):
+                ctx.write_file(scratch, b"\x00" * 64)
+            elif p.inert_reason == "c2_dead":
+                ctx.write_file(scratch, b"retrying C2 beacon...\n" * 4)
+            # "vm_aware" samples exit without touching the filesystem
+        except FsError:
+            pass
+
+    # -- per-file transforms -------------------------------------------------------
+
+    def _attack(self, ctx, rng: random.Random, cipher: CipherEngine,
+                path: WinPath) -> None:
+        handler = {"A": self._class_a, "B": self._class_b,
+                   "C": self._class_c}[self.profile.behavior_class]
+        handler(ctx, rng, cipher, path)
+
+    def _read_whole(self, ctx, handle) -> bytes:
+        chunk = self.profile.read_chunk
+        if chunk <= 0:
+            return ctx.read(handle)
+        pieces = []
+        while True:
+            piece = ctx.read(handle, chunk)
+            if not piece:
+                return b"".join(pieces)
+            pieces.append(piece)
+
+    def _write_whole(self, ctx, handle, payload: bytes) -> None:
+        chunk = self.profile.write_chunk
+        if chunk <= 0:
+            ctx.write(handle, payload)
+            return
+        for start in range(0, len(payload), chunk):
+            ctx.write(handle, payload[start:start + chunk])
+
+    def _dest_name(self, rng: random.Random, path: WinPath) -> WinPath:
+        p = self.profile
+        if p.scramble_names:
+            return path.parent / (rng.randbytes(8).hex()
+                                  + (p.rename_suffix or ""))
+        if p.rename_suffix:
+            return path.parent / (path.name + p.rename_suffix)
+        return path
+
+    def _transform(self, data: bytes, cipher: CipherEngine,
+                   rng: random.Random) -> bytes:
+        """Encrypt, then apply any family payload wrapper."""
+        enc = cipher.encrypt(data)
+        if self.profile.payload_wrapper == "exe_stub":
+            # Virlock-style file infection: the victim file rides inside a
+            # freshly mutated PE that will re-infect on launch.
+            stub = (b"MZ\x90\x00" + bytes(60)
+                    + b".text\x00\x00\x00" + rng.randbytes(384))
+            return stub + enc
+        return enc
+
+    def _class_a(self, ctx, rng: random.Random, cipher: CipherEngine,
+                 path: WinPath) -> None:
+        """Open, read, write encrypted in place, close, maybe rename."""
+        handle = ctx.open(path, "rw")
+        try:
+            data = self._read_whole(ctx, handle)
+            prefix = self.profile.encrypt_prefix_bytes
+            if prefix and len(data) > prefix:
+                enc = self._transform(data[:prefix], cipher, rng)[:prefix]
+            else:
+                enc = self._transform(data, cipher, rng)
+            ctx.seek(handle, 0)
+            self._write_whole(ctx, handle, enc)
+            if prefix == 0 and len(enc) < len(data):
+                ctx.vfs.truncate_handle(ctx.pid, handle, len(enc))
+        finally:
+            if not handle.closed:
+                ctx.close(handle)
+        dest = self._dest_name(rng, path)
+        if dest != path:
+            ctx.rename(path, dest)
+
+    def _class_b(self, ctx, rng: random.Random, cipher: CipherEngine,
+                 path: WinPath) -> None:
+        """Move out of the documents tree, transform, move back."""
+        staging = (ctx.temp_root if self.profile.work_in_temp
+                   else path.parent)
+        tmp = staging / (rng.randbytes(8).hex() + ".tmp")
+        ctx.rename(path, tmp)
+        handle = ctx.open(tmp, "rw")
+        try:
+            data = self._read_whole(ctx, handle)
+            enc = self._transform(data, cipher, rng)
+            ctx.seek(handle, 0)
+            self._write_whole(ctx, handle, enc)
+        finally:
+            if not handle.closed:
+                ctx.close(handle)
+        ctx.rename(tmp, self._dest_name(rng, path))
+
+    def _class_c(self, ctx, rng: random.Random, cipher: CipherEngine,
+                 path: WinPath) -> None:
+        """Independent output stream, then dispose of the original."""
+        p = self.profile
+        data = ctx.read_file(path, self.profile.read_chunk or None)
+        enc = self._transform(data, cipher, rng)
+        out_dir = ctx.temp_root if (p.work_in_temp
+                                    and p.class_c_disposal == "move_over") \
+            else path.parent
+        out = out_dir / (rng.randbytes(8).hex() + (p.rename_suffix or ".enc")) \
+            if p.scramble_names else out_dir / (path.name
+                                                + (p.rename_suffix or ".enc"))
+        ctx.write_file(out, enc, self.profile.write_chunk or None)
+        if p.class_c_disposal == "move_over":
+            ctx.rename(out, path)
+        elif not p.delete_fails:
+            ctx.delete(path)
+        # delete_fails: the sample *attempts* deletion but its legacy code
+        # path fails on modern attribute handling; originals survive.
+
+    def _drop_key_blob(self, ctx, cipher: CipherEngine) -> None:
+        """Stash the (wrapped) key blob the way real families do."""
+        try:
+            ctx.write_file(ctx.temp_root / f"{self.profile.sample_name}.key",
+                           cipher.key_blob())
+        except FsError:
+            pass

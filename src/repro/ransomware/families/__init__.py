@@ -1,0 +1,50 @@
+"""The fourteen ransomware families of Table I (plus Ransom-FUE).
+
+Each module documents the behaviour the paper observed for its family and
+builds deterministic :class:`~repro.ransomware.base.SampleProfile` lists
+matching Table I's per-class sample counts.
+"""
+
+from typing import Dict, List
+
+from ..base import RansomwareSample, SampleProfile
+from . import (cryptodefense, cryptolocker, cryptowall, ctblocker,
+               filecoder, gpcode, minor, teslacrypt, virlock, xorist)
+from .virlock import VirlockSample
+
+__all__ = ["ALL_FAMILY_MODULES", "all_profiles", "instantiate",
+           "FAMILY_NAMES"]
+
+ALL_FAMILY_MODULES = (teslacrypt, ctblocker, cryptolocker, cryptowall,
+                      cryptodefense, filecoder, gpcode, virlock, xorist,
+                      minor)
+
+#: every family name in the cohort, in Table I order
+FAMILY_NAMES = (
+    "cryptodefense", "cryptofortress", "cryptolocker",
+    "cryptolocker-copycat", "cryptotorlocker2015", "cryptowall",
+    "ctb-locker", "filecoder", "gpcode", "mbladvisory", "poshcoder",
+    "ransom-fue", "teslacrypt", "virlock", "xorist",
+)
+
+
+def all_profiles(base_seed: int = 0) -> List[SampleProfile]:
+    """All 492 working-sample profiles, Table I composition."""
+    profiles: List[SampleProfile] = []
+    for module in ALL_FAMILY_MODULES:
+        profiles.extend(module.profiles(base_seed))
+    return profiles
+
+
+def instantiate(profile: SampleProfile) -> RansomwareSample:
+    """Build the runnable sample for a profile (family-specific classes)."""
+    if profile.family == "virlock":
+        return VirlockSample(profile)
+    return RansomwareSample(profile)
+
+
+def profiles_by_family(base_seed: int = 0) -> Dict[str, List[SampleProfile]]:
+    grouped: Dict[str, List[SampleProfile]] = {}
+    for profile in all_profiles(base_seed):
+        grouped.setdefault(profile.family, []).append(profile)
+    return grouped

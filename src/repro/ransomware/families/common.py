@@ -1,0 +1,33 @@
+"""Shared vocabulary for family profile builders."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Tuple
+
+__all__ = ["sample_seed", "OFFICE_EXTS", "BROAD_EXTS", "MEDIA_EXTS",
+           "TEXT_EXTS"]
+
+#: classic document targets (CryptoLocker-era lists)
+OFFICE_EXTS: Tuple[str, ...] = (
+    ".doc", ".docx", ".xls", ".xlsx", ".ppt", ".pptx", ".pdf", ".rtf",
+    ".odt", ".ods", ".txt", ".csv", ".xml",
+)
+
+#: everything a modern family sweeps (TeslaCrypt/CryptoWall-era lists)
+BROAD_EXTS: Tuple[str, ...] = OFFICE_EXTS + (
+    ".md", ".html", ".jpg", ".png", ".gif", ".bmp", ".mp3", ".wav",
+    ".m4a", ".flac", ".sqlite",
+)
+
+MEDIA_EXTS: Tuple[str, ...] = (".jpg", ".png", ".gif", ".bmp", ".mp3",
+                               ".wav", ".m4a", ".flac")
+
+TEXT_EXTS: Tuple[str, ...] = (".txt", ".md")
+
+
+def sample_seed(family: str, variant: int, base_seed: int) -> int:
+    """Stable per-sample seed: every run of the cohort is identical."""
+    digest = hashlib.sha256(
+        f"{family}:{variant}:{base_seed}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")

@@ -1,0 +1,45 @@
+"""CryptoDefense — 18 samples, all Class C (Table I; family median 6.5).
+
+The archetype of the union-evading Class C population (§V-B2): ciphertext
+goes into an independent ``HOW_DECRYPT``-branded sibling file and the
+original is *deleted*, never overwritten — so no baseline linking, no
+similarity or type-change measurements, no union indication.  Detection
+rides entirely on "the large number of high-entropy writes and deletes":
+these builds write in small chunks, so the non-union threshold fills
+quickly (the paper's evading-subset median was 6 files).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..base import SampleProfile
+from .common import OFFICE_EXTS, sample_seed
+
+__all__ = ["FAMILY", "MARKER", "CLASS_COUNTS", "profiles"]
+
+FAMILY = "cryptodefense"
+MARKER = b"CRYPTODEFENSE\x00how_decrypt\x00"
+CLASS_COUNTS = {"C": 18}
+
+
+def profiles(base_seed: int = 0) -> List[SampleProfile]:
+    out: List[SampleProfile] = []
+    for variant in range(CLASS_COUNTS["C"]):
+        seed = sample_seed(FAMILY, variant, base_seed)
+        rng = random.Random(seed)
+        out.append(SampleProfile(
+            family=FAMILY, variant=variant, behavior_class="C", seed=seed,
+            cipher_kind="rc4",
+            traversal="ext_priority",
+            extensions=OFFICE_EXTS,
+            rename_suffix=".encrypted",
+            note_mode="per_dir", note_first=True,
+            read_chunk=rng.choice([2048, 4096]),
+            write_chunk=1536,
+            class_c_disposal="delete",
+            work_in_temp=False,             # ciphertext lands beside victims
+            family_marker=MARKER,
+        ))
+    return out

@@ -1,0 +1,50 @@
+"""CryptoLocker — the family that made crypto-ransomware famous.
+
+31 working samples in the cohort: 13 Class A, 16 Class B, 2 Class C
+(Table I; family median 10).  Behaviour modelled on the 2013-2014 builds:
+a curated extension list of documents, plain depth-first traversal,
+originals kept under their own names (no marker extension), per-directory
+DECRYPT_INSTRUCTION notes dropped *after* the directory is processed.
+Class B builds stage victims through %TEMP%; the Class C stragglers write
+side-by-side ciphertext and delete the original.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..base import SampleProfile
+from .common import OFFICE_EXTS, sample_seed
+
+__all__ = ["FAMILY", "MARKER", "CLASS_COUNTS", "profiles"]
+
+FAMILY = "cryptolocker"
+MARKER = b"CRYPTOLOCKER\x002048\x00\x13\x37"
+CLASS_COUNTS = {"A": 13, "B": 16, "C": 2}
+
+
+def profiles(base_seed: int = 0) -> List[SampleProfile]:
+    out: List[SampleProfile] = []
+    variant = 0
+    for behavior, count in (("A", 13), ("B", 16), ("C", 2)):
+        for _ in range(count):
+            seed = sample_seed(FAMILY, variant, base_seed)
+            rng = random.Random(seed)
+            out.append(SampleProfile(
+                family=FAMILY, variant=variant, behavior_class=behavior,
+                seed=seed,
+                cipher_kind="aes", wrap_rsa=True,
+                traversal=rng.choice(["dfs", "ext_priority"]),
+                extensions=OFFICE_EXTS,
+                rename_suffix=None,          # keeps original names
+                scramble_names=behavior == "B",
+                note_mode="per_dir", note_first=False,
+                read_chunk=0,
+                write_chunk=rng.choice([16384, 65536]),
+                class_c_disposal="move_over",
+                work_in_temp=behavior == "B",
+                family_marker=MARKER,
+            ))
+            variant += 1
+    return out

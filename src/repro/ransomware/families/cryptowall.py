@@ -1,0 +1,47 @@
+"""CryptoWall — CryptoDefense's successor (8 samples: 2 A, 6 C).
+
+Modelled behaviour: deletes volume shadow copies first (like its McAfee
+writeups), prefers productivity formats, and the Class C majority stages
+ciphertext in %TEMP% then **moves it over the original** — the linkable
+Class C variant that still reaches union indication (§V-B2).  Family
+median files lost: 10.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..base import SampleProfile
+from .common import BROAD_EXTS, sample_seed
+
+__all__ = ["FAMILY", "MARKER", "CLASS_COUNTS", "profiles"]
+
+FAMILY = "cryptowall"
+MARKER = b"CRYPTOWALL3\x00I2P\x00\xc4\x11"
+CLASS_COUNTS = {"A": 2, "C": 6}
+
+
+def profiles(base_seed: int = 0) -> List[SampleProfile]:
+    out: List[SampleProfile] = []
+    variant = 0
+    for behavior, count in (("A", 2), ("C", 6)):
+        for _ in range(count):
+            seed = sample_seed(FAMILY, variant, base_seed)
+            rng = random.Random(seed)
+            out.append(SampleProfile(
+                family=FAMILY, variant=variant, behavior_class=behavior,
+                seed=seed,
+                cipher_kind="aes", wrap_rsa=True,
+                traversal="ext_priority",
+                extensions=BROAD_EXTS,
+                rename_suffix=None,
+                note_mode="per_dir", note_first=False,
+                write_chunk=rng.choice([16384, 32768]),
+                class_c_disposal="move_over",
+                work_in_temp=False,  # .encrypted sibling, then move-over
+                delete_shadow_copies=True,
+                family_marker=MARKER,
+            ))
+            variant += 1
+    return out

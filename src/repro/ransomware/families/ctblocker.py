@@ -1,0 +1,69 @@
+"""CTB-Locker — 122 samples (24.80%), the paper's hardest family.
+
+Paper observations reproduced here:
+
+* almost entirely **Class B** (120 samples; one A, one C),
+* "attacks files with certain extensions (.txt and .md) in **ascending
+  order by file size**", hopping directories freely (Fig. 4b),
+* because the smallest victims are under 512 bytes, **sdhash cannot score
+  them**, union indication is delayed, and the family posts the highest
+  median files lost (29) — 26 of the lost files were < 512 B (§V-C),
+* moves victims through a staging location and back under a different
+  name ("the destination file name may not match the original during any
+  move"), historically with the ``.ctbl`` extension.
+
+CTB-Locker's real cipher was unusual too (ECDH + AES); the bulk stream
+here is the ChaCha20 engine — indistinguishable to the indicators.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..base import SampleProfile
+from .common import TEXT_EXTS, sample_seed
+
+__all__ = ["FAMILY", "MARKER", "CLASS_COUNTS", "profiles"]
+
+FAMILY = "ctb-locker"
+MARKER = b"CTB\x01LOCKER\x7f\xe2curve25519"
+CLASS_COUNTS = {"A": 1, "B": 120, "C": 1}
+
+
+def _base(variant: int, behavior: str, seed: int,
+          rng: random.Random) -> SampleProfile:
+    return SampleProfile(
+        family=FAMILY, variant=variant, behavior_class=behavior, seed=seed,
+        cipher_kind="chacha", traversal="size_ascending",
+        extensions=TEXT_EXTS,
+        rename_suffix=".ctbl", scramble_names=True,
+        note_mode="once", note_first=True,
+        write_chunk=rng.choice([0, 4096]),
+        work_in_temp=True,
+        family_marker=MARKER,
+    )
+
+
+def profiles(base_seed: int = 0) -> List[SampleProfile]:
+    out: List[SampleProfile] = []
+    variant = 0
+    for behavior, count in (("A", CLASS_COUNTS["A"]),
+                            ("B", CLASS_COUNTS["B"]),
+                            ("C", CLASS_COUNTS["C"])):
+        for _ in range(count):
+            seed = sample_seed(FAMILY, variant, base_seed)
+            rng = random.Random(seed)
+            profile = _base(variant, behavior, seed, rng)
+            if behavior == "C":
+                # the family's lone off-class build ranged wider than the
+                # kit's txt/md list and dropped .encrypted siblings
+                profile.class_c_disposal = "delete"
+                profile.scramble_names = False
+                profile.extensions = None
+                profile.traversal = "ext_priority"
+                profile.write_chunk = 4096
+                profile.read_chunk = 4096
+            out.append(profile)
+            variant += 1
+    return out

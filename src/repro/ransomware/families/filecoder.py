@@ -1,0 +1,54 @@
+"""Filecoder — 72 samples (51 A, 9 B, 12 C; family median 10).
+
+"Filecoder" is less a family than a generic AV detection bucket — the
+paper notes it (with CryptoLocker) showed "the greatest diversity" and
+that the name is "often used as generic ransomware detection names"
+(§V-A).  Accordingly these profiles are deliberately heterogeneous:
+ciphers, traversals, chunk sizes, rename habits, and disposal methods all
+vary per sample, seeded deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..base import SampleProfile
+from .common import BROAD_EXTS, OFFICE_EXTS, sample_seed
+
+__all__ = ["FAMILY", "MARKER", "CLASS_COUNTS", "profiles"]
+
+FAMILY = "filecoder"
+MARKER = b"FILECODER_GENERIC\x00\x99"
+CLASS_COUNTS = {"A": 51, "B": 9, "C": 12}
+
+_SUFFIXES = (".crypt", ".locked", ".enc", ".crypted", None)
+
+
+def profiles(base_seed: int = 0) -> List[SampleProfile]:
+    out: List[SampleProfile] = []
+    variant = 0
+    for behavior, count in (("A", 51), ("B", 9), ("C", 12)):
+        for _ in range(count):
+            seed = sample_seed(FAMILY, variant, base_seed)
+            rng = random.Random(seed)
+            out.append(SampleProfile(
+                family=FAMILY, variant=variant, behavior_class=behavior,
+                seed=seed,
+                cipher_kind=rng.choice(["chacha", "rc4", "aes", "xor"]),
+                traversal=rng.choice(["dfs", "ext_priority", "shuffled",
+                                      "top_down"]),
+                extensions=rng.choice([BROAD_EXTS, OFFICE_EXTS]),
+                rename_suffix=rng.choice(_SUFFIXES),
+                scramble_names=rng.random() < 0.3,
+                note_mode=rng.choice(["per_dir", "once"]),
+                note_first=rng.random() < 0.5,
+                read_chunk=rng.choice([0, 8192, 65536]),
+                write_chunk=rng.choice([0, 8192, 16384, 65536]),
+                class_c_disposal=("move_over" if rng.random() < 0.8
+                                  else "delete"),
+                work_in_temp=rng.random() < 0.6,
+                family_marker=MARKER,
+            ))
+            variant += 1
+    return out

@@ -1,0 +1,70 @@
+"""GPcode — the oldest family in the cohort (13 samples, first seen 2008).
+
+Paper observations reproduced here:
+
+* 12 Class A samples plus one notorious Class C,
+* "accesses files **starting at the root directory and moving down the
+  tree**" (Fig. 4c),
+* the Class C sample "did not modify or delete any of our test files
+  before being detected": it wrote independent ciphertext files and
+  *attempted* to delete originals, but "some of our test files were
+  marked read-only on the filesystem, which this sample was uniquely
+  unable to work around" — its legacy deletion path fails outright
+  (``delete_fails``), so CryptoDrop catches it on the entropy delta with
+  **zero files lost**,
+* GPcode is the canonical embedded-RSA-public-key family: a per-victim
+  session key is wrapped with the attacker's key (``wrap_rsa``).
+
+The Class A builds favour large, information-rich files, which makes them
+comparatively slow to convict (family median 22): their early reads are
+high-entropy, so the write/read delta — and with it union indication —
+emerges late (§V-B1's "samples which attack high entropy files first
+experience a delay").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..base import SampleProfile
+from .common import OFFICE_EXTS, sample_seed
+
+__all__ = ["FAMILY", "MARKER", "CLASS_COUNTS", "profiles"]
+
+FAMILY = "gpcode"
+MARKER = b"GPCODE.AK\x00RSA1024\x00\xde\xad"
+CLASS_COUNTS = {"A": 12, "C": 1}
+
+
+def profiles(base_seed: int = 0) -> List[SampleProfile]:
+    out: List[SampleProfile] = []
+    for variant in range(CLASS_COUNTS["A"]):
+        seed = sample_seed(FAMILY, variant, base_seed)
+        rng = random.Random(seed)
+        out.append(SampleProfile(
+            family=FAMILY, variant=variant, behavior_class="A", seed=seed,
+            cipher_kind="rc4", wrap_rsa=True,
+            traversal="top_down",
+            extensions=OFFICE_EXTS,
+            skip_small=rng.choice([6144, 8192]),
+            rename_suffix="._CRYPT",
+            note_mode="per_dir", note_first=False,
+            read_chunk=0, write_chunk=0,  # single whole-file write
+            # GPcode.AK corrupts headers rather than whole files: the tail
+            # survives, so similarity digests never fully collapse and the
+            # family stays slow to convict (median 22 in Table I)
+            encrypt_prefix_bytes=rng.choice([2048, 3072]),
+            family_marker=MARKER,
+        ))
+    seed = sample_seed(FAMILY, 900, base_seed)
+    out.append(SampleProfile(
+        family=FAMILY, variant=900, behavior_class="C", seed=seed,
+        cipher_kind="rc4", wrap_rsa=True,
+        traversal="top_down", extensions=OFFICE_EXTS,
+        rename_suffix="._CRYPT", class_c_disposal="delete",
+        delete_fails=True, work_in_temp=False,
+        note_mode="per_dir", note_first=False,
+        family_marker=MARKER,
+    ))
+    return out

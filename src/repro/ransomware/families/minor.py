@@ -1,0 +1,119 @@
+"""The cohort's single- and double-sample families (Table I).
+
+* **CryptoFortress** (2 × A, median 14) — a TorrentLocker mimic; plain
+  depth-first sweep, whole-file writes, ``READ IF YOU WANT YOUR FILES
+  BACK`` note once.
+* **CryptoLocker copycat** (1 × B, 1 × C, median 20) — a crude clone;
+  shuffled traversal, single whole-file operations, office documents only.
+* **CryptoTorLocker2015** (1 × A, median 3) — extremely aggressive: 1 KiB
+  chunk I/O hammers the entropy indicator, broad extension list, notes
+  everywhere.
+* **MBL Advisory** (1 × C, median 9) — stages ciphertext in %TEMP% and
+  moves it over the original (linkable Class C).
+* **PoshCoder** (1 × A, median 10) — implemented in PowerShell (§V-E);
+  its on-disk image is script text, trivially morphed, which the
+  signature-AV baseline experiment exploits.
+* **Ransom-FUE** (1 × B, median 19) — the sample AV vendors could not
+  even agree a family for; excluded from family counts in the paper but
+  present in the 492.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..base import SampleProfile
+from .common import BROAD_EXTS, OFFICE_EXTS, sample_seed
+
+__all__ = ["MINOR_FAMILIES", "profiles"]
+
+
+def _fortress(base_seed: int) -> List[SampleProfile]:
+    out = []
+    for variant in range(2):
+        seed = sample_seed("cryptofortress", variant, base_seed)
+        out.append(SampleProfile(
+            family="cryptofortress", variant=variant, behavior_class="A",
+            seed=seed, cipher_kind="aes", traversal="dfs",
+            extensions=BROAD_EXTS, rename_suffix=".frtrss",
+            note_mode="once", read_chunk=0, write_chunk=0,
+            family_marker=b"CRYPTOFORTRESS\x00\x31"))
+    return out
+
+
+def _copycat(base_seed: int) -> List[SampleProfile]:
+    out = []
+    for variant, behavior in ((0, "B"), (1, "C")):
+        seed = sample_seed("cryptolocker-copycat", variant, base_seed)
+        out.append(SampleProfile(
+            family="cryptolocker-copycat", variant=variant,
+            behavior_class=behavior, seed=seed,
+            cipher_kind="xor" if behavior == "B" else "chacha",
+            traversal="shuffled",
+            extensions=OFFICE_EXTS, rename_suffix=None,
+            scramble_names=True, note_mode="once", note_first=False,
+            read_chunk=0 if behavior == "B" else 4096,
+            write_chunk=0 if behavior == "B" else 4096,
+            class_c_disposal="delete", work_in_temp=True,
+            family_marker=b"CL_COPYCAT\x00\x01"))
+    return out
+
+
+def _torlocker(base_seed: int) -> List[SampleProfile]:
+    seed = sample_seed("cryptotorlocker2015", 0, base_seed)
+    return [SampleProfile(
+        family="cryptotorlocker2015", variant=0, behavior_class="A",
+        seed=seed, cipher_kind="chacha", traversal="ext_priority",
+        extensions=BROAD_EXTS, rename_suffix=".CryptoTorLocker2015!",
+        note_mode="per_dir", note_first=True,
+        read_chunk=1024, write_chunk=1024,
+        family_marker=b"TORLOCKER2015\x00\x05")]
+
+
+def _mbl(base_seed: int) -> List[SampleProfile]:
+    seed = sample_seed("mbladvisory", 0, base_seed)
+    return [SampleProfile(
+        family="mbladvisory", variant=0, behavior_class="C", seed=seed,
+        cipher_kind="rc4", traversal="ext_priority",
+        extensions=OFFICE_EXTS, rename_suffix=None, scramble_names=True,
+        note_mode="once", class_c_disposal="move_over", work_in_temp=False,
+        write_chunk=8192,
+        family_marker=b"MBL_ADVISORY\x00\x77")]
+
+
+def _poshcoder(base_seed: int) -> List[SampleProfile]:
+    seed = sample_seed("poshcoder", 0, base_seed)
+    return [SampleProfile(
+        family="poshcoder", variant=0, behavior_class="A", seed=seed,
+        cipher_kind="aes", traversal="ext_priority",
+        extensions=OFFICE_EXTS, rename_suffix=".poshcoder",
+        note_mode="per_dir", note_first=False,
+        read_chunk=0, write_chunk=32768,
+        family_marker=b"")]  # a script: no stable binary signature
+
+
+def _ransomfue(base_seed: int) -> List[SampleProfile]:
+    seed = sample_seed("ransom-fue", 0, base_seed)
+    return [SampleProfile(
+        family="ransom-fue", variant=0, behavior_class="B", seed=seed,
+        cipher_kind="rc4", traversal="shuffled",
+        extensions=(".docx", ".xlsx", ".pptx", ".odt"), rename_suffix=".fue", scramble_names=False,
+        note_mode="once", read_chunk=0, write_chunk=0, work_in_temp=True,
+        family_marker=b"RANSOM_FUE\x00\xfe")]
+
+
+MINOR_FAMILIES = {
+    "cryptofortress": _fortress,
+    "cryptolocker-copycat": _copycat,
+    "cryptotorlocker2015": _torlocker,
+    "mbladvisory": _mbl,
+    "poshcoder": _poshcoder,
+    "ransom-fue": _ransomfue,
+}
+
+
+def profiles(base_seed: int = 0) -> List[SampleProfile]:
+    out: List[SampleProfile] = []
+    for builder in MINOR_FAMILIES.values():
+        out.extend(builder(base_seed))
+    return out

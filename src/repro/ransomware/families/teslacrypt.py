@@ -1,0 +1,63 @@
+"""TeslaCrypt — the campaign's largest family (149 samples, 30.28%).
+
+Paper observations reproduced here:
+
+* overwhelmingly **Class A** (148 samples; one Class C outlier),
+* **depth-first traversal that only starts encrypting once the deepest
+  directory is reached** (Fig. 4a),
+* writes the ransom demand into a directory *before* encrypting there —
+  "the sample did not begin encrypting files in the first directory it
+  accessed, instead writing the decryption instructions/ransom demand
+  into that directory" (§V-C),
+* **disables and removes the Windows volume shadow copies** before the
+  attack (§III, citing McAfee's TeslaCrypt analysis),
+* historical builds renamed victims with .ecc/.ezz/.exx/.vvv extensions
+  and used AES for bulk encryption.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..base import SampleProfile
+from .common import BROAD_EXTS, sample_seed
+
+__all__ = ["FAMILY", "MARKER", "CLASS_COUNTS", "profiles"]
+
+FAMILY = "teslacrypt"
+MARKER = b"TESLACRYPT_CORE_v2\x00\x88\x41"
+CLASS_COUNTS = {"A": 148, "C": 1}
+
+_SUFFIXES = (".ecc", ".ezz", ".exx", ".vvv", ".ccc")
+
+
+def profiles(base_seed: int = 0) -> List[SampleProfile]:
+    out: List[SampleProfile] = []
+    for variant in range(CLASS_COUNTS["A"]):
+        seed = sample_seed(FAMILY, variant, base_seed)
+        rng = random.Random(seed)
+        out.append(SampleProfile(
+            family=FAMILY, variant=variant, behavior_class="A", seed=seed,
+            cipher_kind="aes", traversal="dfs_deepest_first",
+            extensions=BROAD_EXTS,
+            rename_suffix=rng.choice(_SUFFIXES),
+            note_mode="per_dir", note_first=True,
+            read_chunk=rng.choice([0, 65536]),
+            write_chunk=rng.choice([16384, 32768, 65536]),
+            delete_shadow_copies=True,
+            family_marker=MARKER,
+        ))
+    # the lone Class C build: stages ciphertext then moves it over the
+    # original, which links old and new content (§V-B2's 41-of-63 path)
+    seed = sample_seed(FAMILY, 900, base_seed)
+    out.append(SampleProfile(
+        family=FAMILY, variant=900, behavior_class="C", seed=seed,
+        cipher_kind="aes", traversal="dfs_deepest_first",
+        extensions=BROAD_EXTS, rename_suffix=".vvv",
+        class_c_disposal="move_over", work_in_temp=False,
+        note_mode="per_dir", note_first=True,
+        write_chunk=32768, delete_shadow_copies=True,
+        family_marker=MARKER,
+    ))
+    return out

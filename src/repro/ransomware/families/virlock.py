@@ -1,0 +1,60 @@
+"""Virlock — 20 samples, all Class C (Table I; family median 8).
+
+Virlock is simultaneously ransomware and a **polymorphic file infector**:
+every victim file is swallowed into a freshly mutated PE that re-infects
+when launched.  Reproduced quirks:
+
+* **Class C with move-over disposal** — the infected PE is built as an
+  independent file and then moved over the original, so CryptoDrop links
+  old and new content and reaches union indication (§V-B2's 41-of-63
+  linkable subset),
+* ``payload_wrapper="exe_stub"`` — outputs are executables, so the type
+  transition is "document → PE32 executable" rather than "→ data",
+* ``polymorphic=True`` — no stable byte signature exists across variants
+  (the signature-AV baseline whiffs on this family),
+* the real malware runs as a self-replicating swarm; samples spawn child
+  processes, exercising CryptoDrop's process-*family* scoring.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..base import RansomwareSample, SampleProfile
+from .common import BROAD_EXTS, sample_seed
+
+__all__ = ["FAMILY", "MARKER", "CLASS_COUNTS", "profiles", "VirlockSample"]
+
+FAMILY = "virlock"
+MARKER = b""  # polymorphic: nothing stable to sign
+CLASS_COUNTS = {"C": 20}
+
+
+class VirlockSample(RansomwareSample):
+    """Runs the attack from a spawned child, as the swarm does."""
+
+    def run(self, ctx) -> None:
+        child = ctx.spawn_child(self.name.replace(".exe", "-drone.exe"))
+        super().run(child)
+
+
+def profiles(base_seed: int = 0) -> List[SampleProfile]:
+    out: List[SampleProfile] = []
+    for variant in range(CLASS_COUNTS["C"]):
+        seed = sample_seed(FAMILY, variant, base_seed)
+        rng = random.Random(seed)
+        out.append(SampleProfile(
+            family=FAMILY, variant=variant, behavior_class="C", seed=seed,
+            cipher_kind="chacha",
+            traversal=rng.choice(["dfs", "shuffled"]),
+            extensions=BROAD_EXTS,
+            rename_suffix=".exe",
+            note_mode="once", note_first=True,
+            write_chunk=rng.choice([32768, 65536]),
+            class_c_disposal="move_over",
+            work_in_temp=False,  # infected PE is built beside the victim
+            payload_wrapper="exe_stub",
+            polymorphic=True,
+        ))
+    return out

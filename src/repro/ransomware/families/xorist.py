@@ -1,0 +1,43 @@
+"""Xorist — 51 samples, all Class A (Table I; family median 3).
+
+A builder-kit family whose kits let operators pick **XOR or TEA** as the
+cipher — deliberately weak crypto that nonetheless destroys the data.
+Builds are extremely aggressive: tiny write chunks hammer the entropy
+indicator many times per file, the ``.EnCiPhErEd`` rename and in-place
+overwrite trip type-change and similarity immediately, and notes go into
+every directory — which is why the family posts the fastest convictions
+in Table I (median 3 files lost).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..base import SampleProfile
+from .common import BROAD_EXTS, sample_seed
+
+__all__ = ["FAMILY", "MARKER", "CLASS_COUNTS", "profiles"]
+
+FAMILY = "xorist"
+MARKER = b"XORIST_BUILDER\x00TEA\x00\x42"
+CLASS_COUNTS = {"A": 51}
+
+
+def profiles(base_seed: int = 0) -> List[SampleProfile]:
+    out: List[SampleProfile] = []
+    for variant in range(CLASS_COUNTS["A"]):
+        seed = sample_seed(FAMILY, variant, base_seed)
+        rng = random.Random(seed)
+        out.append(SampleProfile(
+            family=FAMILY, variant=variant, behavior_class="A", seed=seed,
+            cipher_kind=rng.choice(["xor", "tea"]),
+            traversal="ext_priority",
+            extensions=BROAD_EXTS,
+            rename_suffix=".EnCiPhErEd",
+            note_mode="per_dir", note_first=True,
+            read_chunk=1024,
+            write_chunk=1024,
+            family_marker=MARKER,
+        ))
+    return out

@@ -1,0 +1,75 @@
+"""Ransom notes.
+
+"Ransomware often writes ransom payment instructions into new text files
+in every directory" (§IV-C1) — these are the "small, low-entropy writes"
+the weighted entropy mean must shrug off.  Each family gets a plausible
+note (modelled on published samples; no real onion addresses or wallets).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..fs.paths import WinPath
+
+__all__ = ["note_text", "write_note", "NOTE_FILENAMES"]
+
+NOTE_FILENAMES = {
+    "teslacrypt": "HELP_TO_DECRYPT_YOUR_FILES.txt",
+    "ctb-locker": "Decrypt-All-Files.txt",
+    "cryptolocker": "DECRYPT_INSTRUCTION.TXT",
+    "cryptowall": "HELP_DECRYPT.TXT",
+    "cryptodefense": "HOW_DECRYPT.TXT",
+    "cryptofortress": "READ IF YOU WANT YOUR FILES BACK.html",
+    "gpcode": "!!!README!!!.txt",
+    "xorist": "HOW TO DECRYPT FILES.txt",
+    "poshcoder": "UNLOCK_FILES_INSTRUCTIONS.txt",
+    "default": "YOUR_FILES_ARE_ENCRYPTED.txt",
+}
+
+_TEMPLATE = """ATTENTION! ALL YOUR DOCUMENTS PHOTOS DATABASES ARE ENCRYPTED
+=============================================================
+
+Your important files were encrypted on this computer using a strong
+{cipher} algorithm with a unique key generated for this machine.
+
+The single copy of the private key which can decrypt your files is kept
+on a secret server on the internet. Nobody can recover your files without
+our decryption service.
+
+To obtain the decryption key you must pay {amount} {currency}.
+
+1. Install a Tor browser and open our hidden service page
+2. Enter your personal identification code: {victim_id}
+3. Follow the payment instructions exactly
+
+If payment is not received within {days} days the key will be destroyed
+and your files will remain encrypted forever. Any attempt to remove or
+damage this software will lead to immediate key destruction.
+
+As a gesture of goodwill you may decrypt {free} files for free on the
+payment page to verify the service works.
+"""
+
+
+def note_text(family: str, rng: random.Random, cipher: str = "RSA-2048") -> str:
+    """Render a family-flavoured ransom demand (deterministic per rng)."""
+    victim_id = "".join(rng.choice("0123456789ABCDEF") for _ in range(16))
+    body = _TEMPLATE.format(
+        cipher=cipher,
+        amount=rng.choice(["0.5", "1.0", "2.0", "3.0"]),
+        currency="BTC",
+        victim_id=victim_id,
+        days=rng.choice([3, 4, 7]),
+        free=rng.choice([1, 2, 5]),
+    )
+    return f"*** {family.upper()} ***\n\n{body}"
+
+
+def write_note(ctx, directory: WinPath, family: str,
+               rng: random.Random, cipher: str = "RSA-2048") -> WinPath:
+    """Drop the ransom note into ``directory`` (chunked, like real drops)."""
+    filename = NOTE_FILENAMES.get(family, NOTE_FILENAMES["default"])
+    path = directory / filename
+    ctx.write_file(path, note_text(family, rng, cipher).encode())
+    return path

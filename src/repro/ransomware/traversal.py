@@ -1,0 +1,120 @@
+"""Victim-selection strategies.
+
+§V-C found each family walks the documents tree its own way — TeslaCrypt
+depth-first from the deepest directory, CTB-Locker globally by ascending
+file size within targeted extensions, GPcode top-down from the root.  Each
+strategy here reproduces one observed ordering; per-sample RNG jitters tie
+breaks so samples within a family differ slightly, as real builds did.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..fs.paths import WinPath
+
+__all__ = ["FileEntry", "scan_tree", "order_targets", "STRATEGIES",
+           "PRODUCTIVITY_FIRST"]
+
+#: (path, size, depth) for one candidate victim file
+FileEntry = Tuple[WinPath, int, int]
+
+#: the paper's Fig. 5 ordering: productivity formats lead the attack
+PRODUCTIVITY_FIRST: Tuple[str, ...] = (
+    ".pdf", ".odt", ".docx", ".pptx", ".doc", ".xlsx", ".xls", ".ppt",
+    ".rtf", ".txt", ".csv", ".xml", ".md", ".html", ".jpg", ".png",
+    ".gif", ".bmp", ".mp3", ".wav", ".m4a", ".flac", ".zip", ".7z",
+)
+
+
+def scan_tree(ctx, root: WinPath,
+              extensions: Optional[Sequence[str]] = None) -> List[FileEntry]:
+    """Enumerate candidate files (emits the LIST/STAT ops a real walk does)."""
+    entries: List[FileEntry] = []
+    ext_set = {e.lower() for e in extensions} if extensions else None
+    for dirpath, _dirnames, filenames in ctx.walk(root):
+        for name in filenames:
+            path = dirpath / name
+            if ext_set is not None and path.suffix not in ext_set:
+                continue
+            st = ctx.stat(path)
+            entries.append((path, st.size, path.depth))
+    return entries
+
+
+def _dfs_deepest_first(entries: List[FileEntry], rng: random.Random) -> List[FileEntry]:
+    """TeslaCrypt: act only once the deepest directory is reached, then
+    unwind — deepest directories first, files grouped per directory."""
+    by_dir: dict = {}
+    for entry in entries:
+        by_dir.setdefault(entry[0].parent, []).append(entry)
+    dirs = sorted(by_dir, key=lambda d: (-d.depth, str(d).lower()))
+    ordered: List[FileEntry] = []
+    for d in dirs:
+        bucket = by_dir[d]
+        rng.shuffle(bucket)
+        ordered.extend(bucket)
+    return ordered
+
+
+def _top_down(entries: List[FileEntry], rng: random.Random) -> List[FileEntry]:
+    """GPcode: start at the root of the documents tree and move down."""
+    by_dir: dict = {}
+    for entry in entries:
+        by_dir.setdefault(entry[0].parent, []).append(entry)
+    dirs = sorted(by_dir, key=lambda d: (d.depth, str(d).lower()))
+    ordered: List[FileEntry] = []
+    for d in dirs:
+        bucket = sorted(by_dir[d], key=lambda e: str(e[0]).lower())
+        ordered.extend(bucket)
+    return ordered
+
+
+def _size_ascending(entries: List[FileEntry], rng: random.Random) -> List[FileEntry]:
+    """CTB-Locker: globally smallest files first, directory-oblivious."""
+    return sorted(entries, key=lambda e: (e[1], str(e[0]).lower()))
+
+
+def _size_descending(entries: List[FileEntry], rng: random.Random) -> List[FileEntry]:
+    return sorted(entries, key=lambda e: (-e[1], str(e[0]).lower()))
+
+
+def _dfs(entries: List[FileEntry], rng: random.Random) -> List[FileEntry]:
+    """Plain lexicographic depth-first walk order."""
+    return sorted(entries, key=lambda e: str(e[0]).lower())
+
+
+def _shuffled(entries: List[FileEntry], rng: random.Random) -> List[FileEntry]:
+    out = list(entries)
+    rng.shuffle(out)
+    return out
+
+
+def _ext_priority(entries: List[FileEntry], rng: random.Random) -> List[FileEntry]:
+    """Productivity formats first (the aggregate behaviour behind Fig. 5)."""
+    rank = {ext: i for i, ext in enumerate(PRODUCTIVITY_FIRST)}
+    jitter = {e[0]: rng.random() for e in entries}
+    return sorted(entries, key=lambda e: (rank.get(e[0].suffix, 99),
+                                          jitter[e[0]]))
+
+
+STRATEGIES = {
+    "dfs_deepest_first": _dfs_deepest_first,
+    "top_down": _top_down,
+    "size_ascending": _size_ascending,
+    "size_descending": _size_descending,
+    "dfs": _dfs,
+    "shuffled": _shuffled,
+    "ext_priority": _ext_priority,
+}
+
+
+def order_targets(entries: Iterable[FileEntry], strategy: str,
+                  rng: random.Random) -> List[FileEntry]:
+    """Order candidate victims with the named family strategy."""
+    try:
+        fn = STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(f"unknown traversal strategy {strategy!r}") from None
+    return fn(list(entries), rng)

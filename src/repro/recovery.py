@@ -1,0 +1,73 @@
+"""Post-detection recovery.
+
+CryptoDrop's contribution is stopping the attack with only a handful of
+files lost; this module closes the loop on those files.  When a detection
+fires, anything encrypted before suspension can be restored from the
+volume shadow copies — *if* the sample didn't delete them first, which is
+exactly why TeslaCrypt-class families run ``vssadmin delete shadows``
+before encrypting (§III).  The recovery report makes that arms race
+visible: the same attack recovers fully against a naive sample and not at
+all against a VSS-wiping one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .fs.paths import WinPath
+from .fs.shadow import ShadowCopyService
+from .fs.snapshot import BaselineIndex, assess_damage
+from .fs.vfs import VirtualFileSystem
+
+__all__ = ["RecoveryReport", "recover_from_shadow"]
+
+
+@dataclass
+class RecoveryReport:
+    """Outcome of one shadow-copy restoration pass."""
+
+    restored: List[WinPath] = field(default_factory=list)
+    unrecoverable: List[WinPath] = field(default_factory=list)
+    intact: int = 0
+
+    @property
+    def recovery_rate(self) -> float:
+        damaged = len(self.restored) + len(self.unrecoverable)
+        return len(self.restored) / damaged if damaged else 1.0
+
+    def summary(self) -> str:
+        return (f"restored {len(self.restored)}, unrecoverable "
+                f"{len(self.unrecoverable)}, intact {self.intact} "
+                f"({self.recovery_rate:.0%} of damage recovered)")
+
+
+def recover_from_shadow(vfs: VirtualFileSystem, baseline: BaselineIndex,
+                        shadow: ShadowCopyService,
+                        verify: bool = True) -> RecoveryReport:
+    """Restore every damaged baseline file from the newest shadow copy.
+
+    ``verify=True`` re-checks each candidate against the baseline hash
+    after restoration; a shadow copy taken *after* partial encryption
+    would otherwise quietly restore ciphertext.
+    """
+    import hashlib
+
+    report = RecoveryReport()
+    damage = assess_damage(vfs, baseline)
+    report.intact = damage.intact
+    for path in damage.modified + damage.missing:
+        payload: Optional[bytes] = shadow.restore_file(path)
+        if payload is None:
+            report.unrecoverable.append(path)
+            continue
+        if verify:
+            digest = hashlib.sha256(payload).hexdigest()
+            if digest != baseline.hashes.get(path):
+                report.unrecoverable.append(path)
+                continue
+        vfs.peek_write(path, payload, parents=True)
+        report.restored.append(path)
+    report.restored.sort()
+    report.unrecoverable.sort()
+    return report

@@ -1,0 +1,12 @@
+"""Cuckoo-sandbox substitute: VM, per-sample revert cycles, campaigns."""
+
+from .campaign import CampaignResult, cull_haul, run_campaign
+from .machine import ExecutionContext, RunOutcome, VirtualMachine
+from .parallel import run_campaign_parallel
+from .runner import BenignResult, SampleResult, run_benign, run_sample
+
+__all__ = [
+    "BenignResult", "CampaignResult", "ExecutionContext", "RunOutcome", "SampleResult", "run_benign",
+    "VirtualMachine", "cull_haul", "run_campaign", "run_campaign_parallel",
+    "run_sample",
+]

@@ -1,0 +1,132 @@
+"""Campaign orchestration — run a cohort, aggregate Table-I-style stats.
+
+A *campaign* runs a list of samples against one corpus with per-sample
+revert, exactly as the paper's 22-day VirusTotal sweep did (§V-A), and
+aggregates the per-family medians, the files-lost distribution (Fig. 3),
+and the union-indication accounting (§V-B2).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.config import CryptoDropConfig
+from ..corpus.builder import GeneratedCorpus, generate
+from .machine import VirtualMachine
+from .runner import SampleResult, run_sample
+
+__all__ = ["CampaignResult", "run_campaign", "cull_haul"]
+
+ProgressFn = Callable[[int, int, SampleResult], None]
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcome of one cohort sweep."""
+
+    results: List[SampleResult] = field(default_factory=list)
+
+    # -- headline metrics -----------------------------------------------------
+
+    @property
+    def working(self) -> List[SampleResult]:
+        return [r for r in self.results if not r.inert]
+
+    @property
+    def detection_rate(self) -> float:
+        working = self.working
+        if not working:
+            return 0.0
+        return sum(1 for r in working if r.detected) / len(working)
+
+    def files_lost_values(self) -> List[int]:
+        return [r.files_lost for r in self.working]
+
+    @property
+    def median_files_lost(self) -> float:
+        values = self.files_lost_values()
+        return statistics.median(values) if values else 0.0
+
+    @property
+    def max_files_lost(self) -> int:
+        values = self.files_lost_values()
+        return max(values) if values else 0
+
+    @property
+    def min_files_lost(self) -> int:
+        values = self.files_lost_values()
+        return min(values) if values else 0
+
+    @property
+    def union_rate(self) -> float:
+        working = self.working
+        if not working:
+            return 0.0
+        return sum(1 for r in working if r.union_fired) / len(working)
+
+    # -- groupings ----------------------------------------------------------------
+
+    def by_family(self) -> Dict[str, List[SampleResult]]:
+        grouped: Dict[str, List[SampleResult]] = {}
+        for result in self.working:
+            grouped.setdefault(result.family, []).append(result)
+        return grouped
+
+    def family_medians(self) -> Dict[str, float]:
+        return {family: statistics.median([r.files_lost for r in rows])
+                for family, rows in sorted(self.by_family().items())}
+
+    def class_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for result in self.working:
+            counts[result.behavior_class] = \
+                counts.get(result.behavior_class, 0) + 1
+        return counts
+
+    def cumulative_distribution(self) -> List[tuple]:
+        """(files_lost, cumulative fraction of samples) — Fig. 3's curve."""
+        values = sorted(self.files_lost_values())
+        if not values:
+            return []
+        total = len(values)
+        out = []
+        for i, value in enumerate(values, start=1):
+            if i == total or values[i] != value:
+                out.append((value, i / total))
+        return out
+
+
+def run_campaign(samples: Sequence, corpus: Optional[GeneratedCorpus] = None,
+                 config: Optional[CryptoDropConfig] = None,
+                 record_ops: bool = False,
+                 progress: Optional[ProgressFn] = None) -> CampaignResult:
+    """Run every sample through a revert cycle on a shared machine."""
+    corpus = corpus or generate()
+    machine = VirtualMachine(corpus)
+    machine.snapshot()
+    campaign = CampaignResult()
+    total = len(samples)
+    for index, sample in enumerate(samples):
+        result = run_sample(machine, sample, config, record_ops)
+        campaign.results.append(result)
+        if progress is not None:
+            progress(index + 1, total, result)
+    return campaign
+
+
+def cull_haul(samples: Sequence, corpus: Optional[GeneratedCorpus] = None,
+              config: Optional[CryptoDropConfig] = None) -> tuple:
+    """The paper's culling pass: split a haul into (working, inert) by
+    observed behaviour — a sample is kept iff it attacked user data or was
+    detected; reverted between runs (§V-A)."""
+    campaign = run_campaign(samples, corpus, config)
+    working = []
+    inert = []
+    for sample, result in zip(samples, campaign.results):
+        if result.detected or result.files_lost > 0 or result.new_files > 0:
+            working.append((sample, result))
+        else:
+            inert.append((sample, result))
+    return working, inert, campaign

@@ -1,0 +1,193 @@
+"""The analysis machine — a Cuckoo-sandbox guest substitute.
+
+One :class:`VirtualMachine` bundles a virtual filesystem, process table,
+simulated clock, shadow-copy service, and the planted document corpus.
+``snapshot()``/``revert()`` reproduce the paper's methodology of reverting
+the guest between samples (§V-A), implemented with the VFS journal so a
+revert costs only what the sample touched.
+
+Workloads (ransomware and benign applications alike) are *programs*:
+objects with a ``name`` and ``run(ctx)``.  The machine spawns a process,
+hands the program an :class:`ExecutionContext` (its window onto the
+machine), and converts CryptoDrop suspensions into a clean outcome.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..corpus.builder import GeneratedCorpus, plant
+from ..fs.errors import ProcessSuspended
+from ..fs.paths import DOCUMENTS, TEMP, WinPath
+from ..fs.processes import Process
+from ..fs.shadow import ShadowCopyService
+from ..fs.snapshot import BaselineIndex, DamageReport, assess_damage
+from ..fs.vfs import VirtualFileSystem
+
+__all__ = ["ExecutionContext", "VirtualMachine", "RunOutcome"]
+
+
+class ExecutionContext:
+    """A program's handle on the machine: pid-bound filesystem access.
+
+    All methods proxy the VFS with this process's pid, so every call flows
+    through the filter stack (and therefore through CryptoDrop).
+    """
+
+    def __init__(self, machine: "VirtualMachine", process: Process,
+                 rng: random.Random) -> None:
+        self.machine = machine
+        self.vfs = machine.vfs
+        self.process = process
+        self.pid = process.pid
+        self.rng = rng
+        self.docs_root = machine.docs_root
+        self.temp_root = machine.temp_root
+        self.shadow = machine.shadow
+
+    # -- filesystem proxies ------------------------------------------------
+
+    def open(self, path, mode="r", create=False, truncate=False):
+        return self.vfs.open(self.pid, path, mode, create, truncate)
+
+    def read(self, handle, size=None):
+        return self.vfs.read(self.pid, handle, size)
+
+    def write(self, handle, payload):
+        return self.vfs.write(self.pid, handle, payload)
+
+    def seek(self, handle, pos):
+        return self.vfs.seek(self.pid, handle, pos)
+
+    def close(self, handle):
+        return self.vfs.close(self.pid, handle)
+
+    def read_file(self, path, chunk_size=None):
+        return self.vfs.read_file(self.pid, path, chunk_size)
+
+    def write_file(self, path, payload, chunk_size=None):
+        return self.vfs.write_file(self.pid, path, payload, chunk_size)
+
+    def rename(self, path, dest, overwrite=True):
+        return self.vfs.rename(self.pid, path, dest, overwrite)
+
+    def delete(self, path):
+        return self.vfs.delete(self.pid, path)
+
+    def mkdir(self, path, parents=False, exist_ok=True):
+        return self.vfs.mkdir(self.pid, path, parents, exist_ok)
+
+    def listdir(self, path):
+        return self.vfs.listdir(self.pid, path)
+
+    def walk(self, root):
+        return self.vfs.walk(self.pid, root)
+
+    def stat(self, path):
+        return self.vfs.stat(self.pid, path)
+
+    def exists(self, path):
+        return self.vfs.exists(path)
+
+    def set_attributes(self, path, read_only=None, hidden=None):
+        return self.vfs.set_attributes(self.pid, path, read_only, hidden)
+
+    def spawn_child(self, name: str) -> "ExecutionContext":
+        """Fork a child process (Virlock-style families score as one)."""
+        child = self.machine.vfs.processes.spawn(
+            name, parent_pid=self.pid,
+            started_us=self.machine.vfs.clock.now_us)
+        return ExecutionContext(self.machine, child,
+                                random.Random(self.rng.getrandbits(48)))
+
+
+@dataclass
+class RunOutcome:
+    """What happened when a program ran on the machine."""
+
+    program_name: str
+    pid: int
+    suspended: bool
+    suspend_reason: str
+    completed: bool
+    error: Optional[str]
+    sim_seconds: float
+
+    @property
+    def ran_to_completion(self) -> bool:
+        return self.completed and not self.suspended
+
+
+class VirtualMachine:
+    """VFS + processes + corpus + services, with snapshot/revert."""
+
+    def __init__(self, corpus: Optional[GeneratedCorpus] = None,
+                 docs_root: WinPath = DOCUMENTS,
+                 temp_root: WinPath = TEMP) -> None:
+        self.vfs = VirtualFileSystem()
+        self.docs_root = docs_root
+        self.temp_root = temp_root
+        self.shadow = ShadowCopyService(self.vfs)
+        self.corpus = corpus
+        self.vfs._ensure_dirs(temp_root)
+        self.vfs._ensure_dirs(docs_root)
+        if corpus is not None:
+            plant(self.vfs, corpus, docs_root)
+        self.baseline: Optional[BaselineIndex] = None
+
+    # -- snapshot management ---------------------------------------------------
+
+    def snapshot(self) -> None:
+        """Capture the pristine state (call once, before the first run)."""
+        self.baseline = BaselineIndex(self.vfs, self.docs_root)
+        self.vfs.snapshot_mark()
+
+    def revert(self) -> None:
+        """Return to the snapshot (between samples, §V-A)."""
+        if self.baseline is None:
+            raise RuntimeError("snapshot() must be called before revert()")
+        self.vfs.revert()
+
+    def assess(self) -> DamageReport:
+        """Damage relative to the snapshot, verified by SHA-256."""
+        if self.baseline is None:
+            raise RuntimeError("snapshot() must be called before assess()")
+        return assess_damage(self.vfs, self.baseline,
+                             self.vfs.touched_since_mark)
+
+    # -- program execution --------------------------------------------------------
+
+    def run_program(self, program, seed: Optional[int] = None,
+                    max_ops: Optional[int] = None) -> RunOutcome:
+        """Run ``program.run(ctx)`` in a fresh process.
+
+        ``max_ops`` models the paper's sample timeout: the context raises
+        after that many filesystem operations (used for inert culling).
+        """
+        proc = self.vfs.processes.spawn(
+            program.name, image_path=getattr(program, "image_path", ""),
+            started_us=self.vfs.clock.now_us)
+        rng = random.Random(seed if seed is not None
+                            else getattr(program, "seed", 0))
+        ctx = ExecutionContext(self, proc, rng)
+        start_us = self.vfs.clock.now_us
+        suspended = False
+        reason = ""
+        completed = False
+        error: Optional[str] = None
+        try:
+            program.run(ctx)
+            completed = True
+        except ProcessSuspended as exc:
+            suspended = True
+            reason = exc.reason
+        except Exception as exc:  # noqa: BLE001 - workload bug isolation
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            if not suspended:
+                self.vfs.processes.exit(proc.pid)
+        return RunOutcome(program.name, proc.pid, suspended, reason,
+                          completed, error,
+                          (self.vfs.clock.now_us - start_us) / 1e6)

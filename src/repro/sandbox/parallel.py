@@ -1,0 +1,83 @@
+"""Parallel campaign execution.
+
+The full 492-sample sweep is embarrassingly parallel: every sample runs
+against its own reverted machine with a fresh detector, so results are
+independent of scheduling.  :func:`run_campaign_parallel` fans the cohort
+out over worker processes, each owning one long-lived
+:class:`~repro.sandbox.machine.VirtualMachine` (corpus planted once,
+journal-reverted between samples), and reassembles a
+:class:`~repro.sandbox.campaign.CampaignResult` in the original sample
+order — bit-identical to the serial runner's.
+
+Requires a ``fork``-capable platform (Linux/macOS): the corpus is shared
+with workers through fork inheritance rather than pickling ~85 MB per
+worker.  On platforms without ``fork`` the function transparently falls
+back to the serial runner.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import List, Optional, Sequence
+
+from ..core.config import CryptoDropConfig
+from ..corpus.builder import GeneratedCorpus, generate
+from ..ransomware import instantiate
+from .campaign import CampaignResult
+from .machine import VirtualMachine
+from .runner import SampleResult, run_sample
+
+__all__ = ["run_campaign_parallel"]
+
+# Module globals used to hand state to forked workers without pickling.
+_PARENT_CORPUS: Optional[GeneratedCorpus] = None
+_WORKER_MACHINE: Optional[VirtualMachine] = None
+
+
+def _init_worker() -> None:
+    global _WORKER_MACHINE
+    machine = VirtualMachine(_PARENT_CORPUS)
+    machine.snapshot()
+    _WORKER_MACHINE = machine
+
+
+def _run_one(args) -> SampleResult:
+    profile, config, record_ops = args
+    sample = instantiate(profile)
+    return run_sample(_WORKER_MACHINE, sample, config, record_ops)
+
+
+def run_campaign_parallel(samples: Sequence,
+                          corpus: Optional[GeneratedCorpus] = None,
+                          config: Optional[CryptoDropConfig] = None,
+                          record_ops: bool = False,
+                          workers: Optional[int] = None) -> CampaignResult:
+    """Run a cohort across worker processes; same results as serial.
+
+    ``workers`` defaults to the CPU count capped at 8 (per-worker corpus
+    copies cost memory).  With one worker, or without ``fork``, the call
+    degrades to the ordinary serial campaign.
+    """
+    global _PARENT_CORPUS
+    corpus = corpus or generate()
+    if workers is None:
+        workers = min(8, os.cpu_count() or 1)
+    if workers <= 1 or "fork" not in multiprocessing.get_all_start_methods():
+        from .campaign import run_campaign
+        return run_campaign(samples, corpus, config, record_ops)
+
+    profiles = [sample.profile for sample in samples]
+    _PARENT_CORPUS = corpus
+    try:
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=workers, initializer=_init_worker) as pool:
+            results: List[SampleResult] = pool.map(
+                _run_one,
+                [(profile, config, record_ops) for profile in profiles],
+                chunksize=max(1, len(profiles) // (workers * 4) or 1))
+    finally:
+        _PARENT_CORPUS = None
+    campaign = CampaignResult()
+    campaign.results.extend(results)
+    return campaign

@@ -1,0 +1,184 @@
+"""Single-sample execution protocol (§V-A, one VM revert cycle).
+
+For each sample the paper reverted the guest to a snapshot, ran the
+sample until detection or timeout, then verified every document's SHA-256.
+:func:`run_sample` reproduces one such cycle: fresh CryptoDrop engine,
+run, damage assessment, revert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from ..core.config import CryptoDropConfig
+from ..core.detection import Detection
+from ..core.monitor import CryptoDropMonitor
+from ..fs.events import OpKind
+from ..fs.paths import WinPath
+from ..fs.recorder import OperationRecorder
+from .machine import RunOutcome, VirtualMachine
+
+__all__ = ["BenignResult", "SampleResult", "run_benign", "run_sample"]
+
+
+@dataclass
+class SampleResult:
+    """Everything the experiments need from one sample run."""
+
+    sample_name: str
+    family: str
+    behavior_class: str
+    seed: int
+    detected: bool
+    suspended: bool
+    files_lost: int
+    files_modified: int
+    files_missing: int
+    new_files: int
+    union_fired: bool
+    score: float
+    threshold: float
+    flags: Set[str] = field(default_factory=set)
+    sim_seconds: float = 0.0
+    error: Optional[str] = None
+    completed: bool = False
+    inert: bool = False
+    touched_dirs: Set[WinPath] = field(default_factory=set)
+    extensions_accessed: Set[str] = field(default_factory=set)
+    notes_written: int = 0
+    files_attacked: int = 0
+    disposal: str = ""
+    traversal: str = ""
+    cipher: str = ""
+    #: total reputation points per indicator (entropy/type_change/...)
+    indicator_points: dict = field(default_factory=dict)
+
+    @property
+    def is_working_detection(self) -> bool:
+        return self.detected and not self.inert
+
+
+def run_sample(machine: VirtualMachine, sample,
+               config: Optional[CryptoDropConfig] = None,
+               record_ops: bool = False) -> SampleResult:
+    """One revert-run-assess cycle with a fresh CryptoDrop instance."""
+    if machine.baseline is None:
+        machine.snapshot()
+    monitor = CryptoDropMonitor(machine.vfs, config)
+    recorder = OperationRecorder(
+        kinds={OpKind.READ, OpKind.WRITE, OpKind.OPEN,
+               OpKind.RENAME, OpKind.DELETE}) if record_ops else None
+    monitor.attach()
+    if recorder is not None:
+        machine.vfs.filters.attach(recorder)
+    try:
+        outcome: RunOutcome = machine.run_program(sample)
+        damage = machine.assess()
+        detections: List[Detection] = list(monitor.detections)
+        detection = detections[0] if detections else None
+        row = monitor.engine.row_of(outcome.pid)
+        profile = sample.profile
+        in_docs = machine.docs_root
+        touched = set()
+        exts = set()
+        if recorder is not None:
+            touched = {d for d in recorder.touched_directories(None)
+                       if d.is_within(in_docs)}
+            # victim formats only: OPEN/READ hit pre-existing files,
+            # while the sample's own drops (notes, ciphertext) arrive via
+            # CREATE and are excluded
+            exts = {e for e in recorder.accessed_extensions(
+                        None, kinds=(OpKind.READ, OpKind.OPEN))
+                    if e}
+        result = SampleResult(
+            sample_name=profile.sample_name,
+            family=profile.family,
+            behavior_class=profile.behavior_class,
+            seed=profile.seed,
+            detected=detection is not None,
+            suspended=outcome.suspended,
+            files_lost=damage.files_lost,
+            files_modified=len(damage.modified),
+            files_missing=len(damage.missing),
+            new_files=len(damage.new_files),
+            union_fired=row.union_fired,
+            score=row.score,
+            threshold=row.threshold,
+            flags=set(row.flags),
+            sim_seconds=outcome.sim_seconds,
+            error=outcome.error,
+            completed=outcome.completed,
+            inert=profile.inert_reason is not None,
+            touched_dirs=touched,
+            extensions_accessed=exts,
+            notes_written=getattr(sample, "notes_written", 0),
+            files_attacked=len(getattr(sample, "files_attacked", ())),
+            disposal=profile.class_c_disposal,
+            traversal=profile.traversal,
+            cipher=profile.cipher_kind,
+            indicator_points={
+                indicator: sum(e.points for e in row.history
+                               if e.indicator == indicator)
+                for indicator in {e.indicator for e in row.history}},
+        )
+        if detection is not None:
+            detection.files_lost = damage.files_lost
+        return result
+    finally:
+        if recorder is not None:
+            machine.vfs.filters.detach(recorder)
+        monitor.detach()
+        machine.revert()
+
+
+@dataclass
+class BenignResult:
+    """Outcome of one benign-application run (§V-F)."""
+
+    app_name: str
+    final_score: float
+    detected: bool
+    suspended: bool
+    union_fired: bool
+    flags: Set[str] = field(default_factory=set)
+    completed: bool = False
+    error: Optional[str] = None
+    #: journalled (timestamp_us, cumulative score) pairs for threshold sweeps
+    trajectory: List[tuple] = field(default_factory=list)
+
+    def score_at_threshold(self, threshold: float) -> bool:
+        """Would this run have been flagged at a given non-union threshold?"""
+        return any(score >= threshold for _ts, score in self.trajectory)
+
+
+def run_benign(machine: VirtualMachine, app,
+               config: Optional[CryptoDropConfig] = None) -> BenignResult:
+    """One benign workload under a fresh CryptoDrop, then revert.
+
+    The alert policy still suspends on detection (the paper's user is
+    asked either way); the result records whether that happened.
+    """
+    if machine.baseline is None:
+        machine.snapshot()
+    app.prepare(machine)
+    monitor = CryptoDropMonitor(machine.vfs, config)
+    monitor.attach()
+    try:
+        outcome = machine.run_program(app, seed=getattr(app, "seed", 0))
+        row = monitor.engine.row_of(outcome.pid)
+        return BenignResult(
+            app_name=app.name,
+            final_score=row.score,
+            detected=bool(monitor.detections),
+            suspended=outcome.suspended,
+            union_fired=row.union_fired,
+            flags=set(row.flags),
+            completed=outcome.completed,
+            error=outcome.error,
+            trajectory=[(e.timestamp_us, e.score_after)
+                        for e in row.history],
+        )
+    finally:
+        monitor.detach()
+        machine.revert()

@@ -1,0 +1,52 @@
+"""Shared fixtures.
+
+Corpus generation is the expensive part of most integration tests, so a
+small corpus and a prepared machine are session-scoped; tests that mutate
+machine state must revert (the ``machine`` fixture hands out a
+freshly-reverted one each time).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import generate
+from repro.fs import DOCUMENTS, VirtualFileSystem
+from repro.sandbox import VirtualMachine
+
+TEST_CORPUS_SEED = 1337
+TEST_CORPUS_FILES = 420
+TEST_CORPUS_DIRS = 36
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    return generate(TEST_CORPUS_SEED, TEST_CORPUS_FILES, TEST_CORPUS_DIRS)
+
+
+@pytest.fixture(scope="session")
+def _machine_session(small_corpus):
+    machine = VirtualMachine(small_corpus)
+    machine.snapshot()
+    return machine
+
+
+@pytest.fixture
+def machine(_machine_session):
+    """A machine in pristine (snapshot) state; reverted after each test."""
+    yield _machine_session
+    _machine_session.revert()
+
+
+@pytest.fixture
+def vfs():
+    """An empty filesystem with the documents tree created."""
+    fs = VirtualFileSystem()
+    fs._ensure_dirs(DOCUMENTS)
+    return fs
+
+
+@pytest.fixture
+def pid(vfs):
+    """A running process on the empty filesystem."""
+    return vfs.processes.spawn("test.exe").pid

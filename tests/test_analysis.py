@@ -1,0 +1,86 @@
+"""Post-campaign analytics."""
+
+import pytest
+
+from repro.analysis import (attribute_indicators, class_statistics,
+                            detection_latency_summary)
+from repro.ransomware import working_cohort
+from repro.sandbox import run_campaign
+
+
+@pytest.fixture(scope="module")
+def campaign(small_corpus):
+    cohort = working_cohort()
+    subset = ([s for s in cohort if s.profile.family == "teslacrypt"][:3]
+              + [s for s in cohort if s.profile.family == "ctb-locker"][:3]
+              + [s for s in cohort
+                 if s.profile.family == "cryptodefense"][:3])
+    return run_campaign(subset, small_corpus)
+
+
+class TestAttribution:
+    def test_totals_cover_all_scored_indicators(self, campaign):
+        attribution = attribute_indicators(campaign.working)
+        assert attribution.samples == 9
+        assert attribution.totals
+        assert all(points > 0 for points in attribution.totals.values())
+
+    def test_shares_sum_to_one(self, campaign):
+        attribution = attribute_indicators(campaign.working)
+        total = sum(attribution.share(i) for i in attribution.totals)
+        assert total == pytest.approx(1.0)
+
+    def test_cryptodefense_is_entropy_plus_deletion_only(self, campaign):
+        """Delete-disposal Class C has no baselines: no type/similarity."""
+        rows = campaign.by_family()["cryptodefense"]
+        attribution = attribute_indicators(rows)
+        assert "type_change" not in attribution.totals
+        assert "similarity" not in attribution.totals
+        assert "entropy" in attribution.totals
+        assert attribution.dominant() == "entropy"
+
+    def test_teslacrypt_uses_all_three_primaries(self, campaign):
+        rows = campaign.by_family()["teslacrypt"]
+        attribution = attribute_indicators(rows)
+        for indicator in ("type_change", "similarity", "entropy", "union"):
+            assert attribution.prevalence.get(indicator, 0) == 1.0, indicator
+
+    def test_render(self, campaign):
+        text = attribute_indicators(campaign.working).render("test")
+        assert "entropy" in text and "share" in text
+
+    def test_empty_selection(self):
+        attribution = attribute_indicators([])
+        assert attribution.samples == 0
+        assert attribution.dominant() == ""
+        assert attribution.share("entropy") == 0.0
+
+
+class TestClassStats:
+    def test_classes_present(self, campaign):
+        stats = class_statistics(campaign)
+        assert {s.behavior_class for s in stats} == {"A", "B", "C"}
+
+    def test_counts_sum(self, campaign):
+        stats = class_statistics(campaign)
+        assert sum(s.samples for s in stats) == 9
+
+    def test_all_detected(self, campaign):
+        for stat in class_statistics(campaign):
+            assert stat.detection_rate == 1.0
+
+    def test_class_b_slowest_here(self, campaign):
+        """CTB-Locker dominates Class B: highest files lost (§V-B1)."""
+        stats = {s.behavior_class: s for s in class_statistics(campaign)}
+        assert stats["B"].median_files_lost >= stats["A"].median_files_lost
+
+
+class TestLatency:
+    def test_latency_summary_shape(self, campaign):
+        summary = detection_latency_summary(campaign)
+        assert 0 < summary["median_s"] <= summary["p90_s"] <= summary["max_s"]
+
+    def test_empty_campaign(self):
+        from repro.sandbox import CampaignResult
+        summary = detection_latency_summary(CampaignResult())
+        assert summary == {"median_s": 0.0, "p90_s": 0.0, "max_s": 0.0}

@@ -1,0 +1,146 @@
+"""Comparison baselines: signature AV, Tripwire, ablated configs."""
+
+import random
+
+import pytest
+
+from repro.baselines import (MultiEngineAV, SignatureEngine,
+                             TripwireMonitor, ablation_suite,
+                             entropy_only, mutate_one_byte, no_union)
+from repro.crypto import chacha20_xor
+from repro.fs import DOCUMENTS, VirtualFileSystem
+from repro.ransomware import working_cohort
+
+
+class TestSignatureEngine:
+    def test_hash_engine_exact_match_only(self):
+        engine = SignatureEngine("e", style="hash")
+        engine.learn(b"MALWARE_BODY" * 10, random.Random(0))
+        assert engine.scan(b"MALWARE_BODY" * 10)
+        assert not engine.scan(b"MALWARE_BODY" * 10 + b"#")
+
+    def test_pattern_engine_survives_mutation_elsewhere(self):
+        engine = SignatureEngine("e", style="pattern")
+        image = random.Random(1).randbytes(2048)
+        engine.learn(image, random.Random(2))
+        assert engine.scan(image + b"APPENDED JUNK")
+
+    def test_pattern_engine_rejects_low_information_slices(self):
+        engine = SignatureEngine("e", style="pattern")
+        # an image that is mostly zero padding yields no usable pattern
+        engine.learn(b"\x00" * 4096, random.Random(3))
+        assert not engine.scan(b"\x00" * 4096)
+
+    def test_bad_style_rejected(self):
+        with pytest.raises(ValueError):
+            SignatureEngine("e", style="vibes")
+
+
+class TestMultiEngineAV:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        av = MultiEngineAV()
+        av.train(working_cohort())
+        return av
+
+    def test_panel_size(self, trained):
+        assert len(trained.engines) == 57
+
+    def test_known_marker_family_widely_detected(self, trained):
+        tesla = next(s for s in working_cohort()
+                     if s.profile.family == "teslacrypt")
+        assert trained.scan_sample(tesla).count > 20
+
+    def test_scripts_only_seen_by_script_engines(self, trained):
+        posh = next(s for s in working_cohort()
+                    if s.profile.family == "poshcoder")
+        report = trained.scan_sample(posh)
+        assert report.count == 8    # §V-E
+
+    def test_one_char_mutation_sheds_hash_engines(self, trained):
+        posh = next(s for s in working_cohort()
+                    if s.profile.family == "poshcoder")
+        before = trained.scan_sample(posh).count
+        after = trained.scan(mutate_one_byte(posh.image_bytes),
+                             is_script=True).count
+        assert before - after == 2    # §V-E: two engines go blind
+
+    def test_benign_bytes_not_flagged(self, trained):
+        from repro.corpus.content import make_pdf
+        report = trained.scan(make_pdf(random.Random(4), 20000))
+        assert report.count == 0
+
+    def test_mutate_in_place(self):
+        data = b"hello world"
+        out = mutate_one_byte(data, position=0)
+        assert len(out) == len(data) and out != data
+
+
+class TestTripwire:
+    @pytest.fixture
+    def setup(self):
+        vfs = VirtualFileSystem()
+        vfs._ensure_dirs(DOCUMENTS)
+        pid = vfs.processes.spawn("w.exe").pid
+        for i in range(5):
+            vfs.write_file(pid, DOCUMENTS / f"f{i}.txt", b"data%d" % i)
+        monitor = TripwireMonitor(vfs, DOCUMENTS)
+        monitor.initialize()
+        return vfs, pid, monitor
+
+    def test_clean_check_is_silent(self, setup):
+        vfs, pid, monitor = setup
+        assert monitor.check() == []
+
+    def test_detects_modification_only_at_next_check(self, setup):
+        """No early warning: damage is complete before the alert."""
+        vfs, pid, monitor = setup
+        for i in range(5):
+            vfs.write_file(pid, DOCUMENTS / f"f{i}.txt",
+                           chacha20_xor(bytes(32), bytes(12), b"data%d" % i))
+        # all five files are already lost when the monitor notices
+        alerts = monitor.check()
+        assert len(alerts) == 5
+
+    def test_benign_save_raises_same_alert(self, setup):
+        """The noise problem (§II): legitimate edits are indistinguishable."""
+        vfs, pid, monitor = setup
+        vfs.write_file(pid, DOCUMENTS / "f0.txt", b"user edited this")
+        alerts = monitor.check()
+        assert len(alerts) == 1 and alerts[0].kind == "modified"
+
+    def test_detects_missing_and_new(self, setup):
+        vfs, pid, monitor = setup
+        vfs.delete(pid, DOCUMENTS / "f1.txt")
+        vfs.write_file(pid, DOCUMENTS / "note.txt", b"pay")
+        kinds = {a.kind for a in monitor.check()}
+        assert kinds == {"missing", "new"}
+
+    def test_check_before_initialize_raises(self):
+        vfs = VirtualFileSystem()
+        vfs._ensure_dirs(DOCUMENTS)
+        with pytest.raises(RuntimeError):
+            TripwireMonitor(vfs, DOCUMENTS).check()
+
+
+class TestAblationConfigs:
+    def test_suite_contains_expected_variants(self):
+        suite = ablation_suite()
+        assert set(suite) == {"full", "entropy_only", "type_change_only",
+                              "similarity_only", "secondary_only",
+                              "no_union", "ctph_backend"}
+
+    def test_entropy_only_disables_others(self):
+        config = entropy_only()
+        assert config.enable_entropy
+        assert not config.enable_similarity
+        assert not config.enable_union
+        assert config.indicators_enabled() == ["entropy"]
+
+    def test_no_union_keeps_indicators(self):
+        config = no_union()
+        assert len(config.indicators_enabled()) == 5
+        assert not config.enable_union
+
+    def test_ctph_backend_setting(self):
+        assert ablation_suite()["ctph_backend"].similarity_backend == "ctph"

@@ -1,0 +1,104 @@
+"""Benign application suite vs CryptoDrop (§V-F)."""
+
+import pytest
+
+from repro.benign import (ALL_APP_CLASSES, AdobeLightroom, ITunes,
+                          ImageMagickMogrify, MicrosoftExcel,
+                          MicrosoftWord, SevenZip, all_apps)
+from repro.sandbox import VirtualMachine, run_benign
+
+
+@pytest.fixture(scope="module")
+def bench(small_corpus):
+    machine = VirtualMachine(small_corpus)
+    machine.snapshot()
+    return machine
+
+
+def _run(bench, app_cls, seed=42):
+    return run_benign(bench, app_cls(seed))
+
+
+class TestSuiteComposition:
+    def test_thirty_applications(self):
+        assert len(ALL_APP_CLASSES) == 30
+
+    def test_all_apps_instantiates(self):
+        apps = all_apps(seed=7)
+        assert len(apps) == 30
+        assert len({type(a) for a in apps}) == 30
+
+
+class TestAnalysedFive:
+    """The §V-F deep-dive applications and their signature outcomes."""
+
+    def test_word_scores_zero(self, bench):
+        result = _run(bench, MicrosoftWord)
+        assert result.completed, result.error
+        assert result.final_score == 0.0
+        assert not result.detected
+
+    def test_imagemagick_scores_zero(self, bench):
+        result = _run(bench, ImageMagickMogrify)
+        assert result.completed, result.error
+        assert result.final_score == 0.0
+
+    def test_excel_scores_high_but_survives(self, bench):
+        result = _run(bench, MicrosoftExcel)
+        assert result.completed, result.error
+        assert 40.0 <= result.final_score < 200.0
+        assert not result.detected
+
+    def test_lightroom_scores_moderate(self, bench):
+        result = _run(bench, AdobeLightroom)
+        assert result.completed, result.error
+        assert 30.0 <= result.final_score < 200.0
+        assert not result.detected
+
+    def test_itunes_scores_low(self, bench):
+        result = _run(bench, ITunes)
+        assert result.completed, result.error
+        assert result.final_score < 60.0
+        assert not result.detected
+
+    def test_no_benign_app_reaches_union(self, bench):
+        """§III-E: 'none of the benign programs we tested triggered all
+        three of our primary ransomware indicators'."""
+        for cls in (MicrosoftWord, MicrosoftExcel, ImageMagickMogrify,
+                    AdobeLightroom, ITunes):
+            assert not _run(bench, cls).union_fired, cls.__name__
+
+
+class TestSevenZip:
+    def test_archiving_documents_is_flagged(self, bench):
+        """The paper's one benign detection — 'normal, expected,
+        desirable'."""
+        result = _run(bench, SevenZip)
+        assert result.detected
+        assert result.suspended
+
+    def test_7zip_not_via_union(self, bench):
+        result = _run(bench, SevenZip)
+        assert not result.union_fired
+
+
+class TestWholeSuite:
+    @pytest.mark.parametrize("app_cls", ALL_APP_CLASSES,
+                             ids=lambda c: c.__name__)
+    def test_runs_clean(self, bench, app_cls):
+        """Every app either completes silently, or is 7-zip."""
+        result = _run(bench, app_cls)
+        assert result.error is None, result.error
+        if app_cls is SevenZip:
+            assert result.detected
+        else:
+            assert result.completed
+            assert not result.detected, (app_cls.__name__,
+                                         result.final_score)
+
+    def test_trajectory_replays_final_score(self, bench):
+        result = _run(bench, MicrosoftExcel)
+        if result.trajectory:
+            assert result.trajectory[-1][1] == result.final_score
+        assert result.score_at_threshold(result.final_score) or \
+            not result.trajectory

@@ -1,0 +1,124 @@
+"""Spot checks on the benign apps not covered in depth elsewhere —
+each app's *distinctive* filesystem habit, asserted directly."""
+
+import pytest
+
+from repro.fs import APPDATA, OpKind, OperationRecorder
+from repro.sandbox import VirtualMachine, run_benign
+
+
+@pytest.fixture
+def traced_machine(small_corpus):
+    machine = VirtualMachine(small_corpus)
+    machine.snapshot()
+    recorder = OperationRecorder()
+    machine.vfs.filters.attach(recorder)
+    yield machine, recorder
+    machine.vfs.filters.detach(recorder)
+    machine.revert()
+
+
+def _run(machine, app):
+    from repro.core import CryptoDropMonitor
+    monitor = CryptoDropMonitor(machine.vfs).attach()
+    outcome = machine.run_program(app)
+    monitor.detach()
+    return outcome
+
+
+class TestDistinctiveHabits:
+    def test_avast_reads_broadly_writes_nothing_protected(self,
+                                                          traced_machine):
+        from repro.benign import AvastAntiVirus
+        machine, recorder = traced_machine
+        app = AvastAntiVirus(1)
+        app.prepare(machine)
+        assert _run(machine, app).completed
+        docs = machine.docs_root
+        writes = [r for r in recorder.records
+                  if r.kind is OpKind.WRITE and r.path.is_within(docs)]
+        reads = [r for r in recorder.records
+                 if r.kind is OpKind.READ and r.path.is_within(docs)]
+        assert not writes and len(reads) > 100
+
+    def test_launchy_lists_but_never_opens(self, traced_machine):
+        from repro.benign import Launchy
+        machine, recorder = traced_machine
+        app = Launchy(1)
+        app.prepare(machine)
+        assert _run(machine, app).completed
+        docs = machine.docs_root
+        opens = [r for r in recorder.records
+                 if r.kind in (OpKind.OPEN, OpKind.READ)
+                 and r.path.is_within(docs)]
+        lists = [r for r in recorder.records
+                 if r.kind is OpKind.LIST_DIR and r.path.is_within(docs)]
+        assert not opens and lists
+
+    def test_chrome_download_uses_partial_then_rename(self,
+                                                      traced_machine):
+        from repro.benign import Chrome
+        machine, recorder = traced_machine
+        assert _run(machine, Chrome(1)).completed
+        renames = [r for r in recorder.records
+                   if r.kind is OpKind.RENAME
+                   and str(r.path).endswith(".crdownload")]
+        assert len(renames) == 2
+
+    def test_spotify_confined_to_appdata(self, traced_machine):
+        from repro.benign import Spotify
+        machine, recorder = traced_machine
+        assert _run(machine, Spotify(1)).completed
+        docs = machine.docs_root
+        touching = [r for r in recorder.records
+                    if r.kind in (OpKind.WRITE, OpKind.CREATE)
+                    and r.path.is_within(docs)]
+        assert not touching
+        appdata_writes = [r for r in recorder.records
+                          if r.kind is OpKind.WRITE
+                          and r.path.is_within(APPDATA)]
+        assert appdata_writes
+
+    def test_pidgin_appends_rather_than_rewrites(self, traced_machine):
+        from repro.benign import Pidgin
+        machine, recorder = traced_machine
+        assert _run(machine, Pidgin(1)).completed
+        log_writes = [r for r in recorder.records
+                      if r.kind is OpKind.WRITE
+                      and str(r.path).endswith(".txt")]
+        # appends land at increasing offsets on one file
+        offsets = [r.size for r in log_writes]
+        assert len(log_writes) >= 20
+
+    def test_itunes_converts_lossless_only(self, traced_machine):
+        from repro.benign import ITunes
+        machine, recorder = traced_machine
+        app = ITunes(1)
+        app.prepare(machine)
+        assert _run(machine, app).completed
+        created = [r for r in recorder.records
+                   if r.kind is OpKind.CREATE
+                   and r.path.suffix == ".m4a"]
+        # 15 wav + 10 flac in the planted library
+        assert len(created) == 25
+
+    def test_sevenzip_emits_solid_64k_blocks(self, traced_machine):
+        from repro.benign import SevenZip
+        machine, recorder = traced_machine
+        outcome = _run(machine, SevenZip(1))
+        assert outcome.suspended   # the expected detection
+        archive_writes = [r for r in recorder.records
+                          if r.kind is OpKind.WRITE
+                          and str(r.path).endswith(".7z")]
+        assert any(r.size == 65536 for r in archive_writes)
+
+    def test_ccleaner_deletes_only_tmp_files(self, traced_machine):
+        from repro.benign import PiriformCCleaner
+        machine, recorder = traced_machine
+        app = PiriformCCleaner(1)
+        app.prepare(machine)
+        assert _run(machine, app).completed
+        deletes = [r for r in recorder.records
+                   if r.kind is OpKind.DELETE]
+        assert deletes
+        assert all(str(r.path).endswith(".tmp") for r in deletes)

@@ -1,0 +1,121 @@
+"""Reputation scoreboard and union indication."""
+
+import pytest
+
+from repro.core import CryptoDropConfig, IndicatorHit, Scoreboard
+from repro.core.indicators import PRIMARY
+
+
+@pytest.fixture
+def board():
+    return Scoreboard(CryptoDropConfig())
+
+
+def _hit(indicator, points, flag=None):
+    return IndicatorHit(indicator, points, primary_flag=flag)
+
+
+class TestBasicScoring:
+    def test_points_accumulate(self, board):
+        board.apply(1, _hit("deletion", 2.0), 0.0)
+        board.apply(1, _hit("deletion", 2.0), 1.0)
+        assert board.row(1).score == 4.0
+
+    def test_rows_are_per_process(self, board):
+        board.apply(1, _hit("deletion", 2.0), 0.0)
+        assert board.row(2).score == 0.0
+
+    def test_history_journalled(self, board):
+        board.apply(1, _hit("entropy", 2.5, "entropy"), 5.0, path="C:\\x")
+        event = board.row(1).history[0]
+        assert event.indicator == "entropy"
+        assert event.score_after == 2.5
+        assert event.path == "C:\\x"
+
+    def test_default_threshold_is_paper_value(self, board):
+        assert board.row(1).threshold == 200.0
+
+    def test_name_recorded_once(self, board):
+        board.row(1, "evil.exe")
+        board.row(1, "")
+        assert board.row(1).name == "evil.exe"
+
+
+class TestUnionIndication:
+    def test_all_three_flags_fire_union(self, board):
+        config = board.config
+        for flag in PRIMARY:
+            board.apply(1, _hit(flag, 5.0, flag), 0.0)
+        row = board.row(1)
+        assert row.union_fired
+        assert row.threshold == config.union_threshold
+        assert row.score == 15.0 + config.union_bonus
+
+    def test_two_flags_insufficient(self, board):
+        board.apply(1, _hit("entropy", 5.0, "entropy"), 0.0)
+        board.apply(1, _hit("similarity", 5.0, "similarity"), 0.0)
+        assert not board.row(1).union_fired
+
+    def test_union_fires_once(self, board):
+        for flag in PRIMARY:
+            board.apply(1, _hit(flag, 5.0, flag), 0.0)
+        score_after_union = board.row(1).score
+        board.apply(1, _hit("entropy", 5.0, "entropy"), 1.0)
+        assert board.row(1).score == score_after_union + 5.0  # no 2nd bonus
+
+    def test_secondary_indicators_never_union(self, board):
+        for _ in range(50):
+            board.apply(1, _hit("deletion", 2.0), 0.0)
+            board.apply(1, _hit("funneling", 3.0), 0.0)
+        assert not board.row(1).union_fired
+
+    def test_union_disabled_config(self):
+        board = Scoreboard(CryptoDropConfig(enable_union=False))
+        for flag in PRIMARY:
+            board.apply(1, _hit(flag, 5.0, flag), 0.0)
+        row = board.row(1)
+        assert not row.union_fired
+        assert row.threshold == 200.0
+
+    def test_flag_only_observation_counts_toward_union(self, board):
+        board.apply(1, _hit("type_change", 5.0, "type_change"), 0.0)
+        board.apply(1, _hit("similarity", 6.0, "similarity"), 0.0)
+        board.set_flag(1, "entropy", 1.0)
+        assert board.row(1).union_fired
+
+    def test_union_event_in_history(self, board):
+        for flag in PRIMARY:
+            board.apply(1, _hit(flag, 5.0, flag), 0.0)
+        indicators = [e.indicator for e in board.row(1).history]
+        assert "union" in indicators
+
+    def test_union_count(self, board):
+        for flag in PRIMARY:
+            board.apply(1, _hit(flag, 5.0, flag), 0.0)
+        board.apply(2, _hit("entropy", 5.0, "entropy"), 0.0)
+        assert board.union_count() == 1
+
+
+class TestThresholdReplay:
+    def test_first_crossing_basic(self, board):
+        for i in range(10):
+            board.apply(1, _hit("deletion", 30.0), float(i))
+        row = board.row(1)
+        assert row.first_crossing(100.0) == 3.0    # 4th event hits 120
+        assert row.first_crossing(500.0) is None
+
+    def test_replay_without_union_bonus(self, board):
+        for i, flag in enumerate(PRIMARY):
+            board.apply(1, _hit(flag, 10.0, flag), float(i))
+        row = board.row(1)
+        # with union: 30 + bonus 40 = 70 crosses 60 at the union event
+        assert row.first_crossing(60.0, with_union=True) is not None
+        # without the bonus the run never reaches 60
+        assert row.first_crossing(60.0, with_union=False) is None
+
+    def test_union_threshold_reduction_in_replay(self, board):
+        for i, flag in enumerate(PRIMARY):
+            board.apply(1, _hit(flag, 10.0, flag), float(i))
+        row = board.row(1)
+        # nominal threshold 1000 never crossed, but union drops it to 65
+        assert row.first_crossing(1000.0, union_threshold=65.0) is not None

@@ -1,0 +1,214 @@
+"""Synthetic corpus: composition, realism, determinism."""
+
+import random
+
+import pytest
+
+from repro.corpus import (GeneratedCorpus, build_tree, content,
+                          default_spec, generate)
+from repro.entropy import shannon_entropy
+from repro.magic import identify_name
+
+
+class TestTree:
+    def test_exact_directory_count(self):
+        assert len(build_tree(1, 511)) == 511
+
+    def test_root_included(self):
+        assert () in build_tree(2, 50)
+
+    def test_deterministic(self):
+        assert build_tree(3, 100) == build_tree(3, 100)
+
+    def test_no_sibling_name_collisions(self):
+        dirs = build_tree(4, 200)
+        seen = set()
+        for d in dirs:
+            key = tuple(p.lower() for p in d)
+            assert key not in seen
+            seen.add(key)
+
+    def test_nesting_exists(self):
+        dirs = build_tree(5, 150)
+        assert max(len(d) for d in dirs) >= 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            build_tree(6, 0)
+
+
+class TestSpec:
+    def test_fractions_sum_to_one(self):
+        total = sum(t.fraction for t in default_spec().types)
+        assert total == pytest.approx(1.0, abs=0.005)
+
+    def test_counts_sum_exactly(self):
+        spec = default_spec()
+        counts = spec.counts(5099)
+        assert sum(counts.values()) == 5099
+
+    def test_counts_deterministic(self):
+        spec = default_spec()
+        assert spec.counts(1234) == spec.counts(1234)
+
+    def test_size_draws_respect_bounds(self):
+        spec = default_spec().by_name("txt")
+        rng = random.Random(0)
+        for _ in range(500):
+            size = spec.draw_size(rng)
+            assert spec.min_bytes <= size <= spec.max_bytes
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(KeyError):
+            default_spec().by_name("wad")
+
+
+class TestGeneratedCorpus:
+    def test_file_count(self, small_corpus):
+        assert len(small_corpus.files) == 420
+
+    def test_every_file_has_content(self, small_corpus):
+        for row in small_corpus.files:
+            assert small_corpus.contents[row.rel_path]
+            assert row.size == len(small_corpus.contents[row.rel_path])
+
+    def test_magic_agrees_with_manifest(self, small_corpus):
+        mismatches = [
+            (row.type_name, identify_name(small_corpus.contents[row.rel_path]))
+            for row in small_corpus.files
+            if identify_name(small_corpus.contents[row.rel_path])
+            != row.type_name]
+        assert not mismatches
+
+    def test_entropy_profiles_realistic(self, small_corpus):
+        by_type = {}
+        for row in small_corpus.files:
+            by_type.setdefault(row.type_name, []).append(
+                shannon_entropy(small_corpus.contents[row.rel_path]))
+        means = {t: sum(v) / len(v) for t, v in by_type.items()}
+        assert means["txt"] < 5.0            # plain text
+        assert means["docx"] > 7.8           # deflated container
+        assert 5.8 < means["pdf"] < 7.8      # mixed structure
+        assert means["doc"] < 5.0            # legacy OLE2
+
+    def test_deterministic_given_seed(self):
+        a = generate(77, 60, 8, use_cache=False)
+        b = generate(77, 60, 8, use_cache=False)
+        assert [f.rel_path for f in a.files] == [f.rel_path for f in b.files]
+        assert all(a.contents[k] == b.contents[k] for k in a.contents)
+
+    def test_different_seeds_differ(self):
+        a = generate(1, 60, 8, use_cache=False)
+        b = generate(2, 60, 8, use_cache=False)
+        assert [f.rel_path for f in a.files] != [f.rel_path for f in b.files]
+
+    def test_cache_returns_same_object(self):
+        assert generate(123, 50, 6) is generate(123, 50, 6)
+
+    def test_small_file_population_exists_at_paper_scale(self):
+        corpus = generate()   # full 5,099 / 511 (cached across suite)
+        tiny = [f for f in corpus.files
+                if f.size < 512 and f.suffix in (".txt", ".md")]
+        # the CTB-Locker experiment needs a couple dozen of these
+        assert 15 <= len(tiny) <= 45
+
+    def test_paper_scale_dimensions(self):
+        corpus = generate()
+        assert len(corpus.files) == 5099
+        assert len(corpus.dirs) == 511
+
+    def test_some_read_only_files(self, small_corpus):
+        assert any(f.read_only for f in small_corpus.files)
+
+    def test_without_small_files(self, small_corpus):
+        filtered = small_corpus.without_small_files(512)
+        assert all(f.size >= 512 for f in filtered.files)
+        assert len(filtered.files) <= len(small_corpus.files)
+        assert set(filtered.contents) == {f.rel_path for f in filtered.files}
+
+    def test_files_by_type_accounting(self, small_corpus):
+        counts = small_corpus.files_by_type()
+        assert sum(counts.values()) == len(small_corpus.files)
+
+
+class TestMediaTransforms:
+    def test_jpeg_reencode_preserves_metadata(self):
+        rng = random.Random(9)
+        jpg = content.make_jpeg(rng, 20000)
+        rotated = content.jpeg_reencode(jpg, variant=90)
+        assert identify_name(rotated) == "jpg"
+        parts = content.jpeg_parts(jpg)
+        parts_rot = content.jpeg_parts(rotated)
+        assert parts[0] == parts_rot[0]          # header block identical
+        assert jpg != rotated                    # scan replaced
+
+    def test_jpeg_reencode_deterministic(self):
+        rng = random.Random(10)
+        jpg = content.make_jpeg(rng, 15000)
+        assert content.jpeg_reencode(jpg, 1) == content.jpeg_reencode(jpg, 1)
+
+    def test_jpeg_parts_rejects_foreign_data(self):
+        assert content.jpeg_parts(b"\xff\xd8\xffnot ours") is None
+
+    def test_wav_seed_extraction(self):
+        rng = random.Random(11)
+        wav = content.make_wav(rng, 30000)
+        assert content.wav_seed(wav) is not None
+        assert content.wav_seed(b"RIFF....WAVE") is None
+
+    def test_ooxml_member_roundtrip(self):
+        rng = random.Random(12)
+        doc = content.make_docx(rng, 9000)
+        members = content.ooxml_members(doc)
+        rebuilt = content.rebuild_ooxml(members)
+        assert content.ooxml_members(rebuilt) == members
+        assert identify_name(rebuilt) == "docx"
+
+    def test_plant_and_read_back(self, small_corpus):
+        from repro.fs import DOCUMENTS, VirtualFileSystem
+        from repro.corpus import plant
+        vfs = VirtualFileSystem()
+        plant(vfs, small_corpus)
+        planted = list(vfs.peek_walk_files(DOCUMENTS))
+        assert len(planted) == len(small_corpus.files)
+
+
+class TestUserProfiles:
+    def test_profile_names(self):
+        from repro.corpus import PROFILE_NAMES, profile_spec
+        for name in PROFILE_NAMES:
+            spec = profile_spec(name)
+            total = sum(t.fraction for t in spec.types)
+            assert total == pytest.approx(1.0, abs=0.01), name
+
+    def test_generic_is_default(self):
+        from repro.corpus import default_spec, profile_spec
+        assert [t.fraction for t in profile_spec("generic").types] == \
+            [t.fraction for t in default_spec().types]
+
+    def test_photographer_is_image_heavy(self):
+        from repro.corpus import profile_spec
+        spec = profile_spec("photographer")
+        assert spec.by_name("jpg").fraction > 0.4
+        assert spec.by_name("jpg").fraction > spec.by_name("pdf").fraction
+
+    def test_writer_is_text_heavy(self):
+        from repro.corpus import profile_spec
+        spec = profile_spec("writer")
+        text = sum(spec.by_name(t).fraction for t in ("txt", "md", "rtf"))
+        assert text > 0.4
+
+    def test_unknown_profile_rejected(self):
+        from repro.corpus import profile_spec
+        with pytest.raises(ValueError):
+            profile_spec("gamer")
+
+    def test_profile_corpus_generates_and_types_check(self):
+        from repro.corpus import generate, profile_spec
+        corpus = generate(5, 120, 10, spec=profile_spec("photographer"),
+                          use_cache=False)
+        counts = corpus.files_by_type()
+        assert counts.get("jpg", 0) >= 40
+        for row in corpus.files:
+            assert identify_name(corpus.contents[row.rel_path]) \
+                == row.type_name

@@ -1,0 +1,224 @@
+"""From-scratch cryptography: standard vectors + properties."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import (AES, PaddingError, aes_cbc_decrypt,
+                          aes_cbc_encrypt, aes_ctr_xor, chacha20_block,
+                          chacha20_xor, generate_keypair,
+                          is_probable_prime, pad, rc4_crypt,
+                          tea_decrypt_blocks, tea_encrypt_blocks, unpad,
+                          unwrap_key, wrap_key, xor_crypt)
+
+
+class TestAesVectors:
+    """FIPS-197 Appendix C known-answer tests."""
+
+    PLAIN = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+    def test_aes128_c1(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        assert AES(key).encrypt_block(self.PLAIN).hex() == \
+            "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_aes192_c2(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+        assert AES(key).encrypt_block(self.PLAIN).hex() == \
+            "dda97ca4864cdfe06eaf70a0ec0d7191"
+
+    def test_aes256_c3(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f"
+                            "101112131415161718191a1b1c1d1e1f")
+        assert AES(key).encrypt_block(self.PLAIN).hex() == \
+            "8ea2b7ca516745bfeafc49904b496089"
+
+    def test_decrypt_inverts(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(self.PLAIN)) == \
+            self.PLAIN
+
+    def test_bad_key_length_rejected(self):
+        with pytest.raises(ValueError):
+            AES(b"short")
+
+    def test_bad_block_length_rejected(self):
+        with pytest.raises(ValueError):
+            AES(b"k" * 16).encrypt_block(b"tiny")
+
+
+class TestAesModes:
+    def test_cbc_roundtrip(self):
+        msg = b"all your files are belong to us" * 20
+        ct = aes_cbc_encrypt(b"k" * 16, b"i" * 16, msg)
+        assert aes_cbc_decrypt(b"k" * 16, b"i" * 16, ct) == msg
+
+    def test_cbc_iv_matters(self):
+        msg = b"x" * 64
+        assert aes_cbc_encrypt(b"k" * 16, b"1" * 16, msg) != \
+            aes_cbc_encrypt(b"k" * 16, b"2" * 16, msg)
+
+    def test_cbc_wrong_key_fails_padding(self):
+        ct = aes_cbc_encrypt(b"k" * 16, b"i" * 16, b"secret")
+        with pytest.raises(PaddingError):
+            aes_cbc_decrypt(b"X" * 16, b"i" * 16, ct)
+
+    def test_ctr_is_involution(self):
+        msg = b"stream mode" * 30
+        once = aes_ctr_xor(b"k" * 16, b"n" * 12, msg)
+        assert aes_ctr_xor(b"k" * 16, b"n" * 12, once) == msg
+
+    def test_ctr_handles_partial_block(self):
+        msg = b"seventeen bytes!!"
+        assert len(aes_ctr_xor(b"k" * 16, b"n" * 12, msg)) == len(msg)
+
+
+class TestPadding:
+    def test_pad_unpad_roundtrip(self):
+        for n in range(0, 33):
+            data = bytes(range(n % 256))[:n]
+            assert unpad(pad(data)) == data
+
+    def test_pad_always_adds(self):
+        assert len(pad(b"x" * 16)) == 32
+
+    def test_unpad_rejects_garbage(self):
+        with pytest.raises(PaddingError):
+            unpad(b"\x00" * 16)
+
+    def test_unpad_rejects_unaligned(self):
+        with pytest.raises(PaddingError):
+            unpad(b"abc")
+
+
+class TestChaCha20:
+    def test_rfc8439_block_vector(self):
+        key = bytes(range(32))
+        nonce = bytes.fromhex("000000090000004a00000000")
+        block = chacha20_block(key, nonce, 1)
+        assert block[:16].hex() == "10f1e7e4d13b5915500fdd1fa32071c4"
+
+    def test_rfc8439_encryption_vector(self):
+        key = bytes(range(32))
+        nonce = bytes.fromhex("000000000000004a00000000")
+        plain = (b"Ladies and Gentlemen of the class of '99: If I could "
+                 b"offer you only one tip for the future, sunscreen would "
+                 b"be it.")
+        cipher = chacha20_xor(key, nonce, plain, 1)
+        assert cipher[:16].hex() == "6e2e359a2568f98041ba0728dd0d6981"
+        assert chacha20_xor(key, nonce, cipher, 1) == plain
+
+    def test_counter_offsets_differ(self):
+        key, nonce = bytes(32), bytes(12)
+        assert chacha20_xor(key, nonce, b"A" * 64, 1) != \
+            chacha20_xor(key, nonce, b"A" * 64, 2)
+
+    def test_key_length_enforced(self):
+        with pytest.raises(ValueError):
+            chacha20_xor(b"short", bytes(12), b"x")
+
+    @given(st.binary(max_size=5000))
+    @settings(max_examples=20, deadline=None)
+    def test_involution(self, data):
+        key, nonce = b"K" * 32, b"N" * 12
+        assert chacha20_xor(key, nonce, chacha20_xor(key, nonce, data)) == data
+
+
+class TestLesserCiphers:
+    def test_rc4_known_vector(self):
+        # classic test vector: RC4("Key", "Plaintext")
+        assert rc4_crypt(b"Key", b"Plaintext").hex() == "bbf316e8d940af0ad3"
+
+    def test_rc4_involution(self):
+        msg = b"stream" * 100
+        assert rc4_crypt(b"k", rc4_crypt(b"k", msg)) == msg
+
+    def test_xor_involution(self):
+        msg = b"docs" * 250
+        assert xor_crypt(b"key!", xor_crypt(b"key!", msg)) == msg
+
+    def test_xor_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            xor_crypt(b"", b"data")
+
+    def test_tea_roundtrip(self):
+        key = b"0123456789abcdef"
+        msg = b"eight by" * 64
+        assert tea_decrypt_blocks(key, tea_encrypt_blocks(key, msg)) == msg
+
+    def test_tea_pads_to_block(self):
+        out = tea_encrypt_blocks(b"0123456789abcdef", b"12345")
+        assert len(out) == 8
+
+    def test_tea_repeated_blocks_repeat(self):
+        """ECB structure: the property that keeps Xorist's ciphertext
+        entropy below a real stream cipher's."""
+        key = b"0123456789abcdef"
+        out = tea_encrypt_blocks(key, b"SAMEBLK!" * 10)
+        assert out[:8] == out[8:16]
+
+    def test_tea_key_length_enforced(self):
+        with pytest.raises(ValueError):
+            tea_encrypt_blocks(b"short", b"x" * 8)
+
+
+class TestRsa:
+    def test_known_primes(self):
+        for p in (2, 3, 5, 104729, (1 << 61) - 1):
+            assert is_probable_prime(p)
+
+    def test_known_composites(self):
+        for n in (1, 4, 561, 104729 * 104729, 1 << 64):
+            assert not is_probable_prime(n)
+
+    def test_carmichael_numbers_rejected(self):
+        for n in (561, 1105, 1729, 41041):
+            assert not is_probable_prime(n)
+
+    def test_keygen_deterministic(self):
+        assert generate_keypair(256, seed=7).n == \
+            generate_keypair(256, seed=7).n
+
+    def test_wrap_unwrap_roundtrip(self):
+        keypair = generate_keypair(512, seed=11)
+        session_key = b"S" * 24
+        wrapped = wrap_key(session_key, keypair.public)
+        assert unwrap_key(wrapped, keypair, 24) == session_key
+
+    def test_wrapped_key_unreadable_without_private(self):
+        keypair = generate_keypair(512, seed=12)
+        wrapped = wrap_key(b"K" * 16, keypair.public)
+        assert b"K" * 16 not in wrapped
+
+    def test_encrypt_out_of_range_rejected(self):
+        from repro.crypto import rsa_encrypt_int
+        keypair = generate_keypair(128, seed=13)
+        with pytest.raises(ValueError):
+            rsa_encrypt_int(keypair.n + 1, keypair.public)
+
+
+class TestCipherEngine:
+    def test_every_kind_produces_output(self):
+        from repro.ransomware import CipherEngine
+        for kind in CipherEngine.KINDS:
+            engine = CipherEngine(kind, seed=5)
+            out = engine.encrypt(b"victim document content" * 40)
+            assert out and out != b"victim document content" * 40
+
+    def test_per_file_streams_differ(self):
+        from repro.ransomware import CipherEngine
+        engine = CipherEngine("chacha", seed=6)
+        assert engine.encrypt(b"A" * 100) != engine.encrypt(b"A" * 100)
+
+    def test_rsa_wrapped_key_blob(self):
+        from repro.ransomware import CipherEngine, ATTACKER_RSA
+        engine = CipherEngine("rc4", seed=7, wrap_with_rsa=True)
+        blob = engine.key_blob()
+        assert len(blob) == (ATTACKER_RSA.n.bit_length() + 7) // 8
+
+    def test_unknown_kind_rejected(self):
+        from repro.ransomware import CipherEngine
+        with pytest.raises(ValueError):
+            CipherEngine("rot13", seed=1)

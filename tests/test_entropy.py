@@ -1,0 +1,149 @@
+"""Shannon entropy, the paper's weighting formula, weighted means."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.entropy import (WeightedEntropyMean, corrected_entropy,
+                           entropy_weight, shannon_entropy,
+                           windowed_entropy)
+
+
+class TestShannonEntropy:
+    def test_empty_is_zero(self):
+        assert shannon_entropy(b"") == 0.0
+
+    def test_constant_is_zero(self):
+        assert shannon_entropy(b"\x00" * 1000) == 0.0
+
+    def test_two_symbols_equal_is_one_bit(self):
+        assert shannon_entropy(b"ab" * 500) == pytest.approx(1.0)
+
+    def test_all_256_bytes_equal_is_eight_bits(self):
+        assert shannon_entropy(bytes(range(256)) * 4) == pytest.approx(8.0)
+
+    def test_random_data_near_eight(self):
+        noise = random.Random(0).randbytes(65536)
+        assert shannon_entropy(noise) > 7.99
+
+    def test_english_text_in_expected_band(self):
+        from repro.corpus.wordlists import paragraphs
+        text = paragraphs(random.Random(1), 20000).encode()
+        assert 3.8 <= shannon_entropy(text) <= 4.8
+
+    @given(st.binary(min_size=1, max_size=2048))
+    def test_bounds(self, data):
+        e = shannon_entropy(data)
+        assert 0.0 <= e <= 8.0
+
+    @given(st.binary(min_size=1, max_size=512))
+    def test_permutation_invariant(self, data):
+        shuffled = bytes(sorted(data))
+        assert shannon_entropy(data) == pytest.approx(
+            shannon_entropy(shuffled))
+
+    @given(st.binary(min_size=1, max_size=512))
+    def test_duplication_invariant(self, data):
+        assert shannon_entropy(data) == pytest.approx(
+            shannon_entropy(data * 3))
+
+
+class TestCorrectedEntropy:
+    def test_small_ciphertext_reads_near_eight(self):
+        chunk = random.Random(3).randbytes(2048)
+        assert shannon_entropy(chunk) < 7.95      # plug-in underestimates
+        assert corrected_entropy(chunk) > 7.97    # correction restores it
+
+    def test_clamped_at_eight(self):
+        assert corrected_entropy(random.Random(4).randbytes(300)) <= 8.0
+
+    def test_structured_data_unaffected_much(self):
+        text = b"the quick brown fox " * 200
+        assert abs(corrected_entropy(text) - shannon_entropy(text)) < 0.01
+
+    def test_empty_is_zero(self):
+        assert corrected_entropy(b"") == 0.0
+
+    @given(st.binary(min_size=1, max_size=2048))
+    def test_correction_never_decreases(self, data):
+        assert corrected_entropy(data) >= shannon_entropy(data) - 1e-9
+
+
+class TestWindowedEntropy:
+    def test_short_input_empty(self):
+        assert windowed_entropy(b"short", 64, 16).size == 0
+
+    def test_window_count(self):
+        values = windowed_entropy(bytes(1024), 64, 16)
+        assert values.size == (1024 - 64) // 16 + 1
+
+    def test_matches_scalar_computation(self):
+        data = random.Random(5).randbytes(256)
+        values = windowed_entropy(data, 64, 16)
+        expected = shannon_entropy(data[16:80])
+        assert values[1] == pytest.approx(expected)
+
+    def test_zero_region_scores_zero(self):
+        data = bytes(64) + random.Random(6).randbytes(64)
+        values = windowed_entropy(data, 64, 64)
+        assert values[0] == 0.0
+        assert values[1] > 5.0
+
+
+class TestWeightFormula:
+    def test_paper_formula(self):
+        # w = 0.125 * round(e) * b
+        assert entropy_weight(7.6, 1000) == 0.125 * 8 * 1000
+        assert entropy_weight(3.2, 10) == 0.125 * 3 * 10
+
+    def test_low_entropy_zero_weight(self):
+        # entropy rounding to 0 gives zero weight: ransom notes of
+        # near-constant bytes cannot influence the mean at all
+        assert entropy_weight(0.4, 100000) == 0.0
+
+    def test_weight_scales_with_bytes(self):
+        assert entropy_weight(8.0, 2000) == 2 * entropy_weight(8.0, 1000)
+
+
+class TestWeightedMean:
+    def test_no_observations_is_none(self):
+        assert WeightedEntropyMean().value is None
+
+    def test_single_observation(self):
+        mean = WeightedEntropyMean()
+        data = bytes(range(256)) * 4
+        mean.update(data)
+        assert mean.value == pytest.approx(8.0)
+
+    def test_small_low_entropy_writes_cannot_drag_mean(self):
+        """The §IV-C1 motivation: ransom notes barely move Pwrite."""
+        mean = WeightedEntropyMean()
+        mean.update(random.Random(1).randbytes(50000))     # bulk cipher
+        high = mean.value
+        for _ in range(20):
+            mean.update(b"PAY THE RANSOM NOW!!\n" * 10)    # notes
+        assert mean.value > high - 0.35
+
+    def test_ops_counter(self):
+        mean = WeightedEntropyMean()
+        mean.update(b"abcd" * 100)
+        mean.update(b"efgh" * 100)
+        assert mean.ops == 2
+
+    def test_corrected_flag_changes_estimator(self):
+        chunk = random.Random(2).randbytes(1024)
+        plain = WeightedEntropyMean(corrected=False)
+        fixed = WeightedEntropyMean(corrected=True)
+        plain.update(chunk)
+        fixed.update(chunk)
+        assert fixed.value > plain.value
+
+    @given(st.lists(st.binary(min_size=1, max_size=400), min_size=1,
+                    max_size=10))
+    def test_mean_within_observed_range(self, chunks):
+        mean = WeightedEntropyMean()
+        entropies = [mean.update(chunk) for chunk in chunks]
+        if mean.value is not None:
+            assert min(entropies) - 1e-9 <= mean.value <= max(entropies) + 1e-9

@@ -1,0 +1,169 @@
+"""Indicator-evasion scenarios (§III-F).
+
+"Evading the union of our three primary indicators will require
+significant effort ... while padding a file with low entropy bits may
+cause our detector to miss it, such behavior will also concurrently skew
+similarity hashes."  Each adversary here defeats exactly one indicator
+and is convicted by the remainder.
+"""
+
+import random
+
+import pytest
+
+from repro.core import CryptoDropMonitor
+from repro.corpus.wordlists import paragraphs
+from repro.crypto import chacha20_xor
+from repro.fs import DOCUMENTS, ProcessSuspended, VirtualFileSystem
+
+KEY, NONCE = bytes(32), bytes(12)
+N_FILES = 32
+
+
+@pytest.fixture
+def env():
+    vfs = VirtualFileSystem()
+    vfs._ensure_dirs(DOCUMENTS)
+    for i in range(N_FILES):
+        vfs.peek_write(DOCUMENTS / f"doc{i:02d}.txt",
+                       paragraphs(random.Random(i), 24000).encode())
+    monitor = CryptoDropMonitor(vfs).attach()
+    pid = vfs.processes.spawn("evader.exe").pid
+    return vfs, monitor, pid
+
+
+def _attack(vfs, pid, transform):
+    for i in range(N_FILES):
+        path = DOCUMENTS / f"doc{i:02d}.txt"
+        handle = vfs.open(pid, path, "rw")
+        try:
+            data = vfs.read(pid, handle)
+            vfs.seek(pid, handle, 0)
+            vfs.write(pid, handle, transform(data))
+        finally:
+            if not handle.closed:
+                vfs.close(pid, handle)
+
+
+class TestSingleIndicatorEvasion:
+    def test_entropy_evader_convicted_by_type_and_similarity(self, env):
+        """Pad every write 1:1 with zero bytes: measured write entropy
+        halves, the delta never trips — type change + similarity still
+        carry the process over threshold."""
+        vfs, monitor, pid = env
+
+        def pad_with_zeros(data):
+            # 1 part ciphertext to 3 parts filler: write entropy ~2.6,
+            # well under the text it replaces
+            cipher = chacha20_xor(KEY, NONCE, data)
+            padded = bytearray()
+            for i in range(0, len(cipher), 64):
+                padded += cipher[i:i + 64] + bytes(192)
+            return bytes(padded)
+
+        with pytest.raises(ProcessSuspended):
+            _attack(vfs, pid, pad_with_zeros)
+        row = monitor.engine.row_of(pid)
+        assert "entropy" not in row.flags
+        assert {"type_change", "similarity"} <= row.flags
+        assert monitor.detected
+
+    def test_cheap_type_evasion_fails(self, env):
+        """Keeping a token 1 KiB of plaintext does not fool magic —
+        identification samples an 8 KiB prefix, the type flips to
+        'data', and the attack convicts normally."""
+        vfs, monitor, pid = env
+
+        def keep_small_header(data):
+            return data[:1024] + chacha20_xor(KEY, NONCE, data[1024:])
+
+        with pytest.raises(ProcessSuspended):
+            _attack(vfs, pid, keep_small_header)
+        assert "type_change" in monitor.engine.row_of(pid).flags
+
+    def test_real_type_evasion_costs_the_attacker_the_file(self, env):
+        """To actually keep `file` saying 'text', the whole 8 KiB
+        inspection prefix must stay plaintext — which both feeds the
+        similarity match *and* leaves a third of every document
+        readable.  The §III-F 'difficult engineering trade-off'."""
+        vfs, monitor, pid = env
+
+        def keep_magic_prefix(data):
+            keep = 8400
+            return data[:keep] + chacha20_xor(KEY, NONCE, data[keep:])
+
+        try:
+            _attack(vfs, pid, keep_magic_prefix)
+        except ProcessSuspended:
+            pass
+        row = monitor.engine.row_of(pid)
+        assert "type_change" not in row.flags
+        assert "similarity" not in row.flags    # shared prefix keeps sim high
+        assert "entropy" in row.flags           # the one surviving signal
+        # the concession: every victim keeps its first 8 KiB readable
+        sample = vfs.peek_read(DOCUMENTS / "doc00.txt")
+        original = paragraphs(random.Random(0), 24000).encode()
+        assert sample[:8400] == original[:8400]
+
+    def test_similarity_evader_convicted_by_entropy_and_type(self, env):
+        """Append ciphertext while keeping the original content intact
+        (archiver-style hoarding): similarity stays high, but the bulk
+        high-entropy writes and type damage still add up."""
+        vfs, monitor, pid = env
+
+        def append_cipher(data):
+            return data + chacha20_xor(KEY, NONCE, data)
+
+        try:
+            _attack(vfs, pid, append_cipher)
+        except ProcessSuspended:
+            pass
+        row = monitor.engine.row_of(pid)
+        assert "similarity" not in row.flags
+        assert "entropy" in row.flags
+        # appended files keep their magic, so this adversary is slower —
+        # but the score is real and nonzero
+        assert row.score > 0
+
+    def test_full_evasion_requires_keeping_files_usable(self, env):
+        """The end of the §III-F argument: an output that preserves type,
+        similarity, AND entropy is ... not encrypted in any useful sense.
+        A 1%-tail tweak scores nothing, and also destroys nothing."""
+        vfs, monitor, pid = env
+
+        def nibble_at_the_tail(data):
+            keep = len(data) - max(1, len(data) // 100)
+            return data[:keep] + chacha20_xor(KEY, NONCE, data[keep:])
+
+        _attack(vfs, pid, nibble_at_the_tail)
+        assert not monitor.detected
+        # ... and the victim's documents are still ~99% readable: the
+        # attacker gained no leverage
+        sample = vfs.peek_read(DOCUMENTS / "doc00.txt")
+        original = paragraphs(random.Random(0), 24000).encode()
+        assert sample[:len(original) * 98 // 100] == \
+            original[:len(original) * 98 // 100]
+
+
+class TestScoreHasNoDecay:
+    def test_slow_roll_attack_still_accumulates(self, env):
+        """§V-F: a time-window metric could be gamed by slow attacks;
+        the reputation score deliberately never decays, so arbitrarily
+        slow bulk transformation is still convicted eventually."""
+        vfs, monitor, pid = env
+        other = vfs.processes.spawn("background.exe").pid
+        detected_at = None
+        try:
+            for i in range(N_FILES):
+                path = DOCUMENTS / f"doc{i:02d}.txt"
+                handle = vfs.open(pid, path, "rw")
+                data = vfs.read(pid, handle)
+                vfs.seek(pid, handle, 0)
+                vfs.write(pid, handle, chacha20_xor(KEY, NONCE, data))
+                vfs.close(pid, handle)
+                # hours of idle simulated time between victims
+                vfs.clock.advance_us(3600 * 1e6)
+                vfs.read_file(other, DOCUMENTS / f"doc{N_FILES - 1:02d}.txt")
+        except ProcessSuspended:
+            detected_at = i
+        assert detected_at is not None

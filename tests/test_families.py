@@ -1,0 +1,121 @@
+"""Per-family behavioural contracts (Table I + §V-C quirks), verified by
+running one representative of each family against a shared machine."""
+
+import pytest
+
+from repro.fs import DOCUMENTS
+from repro.magic import identify_name
+from repro.ransomware import cohort_by_family, instantiate, working_cohort
+from repro.sandbox import VirtualMachine, run_sample
+
+
+@pytest.fixture(scope="module")
+def families():
+    return cohort_by_family()
+
+
+@pytest.fixture(scope="module")
+def shared_machine(small_corpus):
+    machine = VirtualMachine(small_corpus)
+    machine.snapshot()
+    return machine
+
+
+def _run_first(shared_machine, families, family, index=0,
+               record_ops=False):
+    sample = families[family][index]
+    fresh = instantiate(sample.profile)   # per-run state must be clean
+    return run_sample(shared_machine, fresh, record_ops=record_ops)
+
+
+class TestFamilyContracts:
+    def test_teslacrypt_notes_before_encrypting(self, shared_machine,
+                                                families):
+        result = _run_first(shared_machine, families, "teslacrypt")
+        assert result.detected
+        assert result.notes_written >= 1
+
+    def test_teslacrypt_wipes_shadow_copies(self, shared_machine,
+                                            families):
+        shared_machine.shadow.create(4, DOCUMENTS)
+        _run_first(shared_machine, families, "teslacrypt")
+        assert not shared_machine.shadow.list_copies()
+
+    def test_ctb_locker_attacks_smallest_text_first(self, shared_machine,
+                                                    families):
+        sample = instantiate(families["ctb-locker"][0].profile)
+        run_sample(shared_machine, sample)
+        attacked = sample.files_attacked
+        assert attacked, "should have reached at least one file"
+        assert all(p.suffix in (".txt", ".md") for p in attacked)
+
+    def test_gpcode_class_c_loses_nothing(self, shared_machine, families):
+        straggler = families["gpcode"][-1]
+        assert straggler.profile.behavior_class == "C"
+        result = run_sample(shared_machine,
+                            instantiate(straggler.profile))
+        assert result.detected
+        assert result.files_lost == 0          # §V-C read-only quirk
+
+    def test_virlock_output_is_executable(self, shared_machine, families):
+        sample = instantiate(families["virlock"][0].profile)
+        result = run_sample(shared_machine, sample)
+        assert result.detected
+        # rerun unmonitored to inspect the artefacts it leaves
+        machine = shared_machine
+        sample2 = instantiate(families["virlock"][0].profile)
+        machine.run_program(sample2)
+        infected = sample2.files_attacked[0]
+        assert identify_name(machine.vfs.peek_read(infected)) == "exe"
+        machine.revert()
+
+    def test_virlock_runs_as_process_family(self, shared_machine,
+                                            families):
+        sample = instantiate(families["virlock"][0].profile)
+        result = run_sample(shared_machine, sample)
+        # detection suspends the whole family even though a child did the work
+        assert result.detected and result.suspended
+
+    def test_cryptodefense_union_evader(self, shared_machine, families):
+        result = _run_first(shared_machine, families, "cryptodefense")
+        assert result.detected
+        assert not result.union_fired           # delete-disposal Class C
+        assert result.disposal == "delete"
+
+    def test_cryptowall_linkable_class_c(self, shared_machine, families):
+        straggler = [s for s in families["cryptowall"]
+                     if s.profile.behavior_class == "C"][0]
+        result = run_sample(shared_machine, instantiate(straggler.profile))
+        assert result.union_fired               # move-over linking
+        assert result.disposal == "move_over"
+
+    def test_xorist_fastest_family(self, shared_machine, families):
+        result = _run_first(shared_machine, families, "xorist")
+        assert result.detected
+        assert result.files_lost <= 8           # paper median: 3
+
+    def test_poshcoder_detected_despite_being_script(self, shared_machine,
+                                                     families):
+        result = _run_first(shared_machine, families, "poshcoder")
+        assert result.detected
+        assert result.sample_name.startswith("poshcoder")
+
+    def test_every_family_detected(self, shared_machine, families):
+        for family, samples in sorted(families.items()):
+            result = run_sample(shared_machine,
+                                instantiate(samples[0].profile))
+            assert result.detected, family
+
+    def test_note_filenames_are_family_branded(self):
+        from repro.ransomware import NOTE_FILENAMES, note_text
+        import random
+        assert "teslacrypt" in NOTE_FILENAMES
+        text = note_text("teslacrypt", random.Random(1))
+        assert "TESLACRYPT" in text
+        assert "BTC" in text
+
+    def test_note_text_deterministic(self):
+        from repro.ransomware import note_text
+        import random
+        assert note_text("xorist", random.Random(5)) == \
+            note_text("xorist", random.Random(5))

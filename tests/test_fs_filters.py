@@ -1,0 +1,154 @@
+"""Filter-driver stack behaviour."""
+
+import pytest
+
+from repro.fs import (DOCUMENTS, Decision, FilterDriver, OpKind,
+                      OperationDenied, PostVerdict, ProcessSuspended)
+
+
+class DenyWrites(FilterDriver):
+    name = "deny-writes"
+
+    def pre_operation(self, op):
+        if op.kind is OpKind.WRITE:
+            return Decision.DENY
+        return Decision.ALLOW
+
+
+class SuspendOnDelete(FilterDriver):
+    name = "suspend-on-delete"
+
+    def pre_operation(self, op):
+        if op.kind is OpKind.DELETE:
+            return Decision.SUSPEND
+        return Decision.ALLOW
+
+
+class PostSuspendAfterN(FilterDriver):
+    name = "post-suspender"
+
+    def __init__(self, limit):
+        self.limit = limit
+        self.seen = 0
+
+    def post_operation(self, op):
+        if op.kind is OpKind.WRITE:
+            self.seen += 1
+            if self.seen >= self.limit:
+                return PostVerdict(suspend=True, reason="limit hit")
+        return PostVerdict.ALLOW
+
+
+class CountingFilter(FilterDriver):
+    name = "counter"
+
+    def __init__(self, cost=5.0):
+        self.pre_ops = []
+        self.post_ops = []
+        self.cost = cost
+
+    def pre_operation(self, op):
+        self.pre_ops.append(op.kind)
+        return Decision.ALLOW
+
+    def post_operation(self, op):
+        self.post_ops.append(op.kind)
+        return PostVerdict.ALLOW
+
+    def added_latency_us(self, op):
+        return self.cost
+
+
+class TestPreOperation:
+    def test_deny_fails_single_operation(self, vfs, pid):
+        vfs.filters.attach(DenyWrites())
+        handle = vfs.open(pid, DOCUMENTS / "f", "w", create=True)
+        with pytest.raises(OperationDenied):
+            vfs.write(pid, handle, b"blocked")
+        # the handle and process are still healthy
+        vfs.close(pid, handle)
+        assert vfs.read_file(pid, DOCUMENTS / "f") == b""
+
+    def test_suspend_unwinds_and_parks_process(self, vfs, pid):
+        vfs.filters.attach(SuspendOnDelete())
+        vfs.write_file(pid, DOCUMENTS / "f", b"x")
+        with pytest.raises(ProcessSuspended):
+            vfs.delete(pid, DOCUMENTS / "f")
+        # file survived; process may no longer issue I/O
+        assert vfs.exists(DOCUMENTS / "f")
+        with pytest.raises(ProcessSuspended):
+            vfs.read_file(pid, DOCUMENTS / "f")
+
+    def test_denied_op_does_not_mutate(self, vfs, pid):
+        vfs.write_file(pid, DOCUMENTS / "f", b"original")
+        vfs.filters.attach(DenyWrites())
+        handle = vfs.open(pid, DOCUMENTS / "f", "rw")
+        with pytest.raises(OperationDenied):
+            vfs.write(pid, handle, b"ciphertext")
+        vfs.close(pid, handle)
+        assert vfs.read_file(pid, DOCUMENTS / "f") == b"original"
+
+
+class TestPostOperation:
+    def test_post_suspend_lands_after_completion(self, vfs, pid):
+        vfs.filters.attach(PostSuspendAfterN(limit=2))
+        vfs.write_file(pid, DOCUMENTS / "a", b"1")  # write #1 passes
+        with pytest.raises(ProcessSuspended):
+            # write #2 completes, then the filter suspends
+            vfs.write_file(pid, DOCUMENTS / "b", b"2")
+        assert vfs.peek_read(DOCUMENTS / "b") == b"2"
+
+    def test_other_processes_unaffected(self, vfs, pid):
+        vfs.filters.attach(PostSuspendAfterN(limit=1))
+        with pytest.raises(ProcessSuspended):
+            vfs.write_file(pid, DOCUMENTS / "a", b"1")
+        other = vfs.processes.spawn("clean.exe").pid
+        assert vfs.read_file(other, DOCUMENTS / "a") == b"1"
+
+
+class TestStackMechanics:
+    def test_both_hooks_see_operations(self, vfs, pid):
+        counter = CountingFilter()
+        vfs.filters.attach(counter)
+        vfs.write_file(pid, DOCUMENTS / "f", b"x")
+        assert OpKind.CREATE in counter.pre_ops
+        assert OpKind.WRITE in counter.post_ops
+        assert OpKind.CLOSE in counter.post_ops
+
+    def test_detach_stops_delivery(self, vfs, pid):
+        counter = CountingFilter()
+        vfs.filters.attach(counter)
+        vfs.filters.detach(counter)
+        vfs.write_file(pid, DOCUMENTS / "f", b"x")
+        assert not counter.pre_ops
+
+    def test_double_attach_rejected(self, vfs):
+        counter = CountingFilter()
+        vfs.filters.attach(counter)
+        with pytest.raises(ValueError):
+            vfs.filters.attach(counter)
+
+    def test_filter_latency_charged_to_clock(self, vfs, pid):
+        baseline_vfs_time = vfs.clock.now_us
+        counter = CountingFilter(cost=1000.0)
+        vfs.filters.attach(counter)
+        vfs.write_file(pid, DOCUMENTS / "f", b"x")
+        # create+write+close, each charged pre+post = 6 kUS minimum
+        assert vfs.clock.now_us - baseline_vfs_time >= 6000.0
+
+    def test_latency_ledger_accumulates(self, vfs, pid):
+        counter = CountingFilter(cost=10.0)
+        vfs.filters.attach(counter)
+        vfs.write_file(pid, DOCUMENTS / "f", b"x")
+        ledger = vfs.filters.latency_ledger
+        assert ledger[("counter", "write")][0] >= 1
+        assert ledger[("counter", "write")][1] > 0
+
+    def test_first_denial_short_circuits(self, vfs, pid):
+        counter = CountingFilter()
+        vfs.filters.attach(DenyWrites())
+        vfs.filters.attach(counter)
+        handle = vfs.open(pid, DOCUMENTS / "f", "w", create=True)
+        with pytest.raises(OperationDenied):
+            vfs.write(pid, handle, b"x")
+        assert OpKind.WRITE not in counter.pre_ops

@@ -1,0 +1,129 @@
+"""Clock, shadow copies, and the operation recorder."""
+
+import pytest
+
+from repro.fs import (BASE_LATENCY_US, DOCUMENTS, OpKind,
+                      OperationRecorder, ShadowCopyService, SimClock,
+                      VirtualFileSystem)
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_us == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance_us(100.0)
+        assert clock.now_us == 100.0
+        assert clock.now_s == pytest.approx(1e-4)
+
+    def test_cannot_go_backwards(self):
+        with pytest.raises(ValueError):
+            SimClock().advance_us(-1.0)
+
+    def test_charge_uses_op_table(self):
+        clock = SimClock()
+        clock.charge("write")
+        assert clock.now_us == BASE_LATENCY_US["write"]
+
+    def test_charge_unknown_kind_falls_back(self):
+        clock = SimClock()
+        clock.charge("mystery-op")
+        assert clock.now_us == BASE_LATENCY_US["other"]
+
+    def test_charge_extra(self):
+        clock = SimClock()
+        clock.charge("open", extra_us=500.0)
+        assert clock.now_us == BASE_LATENCY_US["open"] + 500.0
+
+
+@pytest.fixture
+def shadow_setup():
+    vfs = VirtualFileSystem()
+    vfs._ensure_dirs(DOCUMENTS)
+    pid = vfs.processes.spawn("svc.exe").pid
+    vfs.write_file(pid, DOCUMENTS / "a.txt", b"precious")
+    service = ShadowCopyService(vfs)
+    return vfs, pid, service
+
+
+class TestShadowCopies:
+    def test_create_and_restore(self, shadow_setup):
+        vfs, pid, service = shadow_setup
+        service.create(pid, DOCUMENTS)
+        vfs.write_file(pid, DOCUMENTS / "a.txt", b"ENCRYPTED")
+        restored = service.restore_file(DOCUMENTS / "a.txt")
+        assert restored == b"precious"
+
+    def test_delete_all_is_teslacrypts_move(self, shadow_setup):
+        vfs, pid, service = shadow_setup
+        service.create(pid, DOCUMENTS)
+        removed = service.delete_all(pid)
+        assert removed == 1
+        assert service.restore_file(DOCUMENTS / "a.txt") is None
+
+    def test_audit_log_records_actions(self, shadow_setup):
+        vfs, pid, service = shadow_setup
+        service.create(pid, DOCUMENTS)
+        service.delete_all(pid)
+        actions = [entry[2] for entry in service.audit]
+        assert actions == ["create", "delete_all"]
+
+    def test_disabled_service_refuses_create(self, shadow_setup):
+        vfs, pid, service = shadow_setup
+        service.disable(pid)
+        with pytest.raises(RuntimeError):
+            service.create(pid, DOCUMENTS)
+
+    def test_newest_copy_wins(self, shadow_setup):
+        vfs, pid, service = shadow_setup
+        service.create(pid, DOCUMENTS)
+        vfs.write_file(pid, DOCUMENTS / "a.txt", b"v2")
+        service.create(pid, DOCUMENTS)
+        assert service.restore_file(DOCUMENTS / "a.txt") == b"v2"
+
+    def test_restore_by_id(self, shadow_setup):
+        vfs, pid, service = shadow_setup
+        first = service.create(pid, DOCUMENTS)
+        vfs.write_file(pid, DOCUMENTS / "a.txt", b"v2")
+        service.create(pid, DOCUMENTS)
+        assert service.restore_file(DOCUMENTS / "a.txt",
+                                    shadow_id=first.shadow_id) == b"precious"
+
+
+class TestRecorder:
+    def test_records_operations(self, vfs, pid):
+        recorder = OperationRecorder()
+        vfs.filters.attach(recorder)
+        vfs.write_file(pid, DOCUMENTS / "f.txt", b"x")
+        kinds = {rec.kind for rec in recorder.records}
+        assert OpKind.WRITE in kinds and OpKind.CLOSE in kinds
+
+    def test_kind_filtering(self, vfs, pid):
+        recorder = OperationRecorder(kinds={OpKind.DELETE})
+        vfs.filters.attach(recorder)
+        vfs.write_file(pid, DOCUMENTS / "f.txt", b"x")
+        vfs.delete(pid, DOCUMENTS / "f.txt")
+        assert {rec.kind for rec in recorder.records} == {OpKind.DELETE}
+
+    def test_touched_directories(self, vfs, pid):
+        recorder = OperationRecorder()
+        vfs.filters.attach(recorder)
+        vfs.mkdir(pid, DOCUMENTS / "sub")
+        vfs.write_file(pid, DOCUMENTS / "sub" / "f.txt", b"x")
+        assert DOCUMENTS / "sub" in recorder.touched_directories(pid)
+
+    def test_accessed_extensions(self, vfs, pid):
+        recorder = OperationRecorder()
+        vfs.filters.attach(recorder)
+        vfs.write_file(pid, DOCUMENTS / "f.pdf", b"x")
+        vfs.read_file(pid, DOCUMENTS / "f.pdf")
+        assert ".pdf" in recorder.accessed_extensions(
+            pid, kinds=(OpKind.READ, OpKind.OPEN))
+
+    def test_clear(self, vfs, pid):
+        recorder = OperationRecorder()
+        vfs.filters.attach(recorder)
+        vfs.write_file(pid, DOCUMENTS / "f", b"x")
+        recorder.clear()
+        assert not recorder.records

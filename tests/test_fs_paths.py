@@ -1,0 +1,157 @@
+"""WinPath semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fs import DOCUMENTS, WinPath
+
+
+class TestParsing:
+    def test_backslash_parsing(self):
+        p = WinPath(r"C:\Users\victim\Documents")
+        assert p.parts == ("Users", "victim", "Documents")
+        assert p.drive == "C:"
+
+    def test_forward_slash_accepted(self):
+        assert WinPath("C:/Users/victim") == WinPath(r"C:\Users\victim")
+
+    def test_default_drive(self):
+        assert WinPath(r"\Windows").drive == "C:"
+
+    def test_other_drive(self):
+        p = WinPath(r"D:\data")
+        assert p.drive == "D:"
+        assert p != WinPath(r"C:\data")
+
+    def test_drive_letter_case_insensitive(self):
+        assert WinPath(r"c:\x") == WinPath(r"C:\x")
+
+    def test_empty_segments_collapsed(self):
+        assert WinPath(r"C:\\a\\\b").parts == ("a", "b")
+
+    def test_dot_segments_ignored(self):
+        assert WinPath(r"C:\a\.\b").parts == ("a", "b")
+
+    def test_dotdot_rejected(self):
+        with pytest.raises(ValueError):
+            WinPath(r"C:\a\..\b")
+
+    def test_copy_constructor(self):
+        p = WinPath(r"C:\a\b")
+        assert WinPath(p) == p
+
+
+class TestCaseInsensitivity:
+    def test_equality_ignores_case(self):
+        assert WinPath(r"C:\Users\VICTIM") == WinPath(r"C:\users\victim")
+
+    def test_hash_ignores_case(self):
+        assert hash(WinPath(r"C:\A\B")) == hash(WinPath(r"C:\a\b"))
+
+    def test_display_preserves_case(self):
+        assert str(WinPath(r"C:\MyDocs\File.TXT")) == r"C:\MyDocs\File.TXT"
+
+
+class TestAccessors:
+    def test_name_stem_suffix(self):
+        p = WinPath(r"C:\docs\Report Final.DOCX")
+        assert p.name == "Report Final.DOCX"
+        assert p.stem == "Report Final"
+        assert p.suffix == ".docx"  # lower-cased
+
+    def test_no_suffix(self):
+        assert WinPath(r"C:\docs\README").suffix == ""
+
+    def test_dotfile_has_no_suffix(self):
+        assert WinPath(r"C:\docs\.hidden").suffix == ""
+
+    def test_parent(self):
+        p = WinPath(r"C:\a\b\c")
+        assert p.parent == WinPath(r"C:\a\b")
+        assert p.parent.parent.parent == WinPath("C:\\")
+
+    def test_depth(self):
+        assert WinPath("C:\\").depth == 0
+        assert WinPath(r"C:\a\b").depth == 2
+
+    def test_root_name_empty(self):
+        assert WinPath("C:\\").name == ""
+
+
+class TestComposition:
+    def test_truediv(self):
+        assert (WinPath(r"C:\a") / "b" / "c.txt") == WinPath(r"C:\a\b\c.txt")
+
+    def test_joinpath_multi(self):
+        assert WinPath("C:\\").joinpath("a", "b") == WinPath(r"C:\a\b")
+
+    def test_joinpath_with_separators(self):
+        assert WinPath(r"C:\a").joinpath(r"b\c") == WinPath(r"C:\a\b\c")
+
+    def test_with_name(self):
+        assert WinPath(r"C:\a\x.txt").with_name("y.pdf") == WinPath(r"C:\a\y.pdf")
+
+    def test_with_suffix(self):
+        assert WinPath(r"C:\a\x.txt").with_suffix(".enc") == WinPath(r"C:\a\x.enc")
+
+    def test_with_name_on_root_raises(self):
+        with pytest.raises(ValueError):
+            WinPath("C:\\").with_name("x")
+
+
+class TestContainment:
+    def test_is_within_self(self):
+        assert DOCUMENTS.is_within(DOCUMENTS)
+
+    def test_is_within_child(self):
+        assert (DOCUMENTS / "sub" / "f.txt").is_within(DOCUMENTS)
+
+    def test_not_within_sibling(self):
+        assert not WinPath(r"C:\Users\victim\Downloads").is_within(DOCUMENTS)
+
+    def test_not_within_prefix_name_trick(self):
+        # "DocumentsEvil" is not inside "Documents"
+        evil = WinPath(r"C:\Users\victim\DocumentsEvil\f.txt")
+        assert not evil.is_within(DOCUMENTS)
+
+    def test_is_within_case_insensitive(self):
+        assert WinPath(r"c:\users\VICTIM\documents\x").is_within(DOCUMENTS)
+
+    def test_cross_drive_not_within(self):
+        assert not WinPath(r"D:\Users\victim\Documents\x").is_within(DOCUMENTS)
+
+    def test_relative_parts(self):
+        p = DOCUMENTS / "a" / "b.txt"
+        assert p.relative_parts(DOCUMENTS) == ("a", "b.txt")
+
+    def test_relative_parts_raises_outside(self):
+        with pytest.raises(ValueError):
+            WinPath(r"C:\other").relative_parts(DOCUMENTS)
+
+    def test_ancestors(self):
+        p = WinPath(r"C:\a\b\c")
+        assert list(p.ancestors()) == [WinPath(r"C:\a\b"), WinPath(r"C:\a"),
+                                       WinPath("C:\\")]
+
+
+_NAME = st.text(alphabet=st.characters(
+    whitelist_categories=("Lu", "Ll", "Nd"), min_codepoint=48,
+    max_codepoint=122), min_size=1, max_size=10)
+
+
+class TestProperties:
+    @given(st.lists(_NAME, min_size=0, max_size=6))
+    def test_roundtrip_through_str(self, parts):
+        p = WinPath("C:\\").joinpath(*parts) if parts else WinPath("C:\\")
+        assert WinPath(str(p)) == p
+
+    @given(st.lists(_NAME, min_size=1, max_size=6))
+    def test_parent_of_child_is_self(self, parts):
+        base = WinPath("C:\\").joinpath(*parts)
+        assert (base / "leaf").parent == base
+
+    @given(st.lists(_NAME, min_size=1, max_size=5), _NAME)
+    def test_child_is_within_every_ancestor(self, parts, leaf):
+        p = WinPath("C:\\").joinpath(*parts) / leaf
+        for ancestor in p.ancestors():
+            assert p.is_within(ancestor)

@@ -1,0 +1,87 @@
+"""Process table: families, suspension, lifecycle."""
+
+import pytest
+
+from repro.fs import ProcessState, ProcessSuspended, ProcessTable
+
+
+@pytest.fixture
+def table():
+    return ProcessTable()
+
+
+class TestLifecycle:
+    def test_spawn_assigns_distinct_pids(self, table):
+        a = table.spawn("a.exe")
+        b = table.spawn("b.exe")
+        assert a.pid != b.pid
+        assert a.state is ProcessState.RUNNING
+
+    def test_spawn_with_unknown_parent_raises(self, table):
+        with pytest.raises(KeyError):
+            table.spawn("child.exe", parent_pid=99999)
+
+    def test_exit(self, table):
+        proc = table.spawn("a.exe")
+        table.exit(proc.pid)
+        with pytest.raises(ProcessSuspended):
+            table.check_runnable(proc.pid)
+
+    def test_runnable_check_passes_for_running(self, table):
+        proc = table.spawn("a.exe")
+        table.check_runnable(proc.pid)  # no exception
+
+
+class TestFamilies:
+    def test_root_of_orphan_is_itself(self, table):
+        proc = table.spawn("a.exe")
+        assert table.family_root(proc.pid) == proc.pid
+
+    def test_child_resolves_to_root(self, table):
+        root = table.spawn("dropper.exe")
+        child = table.spawn("payload.exe", parent_pid=root.pid)
+        grandchild = table.spawn("drone.exe", parent_pid=child.pid)
+        assert table.family_root(grandchild.pid) == root.pid
+
+    def test_family_members_collects_tree(self, table):
+        root = table.spawn("dropper.exe")
+        child = table.spawn("payload.exe", parent_pid=root.pid)
+        other = table.spawn("unrelated.exe")
+        members = table.family_members(child.pid)
+        assert set(members) == {root.pid, child.pid}
+        assert other.pid not in members
+
+    def test_system_parent_breaks_family_chain(self, table):
+        system = table.spawn("services.exe", is_system=True)
+        app = table.spawn("word.exe", parent_pid=system.pid)
+        assert table.family_root(app.pid) == app.pid
+
+
+class TestSuspension:
+    def test_suspend_family_parks_all_members(self, table):
+        root = table.spawn("dropper.exe")
+        child = table.spawn("payload.exe", parent_pid=root.pid)
+        table.suspend_family(child.pid, "cryptodrop")
+        for pid in (root.pid, child.pid):
+            with pytest.raises(ProcessSuspended):
+                table.check_runnable(pid)
+
+    def test_suspend_reason_recorded(self, table):
+        proc = table.spawn("evil.exe")
+        table.suspend_family(proc.pid, "score over threshold")
+        assert table.get(proc.pid).suspend_reason == "score over threshold"
+
+    def test_resume_family(self, table):
+        proc = table.spawn("word.exe")
+        table.suspend_family(proc.pid, "false alarm")
+        table.resume_family(proc.pid)
+        table.check_runnable(proc.pid)
+
+    def test_exited_processes_not_resurrected(self, table):
+        root = table.spawn("a.exe")
+        child = table.spawn("b.exe", parent_pid=root.pid)
+        table.exit(child.pid)
+        table.suspend_family(root.pid, "x")
+        table.resume_family(root.pid)
+        with pytest.raises(ProcessSuspended):
+            table.check_runnable(child.pid)

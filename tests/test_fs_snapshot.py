@@ -1,0 +1,141 @@
+"""Journal-based snapshot/revert and SHA-256 damage assessment."""
+
+import pytest
+
+from repro.fs import (BaselineIndex, DOCUMENTS, FileAttributes,
+                      VirtualFileSystem, assess_damage)
+
+
+@pytest.fixture
+def populated():
+    vfs = VirtualFileSystem()
+    vfs._ensure_dirs(DOCUMENTS / "sub")
+    pid = vfs.processes.spawn("setup.exe").pid
+    vfs.write_file(pid, DOCUMENTS / "a.txt", b"alpha")
+    vfs.write_file(pid, DOCUMENTS / "b.txt", b"beta")
+    vfs.write_file(pid, DOCUMENTS / "sub" / "c.txt", b"gamma")
+    vfs.snapshot_mark()
+    return vfs, pid
+
+
+class TestRevert:
+    def test_revert_restores_overwrite(self, populated):
+        vfs, pid = populated
+        vfs.write_file(pid, DOCUMENTS / "a.txt", b"ENCRYPTED")
+        vfs.revert()
+        assert vfs.peek_read(DOCUMENTS / "a.txt") == b"alpha"
+
+    def test_revert_restores_delete(self, populated):
+        vfs, pid = populated
+        vfs.delete(pid, DOCUMENTS / "b.txt")
+        vfs.revert()
+        assert vfs.peek_read(DOCUMENTS / "b.txt") == b"beta"
+
+    def test_revert_removes_created_files(self, populated):
+        vfs, pid = populated
+        vfs.write_file(pid, DOCUMENTS / "ransom_note.txt", b"pay up")
+        vfs.revert()
+        assert not vfs.exists(DOCUMENTS / "ransom_note.txt")
+
+    def test_revert_undoes_rename(self, populated):
+        vfs, pid = populated
+        vfs.rename(pid, DOCUMENTS / "a.txt", DOCUMENTS / "a.locked")
+        vfs.revert()
+        assert vfs.exists(DOCUMENTS / "a.txt")
+        assert not vfs.exists(DOCUMENTS / "a.locked")
+
+    def test_revert_undoes_clobbering_rename(self, populated):
+        vfs, pid = populated
+        vfs.write_file(pid, DOCUMENTS / "new.bin", b"cipher")
+        vfs.rename(pid, DOCUMENTS / "new.bin", DOCUMENTS / "a.txt")
+        vfs.revert()
+        assert vfs.peek_read(DOCUMENTS / "a.txt") == b"alpha"
+        assert not vfs.exists(DOCUMENTS / "new.bin")
+
+    def test_revert_undoes_attribute_change(self, populated):
+        vfs, pid = populated
+        vfs.set_attributes(pid, DOCUMENTS / "a.txt", read_only=True)
+        vfs.revert()
+        assert not vfs.peek_stat(DOCUMENTS / "a.txt").attrs.read_only
+
+    def test_revert_undoes_mkdir(self, populated):
+        vfs, pid = populated
+        vfs.mkdir(pid, DOCUMENTS / "evil_dir")
+        vfs.revert()
+        assert not vfs.exists(DOCUMENTS / "evil_dir")
+
+    def test_revert_handles_complex_sequence(self, populated):
+        vfs, pid = populated
+        # Class B dance: move out, rewrite, move back under new name
+        temp = DOCUMENTS / "staging.tmp"
+        vfs.rename(pid, DOCUMENTS / "a.txt", temp)
+        vfs.write_file(pid, temp, b"CIPHER")
+        vfs.rename(pid, temp, DOCUMENTS / "a.ctbl")
+        vfs.revert()
+        assert vfs.peek_read(DOCUMENTS / "a.txt") == b"alpha"
+        assert not vfs.exists(DOCUMENTS / "a.ctbl")
+        assert not vfs.exists(temp)
+
+    def test_revert_twice_is_stable(self, populated):
+        vfs, pid = populated
+        vfs.write_file(pid, DOCUMENTS / "a.txt", b"X")
+        vfs.revert()
+        vfs.revert()
+        assert vfs.peek_read(DOCUMENTS / "a.txt") == b"alpha"
+
+    def test_revert_without_mark_raises(self):
+        with pytest.raises(RuntimeError):
+            VirtualFileSystem().revert()
+
+    def test_touched_since_mark_tracks_paths(self, populated):
+        vfs, pid = populated
+        vfs.write_file(pid, DOCUMENTS / "a.txt", b"x")
+        assert DOCUMENTS / "a.txt" in vfs.touched_since_mark
+
+
+class TestDamageAssessment:
+    def test_pristine_reports_all_intact(self, populated):
+        vfs, pid = populated
+        baseline = BaselineIndex(vfs, DOCUMENTS)
+        report = assess_damage(vfs, baseline)
+        assert report.files_lost == 0
+        assert report.intact == 3
+
+    def test_modification_counts_as_lost(self, populated):
+        vfs, pid = populated
+        baseline = BaselineIndex(vfs, DOCUMENTS)
+        vfs.write_file(pid, DOCUMENTS / "a.txt", b"CIPHER")
+        report = assess_damage(vfs, baseline)
+        assert report.files_lost == 1
+        assert [str(p) for p in report.modified] == [str(DOCUMENTS / "a.txt")]
+
+    def test_deletion_counts_as_lost(self, populated):
+        vfs, pid = populated
+        baseline = BaselineIndex(vfs, DOCUMENTS)
+        vfs.delete(pid, DOCUMENTS / "b.txt")
+        report = assess_damage(vfs, baseline)
+        assert len(report.missing) == 1
+
+    def test_new_files_reported_separately(self, populated):
+        vfs, pid = populated
+        baseline = BaselineIndex(vfs, DOCUMENTS)
+        vfs.write_file(pid, DOCUMENTS / "note.txt", b"pay")
+        report = assess_damage(vfs, baseline)
+        assert report.files_lost == 0
+        assert len(report.new_files) == 1
+
+    def test_same_size_tamper_found_with_candidates(self, populated):
+        # candidate narrowing must not skip hash checks on touched files
+        vfs, pid = populated
+        baseline = BaselineIndex(vfs, DOCUMENTS)
+        vfs.snapshot_mark()
+        vfs.write_file(pid, DOCUMENTS / "a.txt", b"alphA")  # same length
+        report = assess_damage(vfs, baseline, vfs.touched_since_mark)
+        assert report.files_lost == 1
+
+    def test_untouched_same_size_files_skip_hashing(self, populated):
+        vfs, pid = populated
+        baseline = BaselineIndex(vfs, DOCUMENTS)
+        vfs.snapshot_mark()
+        report = assess_damage(vfs, baseline, candidates=set())
+        assert report.intact == 3

@@ -1,0 +1,153 @@
+"""Win32 file-API shim semantics."""
+
+import pytest
+
+from repro.fs import (DOCUMENTS, FileExists, FileNotFound,
+                      ProcessSuspended, VirtualFileSystem)
+from repro.fs.win32 import (CREATE_ALWAYS, CREATE_NEW, FILE_BEGIN,
+                            FILE_CURRENT, FILE_END, GENERIC_READ,
+                            GENERIC_WRITE, MOVEFILE_REPLACE_EXISTING,
+                            OPEN_ALWAYS, OPEN_EXISTING, TRUNCATE_EXISTING,
+                            Win32Api)
+
+
+@pytest.fixture
+def api(vfs, pid):
+    return Win32Api(vfs, pid)
+
+
+class TestCreationDispositions:
+    def test_create_new(self, api):
+        handle = api.CreateFile(DOCUMENTS / "a.txt", GENERIC_WRITE,
+                                CREATE_NEW)
+        api.WriteFile(handle, b"hello")
+        api.CloseHandle(handle)
+        assert api.GetFileSize(DOCUMENTS / "a.txt") == 5
+
+    def test_create_new_fails_on_existing(self, api):
+        api.CloseHandle(api.CreateFile(DOCUMENTS / "a.txt", GENERIC_WRITE,
+                                       CREATE_NEW))
+        with pytest.raises(FileExists):
+            api.CreateFile(DOCUMENTS / "a.txt", GENERIC_WRITE, CREATE_NEW)
+
+    def test_create_always_truncates(self, api, vfs, pid):
+        vfs.write_file(pid, DOCUMENTS / "a.txt", b"old content")
+        handle = api.CreateFile(DOCUMENTS / "a.txt", GENERIC_WRITE,
+                                CREATE_ALWAYS)
+        api.CloseHandle(handle)
+        assert api.GetFileSize(DOCUMENTS / "a.txt") == 0
+
+    def test_open_existing_requires_existence(self, api):
+        with pytest.raises(FileNotFound):
+            api.CreateFile(DOCUMENTS / "ghost.txt", GENERIC_READ,
+                           OPEN_EXISTING)
+
+    def test_open_always_creates_or_opens(self, api):
+        h1 = api.CreateFile(DOCUMENTS / "b.txt", GENERIC_WRITE, OPEN_ALWAYS)
+        api.WriteFile(h1, b"x")
+        api.CloseHandle(h1)
+        h2 = api.CreateFile(DOCUMENTS / "b.txt",
+                            GENERIC_READ | GENERIC_WRITE, OPEN_ALWAYS)
+        assert api.ReadFile(h2) == b"x"       # content survived
+        api.CloseHandle(h2)
+
+    def test_truncate_existing(self, api, vfs, pid):
+        vfs.write_file(pid, DOCUMENTS / "c.txt", b"data")
+        handle = api.CreateFile(DOCUMENTS / "c.txt", GENERIC_WRITE,
+                                TRUNCATE_EXISTING)
+        api.CloseHandle(handle)
+        assert api.GetFileSize(DOCUMENTS / "c.txt") == 0
+
+    def test_truncate_existing_requires_write(self, api, vfs, pid):
+        vfs.write_file(pid, DOCUMENTS / "c.txt", b"data")
+        with pytest.raises(ValueError):
+            api.CreateFile(DOCUMENTS / "c.txt", GENERIC_READ,
+                           TRUNCATE_EXISTING)
+
+    def test_no_access_rejected(self, api):
+        with pytest.raises(ValueError):
+            api.CreateFile(DOCUMENTS / "x", 0, OPEN_ALWAYS)
+
+    def test_unknown_disposition_rejected(self, api):
+        with pytest.raises(ValueError):
+            api.CreateFile(DOCUMENTS / "x", GENERIC_WRITE, 99)
+
+
+class TestPointerOps:
+    def test_file_pointer_origins(self, api, vfs, pid):
+        vfs.write_file(pid, DOCUMENTS / "d.bin", bytes(range(100)))
+        handle = api.CreateFile(DOCUMENTS / "d.bin",
+                                GENERIC_READ | GENERIC_WRITE, OPEN_EXISTING)
+        assert api.SetFilePointer(handle, 10, FILE_BEGIN) == 10
+        assert api.ReadFile(handle, 1) == bytes([10])
+        assert api.SetFilePointer(handle, 4, FILE_CURRENT) == 15
+        assert api.SetFilePointer(handle, -1, FILE_END) == 99
+        assert api.ReadFile(handle, 1) == bytes([99])
+        api.CloseHandle(handle)
+
+    def test_set_end_of_file(self, api, vfs, pid):
+        vfs.write_file(pid, DOCUMENTS / "d.bin", bytes(100))
+        handle = api.CreateFile(DOCUMENTS / "d.bin",
+                                GENERIC_READ | GENERIC_WRITE, OPEN_EXISTING)
+        api.SetFilePointer(handle, 10, FILE_BEGIN)
+        api.SetEndOfFile(handle)
+        api.CloseHandle(handle)
+        assert api.GetFileSize(DOCUMENTS / "d.bin") == 10
+
+    def test_negative_pointer_rejected(self, api, vfs, pid):
+        vfs.write_file(pid, DOCUMENTS / "d.bin", b"xy")
+        handle = api.CreateFile(DOCUMENTS / "d.bin", GENERIC_READ,
+                                OPEN_EXISTING)
+        with pytest.raises(ValueError):
+            api.SetFilePointer(handle, -5, FILE_BEGIN)
+        api.CloseHandle(handle)
+
+
+class TestNamespaceOps:
+    def test_move_file_ex(self, api, vfs, pid):
+        vfs.write_file(pid, DOCUMENTS / "src", b"1")
+        vfs.write_file(pid, DOCUMENTS / "dst", b"2")
+        with pytest.raises(FileExists):
+            api.MoveFileEx(DOCUMENTS / "src", DOCUMENTS / "dst")
+        api.MoveFileEx(DOCUMENTS / "src", DOCUMENTS / "dst",
+                       MOVEFILE_REPLACE_EXISTING)
+        assert vfs.peek_read(DOCUMENTS / "dst") == b"1"
+
+    def test_delete_and_exists(self, api, vfs, pid):
+        vfs.write_file(pid, DOCUMENTS / "victim", b"1")
+        assert api.PathFileExists(DOCUMENTS / "victim")
+        api.DeleteFile(DOCUMENTS / "victim")
+        assert not api.PathFileExists(DOCUMENTS / "victim")
+
+    def test_find_files(self, api, vfs, pid):
+        vfs.write_file(pid, DOCUMENTS / "one.txt", b"")
+        api.CreateDirectory(DOCUMENTS / "Sub")
+        names = api.FindFiles(DOCUMENTS)
+        assert "one.txt" in names and "Sub" in names
+
+
+class TestShimIsMonitored:
+    def test_win32_attack_is_detected(self, vfs, pid):
+        """An attack written purely against the Win32 surface flows
+        through the same filter stack and is convicted identically."""
+        import random
+        from repro.core import CryptoDropMonitor
+        from repro.corpus.wordlists import paragraphs
+        from repro.crypto import chacha20_xor
+        for i in range(16):
+            vfs.peek_write(DOCUMENTS / f"doc{i}.txt",
+                           paragraphs(random.Random(i), 9000).encode())
+        monitor = CryptoDropMonitor(vfs).attach()
+        api = Win32Api(vfs, pid)
+        with pytest.raises(ProcessSuspended):
+            for i in range(16):
+                path = DOCUMENTS / f"doc{i}.txt"
+                handle = api.CreateFile(path,
+                                        GENERIC_READ | GENERIC_WRITE,
+                                        OPEN_EXISTING)
+                data = api.ReadFile(handle)
+                api.SetFilePointer(handle, 0, FILE_BEGIN)
+                api.WriteFile(handle,
+                              chacha20_xor(bytes(32), bytes(12), data))
+                api.CloseHandle(handle)
+        assert monitor.detected

@@ -1,0 +1,75 @@
+"""Golden regression pins.
+
+Every run of this reproduction is deterministic given its seeds, so the
+first sample of each family against the shared test corpus has an *exact*
+expected outcome.  These pins guard the calibration: any change to the
+indicators, scoring constants, corpus generators, similarity digests, or
+family behaviours that shifts detection timing shows up here immediately
+— deliberately brittle, by design.
+
+If you intentionally recalibrate, regenerate the table with::
+
+    python - <<'PY'
+    from repro.corpus import generate
+    from repro.ransomware import cohort_by_family, instantiate
+    from repro.sandbox import VirtualMachine, run_sample
+    m = VirtualMachine(generate(1337, 420, 36)); m.snapshot()
+    for fam, rows in sorted(cohort_by_family().items()):
+        r = run_sample(m, instantiate(rows[0].profile))
+        print((fam, r.files_lost, r.score, r.union_fired))
+    PY
+"""
+
+import pytest
+
+from repro.ransomware import cohort_by_family, instantiate
+from repro.sandbox import run_sample
+
+#: (family, files lost, final score, union fired) for each family's first
+#: sample against the conftest corpus (seed 1337, 420 files / 36 dirs)
+GOLDEN = [
+    ("cryptodefense", 9, 200.0, False),
+    ("cryptofortress", 10, 181.0, True),
+    ("cryptolocker", 9, 181.5, True),
+    ("cryptolocker-copycat", 11, 189.5, True),
+    ("cryptotorlocker2015", 5, 181.5, True),
+    ("cryptowall", 9, 186.5, True),
+    ("ctb-locker", 12, 190.0, True),
+    ("filecoder", 11, 188.5, True),
+    ("gpcode", 24, 201.5, False),
+    ("mbladvisory", 8, 180.0, True),
+    ("poshcoder", 10, 180.5, True),
+    ("ransom-fue", 19, 203.0, False),
+    ("teslacrypt", 10, 187.5, True),
+    ("virlock", 9, 180.0, True),
+    ("xorist", 3, 182.0, True),
+]
+
+
+@pytest.mark.parametrize("family,files_lost,score,union", GOLDEN,
+                         ids=[row[0] for row in GOLDEN])
+def test_family_first_sample_outcome_pinned(machine, family, files_lost,
+                                            score, union):
+    sample = instantiate(cohort_by_family()[family][0].profile)
+    result = run_sample(machine, sample)
+    assert result.detected
+    assert result.files_lost == files_lost
+    assert result.score == score
+    assert result.union_fired == union
+
+
+def test_corpus_fingerprint_pinned(small_corpus):
+    """The test corpus itself must not drift (generators are part of the
+    calibrated surface)."""
+    import hashlib
+    digest = hashlib.sha256()
+    for row in small_corpus.files:
+        digest.update(row.rel_path.encode())
+        digest.update(small_corpus.contents[row.rel_path])
+    fingerprint = digest.hexdigest()
+    # pin only a prefix so the assertion message stays readable
+    assert fingerprint.startswith(FINGERPRINT_PREFIX), fingerprint
+
+
+# regenerate with: the docstring recipe above, then hash as in the test
+FINGERPRINT_PREFIX = "64b5f17e83fa7a67"

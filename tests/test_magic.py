@@ -1,0 +1,126 @@
+"""Magic-number identification."""
+
+import random
+
+import pytest
+
+from repro.corpus import content
+from repro.magic import DATA, EMPTY, Category, FileType, identify, \
+    identify_name
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return random.Random(42)
+
+
+class TestSignatureFormats:
+    @pytest.mark.parametrize("maker,expected", [
+        (content.make_pdf, "pdf"),
+        (content.make_docx, "docx"),
+        (content.make_xlsx, "xlsx"),
+        (content.make_pptx, "pptx"),
+        (content.make_odt, "odt"),
+        (content.make_doc, "doc"),
+        (content.make_xls, "xls"),
+        (content.make_ppt, "ppt"),
+        (content.make_rtf, "rtf"),
+        (content.make_jpeg, "jpg"),
+        (content.make_png, "png"),
+        (content.make_gif, "gif"),
+        (content.make_bmp, "bmp"),
+        (content.make_mp3, "mp3"),
+        (content.make_wav, "wav"),
+        (content.make_m4a, "m4a"),
+        (content.make_flac, "flac"),
+        (content.make_sqlite, "sqlite"),
+    ])
+    def test_generated_content_identified(self, rng, maker, expected):
+        data = maker(random.Random(7), 12000)
+        assert identify_name(data) == expected
+
+    def test_plain_zip_not_misidentified_as_office(self):
+        import io
+        import zipfile
+        buf = io.BytesIO()
+        with zipfile.ZipFile(buf, "w") as zf:
+            zf.writestr("readme.txt", "plain archive")
+        assert identify_name(buf.getvalue()) == "zip"
+
+    def test_sevenzip_magic(self):
+        assert identify_name(b"7z\xbc\xaf\x27\x1c" + bytes(100)) == "7z"
+
+    def test_exe_magic(self):
+        assert identify_name(b"MZ\x90\x00" + bytes(100)) == "exe"
+
+    def test_gzip_magic(self):
+        import gzip
+        assert identify_name(gzip.compress(b"payload")) == "gzip"
+
+
+class TestTextHeuristics:
+    def test_plain_text(self, rng):
+        assert identify_name(content.make_txt(rng, 2000)) == "txt"
+
+    def test_markdown(self, rng):
+        assert identify_name(content.make_md(rng, 2000)) == "md"
+
+    def test_csv(self, rng):
+        assert identify_name(content.make_csv(rng, 2000)) == "csv"
+
+    def test_html(self, rng):
+        assert identify_name(content.make_html(rng, 2000)) == "html"
+
+    def test_xml(self, rng):
+        assert identify_name(content.make_xml(rng, 2000)) == "xml"
+
+    def test_text_with_binary_bytes_is_data(self):
+        blob = b"looks like text until" + bytes(range(256)) * 8
+        assert identify(blob) is DATA
+
+
+class TestCiphertextAndEdges:
+    def test_random_bytes_identify_as_data(self):
+        noise = random.Random(1).randbytes(4096)
+        assert identify(noise) is DATA
+
+    def test_encrypted_document_identifies_as_data(self, rng):
+        from repro.crypto import chacha20_xor
+        doc = content.make_docx(rng, 9000)
+        cipher = chacha20_xor(bytes(32), bytes(12), doc)
+        assert identify(cipher) is DATA
+
+    def test_empty_is_empty(self):
+        assert identify(b"") is EMPTY
+
+    def test_single_byte(self):
+        assert identify(b"A").name in ("txt", "data")
+
+    def test_only_prefix_inspected(self, rng):
+        # appending garbage after a valid header must not change the type
+        pdf = content.make_pdf(rng, 4000)
+        assert identify_name(pdf + random.Random(2).randbytes(100000)) == "pdf"
+
+    def test_truncated_container_keeps_magic(self, rng):
+        docx = content.make_docx(rng, 9000)
+        # even a ransomware-truncated docx still *starts* like a zip
+        assert identify_name(docx[:2000]) in ("docx", "zip")
+
+
+class TestFileTypeObjects:
+    def test_categories_assigned(self):
+        from repro.magic import FILE_TYPES
+        assert FILE_TYPES["pdf"].category == Category.DOCUMENT
+        assert FILE_TYPES["xlsx"].category == Category.SPREADSHEET
+        assert FILE_TYPES["jpg"].category == Category.IMAGE
+        assert FILE_TYPES["mp3"].category == Category.AUDIO
+
+    def test_high_entropy_hints(self):
+        from repro.magic import FILE_TYPES
+        assert FILE_TYPES["docx"].is_high_entropy
+        assert not FILE_TYPES["txt"].is_high_entropy
+
+    def test_filetype_is_hashable_value_object(self):
+        a = FileType("x", "X file", Category.DATA)
+        b = FileType("x", "X file", Category.DATA)
+        assert a == b and hash(a) == hash(b)

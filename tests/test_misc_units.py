@@ -1,0 +1,143 @@
+"""Unit coverage for the smaller corners: nodes, handles, config,
+notes, cipher engines, experiment scaffolding, CLI wiring."""
+
+import random
+
+import pytest
+
+from repro.core import CryptoDropConfig, default_config
+from repro.fs import DOCUMENTS, FileAttributes, FileNotFound, WinPath
+from repro.fs.nodes import DirNode, FileNode, NodeIdAllocator
+
+
+class TestNodes:
+    def test_node_ids_monotonic(self):
+        alloc = NodeIdAllocator()
+        ids = [alloc.next_id() for _ in range(5)]
+        assert ids == sorted(ids) and len(set(ids)) == 5
+
+    def test_file_node_rw(self):
+        node = FileNode(1, b"hello")
+        assert node.read_bytes() == b"hello"
+        assert node.read_bytes(1, 3) == b"ell"
+        node.write_bytes(5, b" world", now_us=9.0)
+        assert node.read_bytes() == b"hello world"
+        assert node.modified_us == 9.0
+
+    def test_file_node_sparse_write(self):
+        node = FileNode(1)
+        node.write_bytes(4, b"x", now_us=0.0)
+        assert node.read_bytes() == b"\x00\x00\x00\x00x"
+
+    def test_file_node_truncate(self):
+        node = FileNode(1, b"abcdef")
+        node.truncate(2, now_us=1.0)
+        assert node.read_bytes() == b"ab"
+
+    def test_dir_node_case_preserving(self):
+        directory = DirNode(1)
+        directory.put("ReadMe.TXT", FileNode(2))
+        assert "readme.txt" in directory
+        assert directory.display_name("README.txt") == "ReadMe.TXT"
+        assert list(directory.names()) == ["ReadMe.TXT"]
+
+    def test_dir_node_require_missing(self):
+        with pytest.raises(FileNotFound):
+            DirNode(1).require("ghost")
+
+    def test_dir_node_remove_missing(self):
+        with pytest.raises(FileNotFound):
+            DirNode(1).remove("ghost")
+
+    def test_attrs_copy_is_independent(self):
+        attrs = FileAttributes(read_only=True)
+        clone = attrs.copy()
+        clone.read_only = False
+        assert attrs.read_only
+
+
+class TestConfig:
+    def test_with_overrides_returns_new_object(self):
+        base = default_config()
+        changed = base.with_overrides(non_union_threshold=123.0)
+        assert changed.non_union_threshold == 123.0
+        assert base.non_union_threshold == 200.0
+
+    def test_default_config_kwargs(self):
+        config = default_config(entropy_points=9.0)
+        assert config.entropy_points == 9.0
+
+    def test_is_protected(self):
+        config = CryptoDropConfig()
+        assert config.is_protected(DOCUMENTS / "a" / "b.txt")
+        assert not config.is_protected(WinPath(r"C:\Windows\notepad.exe"))
+
+    def test_indicators_enabled_lists_all_by_default(self):
+        assert len(default_config().indicators_enabled()) == 5
+
+    def test_config_is_hashable_for_experiment_cache(self):
+        # campaign_at_scale keys its cache on (scale, config, ...)
+        assert hash(default_config()) == hash(default_config())
+
+    def test_paper_values_are_defaults(self):
+        config = default_config()
+        assert config.non_union_threshold == 200.0   # §V-A
+        assert config.entropy_delta == 0.1           # §IV-C1
+
+
+class TestNotesAndCiphers:
+    def test_note_is_low_entropy_text(self):
+        from repro.entropy import shannon_entropy
+        from repro.ransomware import note_text
+        text = note_text("cryptowall", random.Random(3))
+        assert shannon_entropy(text.encode()) < 5.0
+
+    def test_unknown_family_gets_default_filename(self):
+        from repro.ransomware import NOTE_FILENAMES, write_note
+        assert "default" in NOTE_FILENAMES
+
+    def test_cipher_engine_describe(self):
+        from repro.ransomware import CipherEngine
+        kind, bits = CipherEngine("chacha", seed=1).describe()
+        assert kind == "chacha" and bits == 256
+
+    def test_cipher_engine_key_blob_unwrapped(self):
+        from repro.ransomware import CipherEngine
+        engine = CipherEngine("xor", seed=2)
+        assert engine.key_blob() == engine.key32
+
+
+class TestExperimentScaffolding:
+    def test_scale_describe(self):
+        from repro.experiments import FULL, TINY
+        assert "all samples" in FULL.describe()
+        assert "tiny" in TINY.describe()
+
+    def test_full_scale_matches_paper_dimensions(self):
+        from repro.experiments import FULL
+        assert FULL.n_files == 5099 and FULL.n_dirs == 511
+        assert FULL.per_family is None
+
+    def test_fig6_rejects_unknown_suite(self):
+        from repro.experiments import TINY, run_fig6
+        with pytest.raises(ValueError):
+            run_fig6(TINY, suite="every")
+
+    def test_ascii_cdf_single_point(self):
+        from repro.experiments import ascii_cdf
+        assert "1.0 +" in ascii_cdf([(3, 1.0)])
+
+    def test_ascii_cdf_empty(self):
+        from repro.experiments import ascii_cdf
+        assert ascii_cdf([]) == "(no data)"
+
+
+class TestCliWiring:
+    def test_every_cli_experiment_is_callable(self):
+        from repro.__main__ import _EXPERIMENTS
+        for name, runner in _EXPERIMENTS.items():
+            assert callable(runner), name
+
+    def test_cli_scales_cover_all(self):
+        from repro.__main__ import _SCALES
+        assert set(_SCALES) == {"tiny", "small", "full"}

@@ -1,0 +1,141 @@
+"""Additional coverage: walk determinism, ssdeep internals, workload
+helpers, the ordered magic database, and report rendering corners."""
+
+import random
+
+import pytest
+
+from repro.fs import DOCUMENTS, VirtualFileSystem
+
+
+class TestWalkDeterminism:
+    @pytest.fixture
+    def populated(self, vfs, pid):
+        for name in ("b", "A", "c"):
+            vfs.mkdir(pid, DOCUMENTS / name)
+            vfs.write_file(pid, DOCUMENTS / name / f"{name}.txt", b"x")
+        return vfs, pid
+
+    def test_walk_order_is_stable(self, populated):
+        vfs, pid = populated
+        first = [str(d) for d, _dirs, _files in vfs.walk(pid, DOCUMENTS)]
+        second = [str(d) for d, _dirs, _files in vfs.walk(pid, DOCUMENTS)]
+        assert first == second
+
+    def test_walk_root_first(self, populated):
+        vfs, pid = populated
+        dirs = [d for d, *_ in vfs.walk(pid, DOCUMENTS)]
+        assert dirs[0] == DOCUMENTS
+
+    def test_peek_walk_matches_filtered_walk(self, populated):
+        vfs, pid = populated
+        via_ops = set()
+        for dirpath, _dirs, files in vfs.walk(pid, DOCUMENTS):
+            via_ops.update(str(dirpath / f) for f in files)
+        via_peek = {str(p) for p, _n in vfs.peek_walk_files(DOCUMENTS)}
+        assert via_ops == via_peek
+
+
+class TestSsdeepInternals:
+    def test_blocksize_scales_with_input(self):
+        from repro.simhash import ctph
+        small = ctph(b"abcdefgh" * 40)
+        large = ctph(random.Random(0).randbytes(200000))
+        assert large.blocksize > small.blocksize
+
+    def test_signature_capped_length(self):
+        from repro.simhash import ctph
+        from repro.simhash.ssdeep import SPAMSUM_LENGTH
+        sig = ctph(random.Random(1).randbytes(500000))
+        assert len(sig.sig1) <= SPAMSUM_LENGTH
+
+    def test_rolling_hash_windows(self):
+        from repro.simhash.ssdeep import _RollingHash
+        roll = _RollingHash()
+        values = [roll.update(b) for b in b"abcdefghij"]
+        assert len(set(values)) > 1
+
+    def test_edit_distance(self):
+        from repro.simhash.ssdeep import _edit_distance
+        assert _edit_distance("kitten", "sitting") == 3
+        assert _edit_distance("", "abc") == 3
+        assert _edit_distance("same", "same") == 0
+
+
+class TestMagicDatabaseIntegrity:
+    def test_signatures_have_unique_effect(self):
+        """No earlier signature may shadow a later one byte-for-byte."""
+        from repro.magic import SIGNATURES
+        seen = []
+        for sig in SIGNATURES:
+            for offset, pattern, _ft in seen:
+                if offset == sig.offset and sig.pattern.startswith(pattern):
+                    # shadowing is only allowed when a refiner
+                    # distinguishes them
+                    earlier = next(s for s in SIGNATURES
+                                   if (s.offset, s.pattern) == (offset, pattern))
+                    assert earlier.refine is not None, \
+                        (pattern, sig.pattern)
+            seen.append((sig.offset, sig.pattern, sig.filetype))
+
+    def test_every_signature_matches_its_own_pattern(self):
+        from repro.magic import SIGNATURES, identify
+        for sig in SIGNATURES:
+            synthetic = bytes(sig.offset) + sig.pattern + bytes(64)
+            assert sig.matches(synthetic)
+
+    def test_ole2_refinement_distinguishes_office_apps(self):
+        import random as _random
+        from repro.corpus.content import make_doc, make_ppt, make_xls
+        from repro.magic import identify_name
+        rng = _random.Random(5)
+        assert identify_name(make_doc(rng, 8000)) == "doc"
+        assert identify_name(make_xls(rng, 8000)) == "xls"
+        assert identify_name(make_ppt(rng, 8000)) == "ppt"
+
+    def test_generic_ole2_falls_back(self):
+        from repro.magic import identify_name
+        blob = b"\xd0\xcf\x11\xe0\xa1\xb1\x1a\xe1" + bytes(600)
+        assert identify_name(blob) == "ole2"
+
+
+class TestWorkloadHelper:
+    def test_standard_io_workload_counts(self, small_corpus):
+        from repro.experiments import standard_io_workload
+        from repro.sandbox import VirtualMachine
+        machine = VirtualMachine(small_corpus)
+        machine.snapshot()
+        pid = machine.vfs.processes.spawn("perf.exe").pid
+        counts = standard_io_workload(machine, pid, n_files=20)
+        assert counts["open"] == 20
+        assert counts["write"] == 20
+        assert counts["rename"] == 10    # every 4th file, twice
+        machine.revert()
+
+
+class TestRenderingCorners:
+    def test_table1_render_includes_paper_column(self, small_corpus):
+        from repro.experiments import TINY, campaign_at_scale, run_table1
+        table = run_table1(TINY, campaign=campaign_at_scale(TINY))
+        text = table.render()
+        assert "Paper FL" in text
+        assert "0-" in text or "Range" in text
+
+    def test_attribution_render_orders_indicators(self):
+        from repro.analysis import IndicatorAttribution
+        attribution = IndicatorAttribution(
+            totals={"entropy": 10.0, "type_change": 30.0},
+            prevalence={"entropy": 1.0, "type_change": 0.5},
+            samples=2)
+        text = attribution.render()
+        assert text.index("type_change") < text.index("entropy")
+
+    def test_detection_summary_text(self):
+        from repro.core import Detection
+        detection = Detection(
+            root_pid=1000, process_name="evil.exe", score=205.0,
+            threshold=200.0, union_fired=True,
+            flags={"entropy"}, timestamp_us=1.0,
+            trigger_op="close", trigger_path="C:\\x")
+        assert "suspended" in detection.summary()
+        assert "[union]" in detection.summary()

@@ -1,0 +1,89 @@
+"""Static invariants over all 492 sample profiles (no execution)."""
+
+import collections
+
+import pytest
+
+from repro.ransomware import all_profiles, working_cohort
+from repro.ransomware.traversal import STRATEGIES
+
+PROFILES = all_profiles()
+
+KNOWN_EXTENSIONS = {
+    ".pdf", ".doc", ".docx", ".xls", ".xlsx", ".ppt", ".pptx", ".odt",
+    ".ods", ".rtf", ".txt", ".md", ".csv", ".xml", ".html", ".jpg",
+    ".png", ".gif", ".bmp", ".mp3", ".wav", ".m4a", ".flac", ".sqlite",
+    ".zip", ".7z",
+}
+
+
+class TestProfileInvariants:
+    def test_seeds_unique(self):
+        seeds = [p.seed for p in PROFILES]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_sample_names_unique(self):
+        names = [p.sample_name for p in PROFILES]
+        assert len(set(names)) == len(names)
+
+    def test_traversals_are_registered(self):
+        for profile in PROFILES:
+            assert profile.traversal in STRATEGIES, profile.sample_name
+
+    def test_extensions_are_known(self):
+        for profile in PROFILES:
+            if profile.extensions is None:
+                continue
+            unknown = set(profile.extensions) - KNOWN_EXTENSIONS
+            assert not unknown, (profile.sample_name, unknown)
+
+    def test_chunk_sizes_sane(self):
+        for profile in PROFILES:
+            assert 0 <= profile.read_chunk <= 1 << 20
+            assert 0 <= profile.write_chunk <= 1 << 20
+
+    def test_cipher_kinds_valid(self):
+        from repro.ransomware import CipherEngine
+        for profile in PROFILES:
+            assert profile.cipher_kind in CipherEngine.KINDS
+
+    def test_no_working_profile_is_inert(self):
+        assert all(p.inert_reason is None for p in PROFILES)
+
+    def test_class_c_profiles_have_disposal(self):
+        for profile in PROFILES:
+            if profile.behavior_class == "C":
+                assert profile.class_c_disposal in ("delete", "move_over")
+
+    def test_prefix_encryption_only_on_class_a(self):
+        for profile in PROFILES:
+            if profile.encrypt_prefix_bytes:
+                assert profile.behavior_class == "A", profile.sample_name
+
+    def test_exe_wrapper_only_on_virlock(self):
+        for profile in PROFILES:
+            if profile.payload_wrapper:
+                assert profile.family == "virlock"
+
+    def test_polymorphic_families_have_no_marker(self):
+        for profile in PROFILES:
+            if profile.polymorphic:
+                assert not profile.family_marker
+
+    def test_shadow_wipers_are_the_expected_families(self):
+        wipers = {p.family for p in PROFILES if p.delete_shadow_copies}
+        assert wipers == {"teslacrypt", "cryptowall"}
+
+    def test_image_bytes_deterministic(self):
+        first = working_cohort()[0]
+        again = working_cohort()[0]
+        assert first.image_bytes == again.image_bytes
+
+    def test_class_mix_per_family_matches_table1(self):
+        from repro.experiments import PAPER_TABLE1
+        counts = collections.defaultdict(lambda: [0, 0, 0])
+        for profile in PROFILES:
+            index = {"A": 0, "B": 1, "C": 2}[profile.behavior_class]
+            counts[profile.family][index] += 1
+        for family, (a, b, c, _total, _median) in PAPER_TABLE1.items():
+            assert counts[family] == [a, b, c], family

@@ -1,0 +1,170 @@
+"""Sandbox machinery: VM lifecycle, sample runner, campaigns, culling."""
+
+import pytest
+
+from repro.ransomware import RansomwareSample, SampleProfile, working_cohort
+from repro.sandbox import (VirtualMachine, cull_haul, run_campaign,
+                           run_sample)
+
+
+def _sample(seed=1, **overrides):
+    options = dict(family="testfam", variant=0, behavior_class="A",
+                   seed=seed, extensions=(".txt",), rename_suffix=None,
+                   note_mode="none")
+    options.update(overrides)
+    return RansomwareSample(SampleProfile(**options))
+
+
+class TestVirtualMachine:
+    def test_revert_requires_snapshot(self, small_corpus):
+        machine = VirtualMachine(small_corpus)
+        with pytest.raises(RuntimeError):
+            machine.revert()
+
+    def test_assess_requires_snapshot(self, small_corpus):
+        machine = VirtualMachine(small_corpus)
+        with pytest.raises(RuntimeError):
+            machine.assess()
+
+    def test_run_program_reports_outcome(self, machine):
+        outcome = machine.run_program(_sample(max_files=2))
+        assert outcome.completed and not outcome.suspended
+        assert outcome.sim_seconds > 0
+
+    def test_run_program_captures_workload_errors(self, machine):
+        class Buggy:
+            name = "buggy.exe"
+            seed = 0
+
+            def run(self, ctx):
+                raise KeyError("oops")
+
+        outcome = machine.run_program(Buggy())
+        assert outcome.error == "KeyError: 'oops'"
+        assert not outcome.completed
+
+    def test_context_spawn_child(self, machine):
+        class Forker:
+            name = "forker.exe"
+            seed = 0
+
+            def run(self, ctx):
+                child = ctx.spawn_child("drone.exe")
+                assert child.pid != ctx.pid
+                child.write_file(ctx.temp_root / "c.txt", b"hi")
+
+        assert machine.run_program(Forker()).completed
+
+
+class TestRunSample:
+    def test_detected_sample_reports_damage(self, machine):
+        sample = next(s for s in working_cohort()
+                      if s.profile.family == "teslacrypt")
+        result = run_sample(machine, sample)
+        assert result.detected and result.suspended
+        assert 0 < result.files_lost <= 40
+        assert result.family == "teslacrypt"
+
+    def test_machine_pristine_after_run(self, machine):
+        sample = next(s for s in working_cohort()
+                      if s.profile.family == "xorist")
+        run_sample(machine, sample)
+        assert machine.assess().files_lost == 0
+
+    def test_inert_sample_reports_clean(self, machine):
+        inert = RansomwareSample(SampleProfile(
+            "vt-unlabeled", 0, "A", seed=5, inert_reason="c2_dead"))
+        result = run_sample(machine, inert)
+        assert result.inert and not result.detected
+        assert result.files_lost == 0
+
+    def test_record_ops_collects_dirs_and_exts(self, machine):
+        sample = next(s for s in working_cohort()
+                      if s.profile.family == "teslacrypt")
+        result = run_sample(machine, sample, record_ops=True)
+        assert result.touched_dirs
+        assert any(e.startswith(".") for e in result.extensions_accessed)
+
+    def test_fresh_detector_per_run(self, machine):
+        """Scores must not leak across revert cycles."""
+        sample_a = _sample(seed=10, max_files=3)
+        first = run_sample(machine, sample_a)
+        sample_b = _sample(seed=10, max_files=3)
+        second = run_sample(machine, sample_b)
+        assert first.score == second.score
+        assert first.files_lost == second.files_lost
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def campaign(self, small_corpus):
+        cohort = working_cohort()
+        samples = ([s for s in cohort if s.profile.family == "xorist"][:4]
+                   + [s for s in cohort
+                      if s.profile.family == "cryptodefense"][:4])
+        return run_campaign(samples, small_corpus)
+
+    def test_all_detected(self, campaign):
+        assert campaign.detection_rate == 1.0
+
+    def test_aggregates(self, campaign):
+        assert campaign.median_files_lost > 0
+        assert campaign.max_files_lost >= campaign.min_files_lost
+        assert 0.0 <= campaign.union_rate <= 1.0
+
+    def test_family_grouping(self, campaign):
+        families = campaign.by_family()
+        assert set(families) == {"xorist", "cryptodefense"}
+        medians = campaign.family_medians()
+        assert set(medians) == set(families)
+
+    def test_cdf_monotone_and_complete(self, campaign):
+        points = campaign.cumulative_distribution()
+        fractions = [frac for _lost, frac in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_class_counts(self, campaign):
+        counts = campaign.class_counts()
+        assert sum(counts.values()) == 8
+
+
+class TestCulling:
+    def test_haul_splits_working_from_inert(self, small_corpus):
+        from repro.ransomware.factory import _inert_samples
+        working = [s for s in working_cohort()
+                   if s.profile.family == "xorist"][:3]
+        inert = _inert_samples(0)[:5]
+        kept, culled, campaign = cull_haul(working + inert, small_corpus)
+        assert {s.name for s, _ in kept} == {s.name for s in working}
+        assert len(culled) == 5
+
+
+class TestParallelCampaign:
+    def test_parallel_matches_serial_exactly(self, small_corpus):
+        from repro.ransomware import instantiate
+        from repro.sandbox import run_campaign_parallel
+        cohort = working_cohort()
+        subset = [s for s in cohort if s.profile.family == "xorist"][:4]
+        serial = run_campaign([instantiate(s.profile) for s in subset],
+                              small_corpus)
+        parallel = run_campaign_parallel(subset, small_corpus, workers=2)
+        key = lambda r: (r.sample_name, r.files_lost, r.score,
+                         r.union_fired, sorted(r.flags))
+        assert [key(r) for r in serial.results] == \
+            [key(r) for r in parallel.results]
+
+    def test_single_worker_falls_back_to_serial(self, small_corpus):
+        from repro.sandbox import run_campaign_parallel
+        subset = [s for s in working_cohort()
+                  if s.profile.family == "xorist"][:2]
+        campaign = run_campaign_parallel(subset, small_corpus, workers=1)
+        assert campaign.detection_rate == 1.0
+
+    def test_result_order_preserved(self, small_corpus):
+        from repro.sandbox import run_campaign_parallel
+        subset = [s for s in working_cohort()
+                  if s.profile.family in ("xorist", "teslacrypt")][:6]
+        campaign = run_campaign_parallel(subset, small_corpus, workers=2)
+        assert [r.sample_name for r in campaign.results] == \
+            [s.profile.sample_name for s in subset]

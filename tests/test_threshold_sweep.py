@@ -1,0 +1,74 @@
+"""Threshold trade-off behaviour (the dial Fig. 6 turns).
+
+The non-union threshold trades detection speed against benign noise.
+These tests pin the monotonic structure of that trade using trajectory
+replay — the same mechanism the Fig. 6 sweep uses — plus live runs at
+contrasting thresholds.
+"""
+
+import pytest
+
+from repro.core import CryptoDropMonitor, default_config
+from repro.ransomware import cohort_by_family, instantiate
+from repro.sandbox import VirtualMachine, run_benign, run_sample
+
+
+class TestMalwareSide:
+    @pytest.mark.parametrize("threshold,slower_threshold", [(120, 240)])
+    def test_lower_threshold_loses_fewer_files(self, machine, threshold,
+                                               slower_threshold):
+        profile = cohort_by_family()["teslacrypt"][0].profile
+        fast = run_sample(machine, instantiate(profile),
+                          default_config(non_union_threshold=threshold,
+                                         union_threshold=threshold))
+        slow = run_sample(machine, instantiate(profile),
+                          default_config(non_union_threshold=slower_threshold,
+                                         union_threshold=slower_threshold))
+        assert fast.detected and slow.detected
+        assert fast.files_lost < slow.files_lost
+
+    def test_replay_crossings_monotone_in_threshold(self, machine):
+        """For one recorded trajectory, the first-crossing time can only
+        move later as the threshold rises."""
+        profile = cohort_by_family()["filecoder"][0].profile
+        monitor = CryptoDropMonitor(
+            machine.vfs, default_config(non_union_threshold=10 ** 9,
+                                        union_threshold=10 ** 9))
+        monitor.attach()
+        machine.run_program(instantiate(profile))
+        row = monitor.score_rows()[0]
+        monitor.detach()
+        machine.revert()
+        crossings = []
+        for threshold in (50, 100, 150, 200, 300):
+            at = row.first_crossing(threshold, with_union=False)
+            crossings.append((threshold, at))
+        times = [at for _t, at in crossings if at is not None]
+        assert times == sorted(times)
+        # and a threshold above the final score is never crossed
+        assert row.first_crossing(row.score * 2, with_union=False) is None
+
+
+class TestBenignSide:
+    def test_aggressive_threshold_flags_excel(self, machine):
+        """Fig. 6's cautionary tale: drop the threshold to 100 and the
+        highest-scoring benign app becomes a false positive."""
+        from repro.benign import MicrosoftExcel
+        aggressive = default_config(non_union_threshold=100.0,
+                                    union_threshold=100.0)
+        result = run_benign(machine, MicrosoftExcel(42), aggressive)
+        assert result.detected          # false positive, by construction
+
+    def test_paper_threshold_spares_excel(self, machine):
+        from repro.benign import MicrosoftExcel
+        result = run_benign(machine, MicrosoftExcel(42))
+        assert not result.detected
+
+    def test_word_clean_even_at_tiny_threshold(self, machine):
+        """A zero-scoring workload has no crossing at any threshold."""
+        from repro.benign import MicrosoftWord
+        paranoid = default_config(non_union_threshold=5.0,
+                                  union_threshold=5.0)
+        result = run_benign(machine, MicrosoftWord(42), paranoid)
+        assert not result.detected
+        assert result.final_score == 0.0

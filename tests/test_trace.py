@@ -1,0 +1,113 @@
+"""Full-data traces: capture, archive, offline re-detection."""
+
+import pytest
+
+from repro.baselines import no_union
+from repro.core import CryptoDropMonitor
+from repro.ransomware import cohort_by_family, instantiate
+from repro.sandbox import VirtualMachine
+from repro.trace import (TraceRecorder, replay_trace, trace_from_json,
+                         trace_to_json)
+
+
+@pytest.fixture(scope="module")
+def captured(small_corpus):
+    """A TeslaCrypt incident captured with full-data tracing, live
+    detector attached (the trace ends where suspension ended the run)."""
+    machine = VirtualMachine(small_corpus)
+    machine.snapshot()
+    recorder = TraceRecorder()
+    machine.vfs.filters.attach(recorder)
+    monitor = CryptoDropMonitor(machine.vfs).attach()
+    sample = instantiate(cohort_by_family()["teslacrypt"][0].profile)
+    machine.run_program(sample)
+    live_detections = list(monitor.detections)
+    live_damage = machine.assess()
+    monitor.detach()
+    machine.vfs.filters.detach(recorder)
+    machine.revert()
+    return recorder.records, live_detections, live_damage
+
+
+class TestCaptureAndReplay:
+    def test_trace_captures_payloads(self, captured):
+        records, _live, _damage = captured
+        writes = [r for r in records if r.kind == "write"]
+        assert writes and all(r.data is not None for r in writes)
+
+    def test_replay_reproduces_the_detection(self, captured, small_corpus):
+        records, live, _damage = captured
+        monitor, machine = replay_trace(records, small_corpus)
+        assert monitor.detected
+        replayed = monitor.detections[0]
+        assert replayed.score == live[0].score
+        assert replayed.union_fired == live[0].union_fired
+
+    def test_replay_reproduces_the_damage(self, captured, small_corpus):
+        records, _live, live_damage = captured
+        _monitor, machine = replay_trace(records, small_corpus)
+        assert machine.assess().files_lost == live_damage.files_lost
+
+    def test_truncated_trace_stops_short_under_weaker_config(
+            self, captured, small_corpus):
+        """The captured trace ends where the live detector suspended the
+        process; replaying that prefix under a *weaker* configuration
+        (union disabled) accumulates the same points but never reaches
+        the plain 200 threshold — faithfully showing what that config
+        would have seen at the same point in the attack."""
+        records, live, _damage = captured
+        monitor, _machine = replay_trace(records, small_corpus,
+                                         config=no_union())
+        row = monitor.score_rows()[0]
+        assert not monitor.detected
+        # exactly the live score minus the union bonus it never got
+        from repro.core import default_config
+        assert row.score == live[0].score - default_config().union_bonus
+        assert not row.union_fired
+
+    def test_full_incident_replay_under_alternative_config(
+            self, small_corpus):
+        """Capturing an *unmonitored* incident (the full attack) lets any
+        configuration be evaluated offline — union-less CryptoDrop still
+        convicts, just later."""
+        import dataclasses
+        machine = VirtualMachine(small_corpus)
+        machine.snapshot()
+        recorder = TraceRecorder()
+        machine.vfs.filters.attach(recorder)
+        profile = dataclasses.replace(
+            cohort_by_family()["teslacrypt"][0].profile, max_files=40)
+        machine.run_program(instantiate(profile))
+        machine.vfs.filters.detach(recorder)
+        machine.revert()
+
+        monitor, _machine = replay_trace(recorder.records, small_corpus,
+                                         config=no_union())
+        assert monitor.detected
+        assert not monitor.detections[0].union_fired
+
+    def test_replay_under_lower_threshold_detects_earlier(self, captured,
+                                                          small_corpus):
+        from repro.core import default_config
+        records, live, _damage = captured
+        monitor, machine = replay_trace(
+            records, small_corpus,
+            config=default_config(non_union_threshold=100.0,
+                                  union_threshold=90.0))
+        assert monitor.detected
+        assert machine.assess().files_lost < 10
+
+
+class TestSerialisation:
+    def test_json_roundtrip(self, captured):
+        records, _live, _damage = captured
+        payload = trace_to_json(records)
+        restored = trace_from_json(payload)
+        assert restored == records
+
+    def test_roundtripped_trace_still_replays(self, captured, small_corpus):
+        records, live, _damage = captured
+        restored = trace_from_json(trace_to_json(records))
+        monitor, _machine = replay_trace(restored, small_corpus)
+        assert monitor.detected
+        assert monitor.detections[0].score == live[0].score

@@ -1,0 +1,18 @@
+# Convenience entry points.  Tier-1 is plain `make test`; the chaos
+# suite (fault injection, worker kills, crash/resume) can be run on its
+# own while iterating on robustness work.
+
+PYTEST = PYTHONPATH=src python -m pytest -x -q
+
+.PHONY: test unit chaos
+
+test:
+	$(PYTEST)
+
+# tier-1 minus the chaos suite — the fast inner loop
+unit:
+	$(PYTEST) -m "not chaos"
+
+# fault-injection + crash-resilience suite only
+chaos:
+	$(PYTEST) -m chaos tests/test_chaos.py tests/test_faults.py

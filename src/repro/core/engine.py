@@ -371,6 +371,72 @@ class AnalysisEngine(FilterDriver):
         # digesting/identifying cost, folded into the op's charged latency
         self._pending_cost_us += 40.0 + 0.004 * n_bytes
 
+    # ------------------------------------------------------------------
+    # checkpoint / restore (crash-resilient service model)
+    # ------------------------------------------------------------------
+
+    CHECKPOINT_VERSION = 1
+
+    def checkpoint(self) -> dict:
+        """Serialise every piece of scoring state to a JSON-safe dict.
+
+        Covers the scoreboard (scores, flags, union state, journals), the
+        per-process indicator accumulators, the baseline cache (digests
+        included), whitelisting, detections, and the operational counters
+        — everything a restarted engine needs to keep scoring as if the
+        crash never happened.
+        """
+        return {
+            "version": self.CHECKPOINT_VERSION,
+            "scoreboard": self.scoreboard.checkpoint(),
+            "processes": {
+                str(pid): {"entropy": state.entropy.state(),
+                           "deletion": state.deletion.state(),
+                           "funnel": state.funnel.state()}
+                for pid, state in sorted(self._proc.items())},
+            "cache": self.cache.checkpoint(),
+            "whitelist": sorted(self._whitelist),
+            "detections": [
+                {"root_pid": d.root_pid, "process_name": d.process_name,
+                 "score": d.score, "threshold": d.threshold,
+                 "union_fired": d.union_fired, "flags": sorted(d.flags),
+                 "timestamp_us": d.timestamp_us, "trigger_op": d.trigger_op,
+                 "trigger_path": d.trigger_path, "suspended": d.suspended,
+                 "files_lost": d.files_lost, "history_len": d.history_len}
+                for d in self.detections],
+            "op_counts": dict(self.op_counts),
+            "bytes_inspected": self.bytes_inspected,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Load a :meth:`checkpoint` snapshot into this (fresh) engine."""
+        version = state.get("version")
+        if version != self.CHECKPOINT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {version!r}")
+        self.scoreboard.restore(state["scoreboard"])
+        self._proc.clear()
+        for pid_text, proc_state in state["processes"].items():
+            proc = _ProcessState(self.config)
+            proc.entropy.load(proc_state["entropy"])
+            proc.deletion.load(proc_state["deletion"])
+            proc.funnel.load(proc_state["funnel"])
+            self._proc[int(pid_text)] = proc
+        self.cache.restore(state["cache"])
+        self._whitelist = set(state["whitelist"])
+        self.detections = [
+            Detection(root_pid=d["root_pid"],
+                      process_name=d["process_name"], score=d["score"],
+                      threshold=d["threshold"],
+                      union_fired=d["union_fired"], flags=set(d["flags"]),
+                      timestamp_us=d["timestamp_us"],
+                      trigger_op=d["trigger_op"],
+                      trigger_path=d["trigger_path"],
+                      suspended=d["suspended"], files_lost=d["files_lost"],
+                      history_len=d["history_len"])
+            for d in state["detections"]]
+        self.op_counts = dict(state["op_counts"])
+        self.bytes_inspected = int(state["bytes_inspected"])
+
     # -- introspection helpers (examples, tests, experiments) ----------------
 
     def score_of(self, pid: int) -> float:

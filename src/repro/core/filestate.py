@@ -157,3 +157,57 @@ class FileStateCache:
 
     def is_tracked(self, node_id: Optional[int]) -> bool:
         return node_id is not None and node_id in self._by_node
+
+    # -- checkpoint / restore -------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """JSON-serialisable snapshot of every tracked baseline.
+
+        Node ids are stable for the lifetime of a VFS, so a restored cache
+        keyed by them reconnects to the same files after a monitor
+        restart.
+        """
+        entries = []
+        for node_id in sorted(self._by_node):
+            record = self._by_node[node_id]
+            base_type = record.base_type
+            entries.append({
+                "node_id": record.node_id,
+                "path": str(record.path),
+                "base_type": None if base_type is None else {
+                    "name": base_type.name,
+                    "description": base_type.description,
+                    "category": base_type.category,
+                    "is_high_entropy": base_type.is_high_entropy,
+                },
+                "base_digest": (None if record.base_digest is None
+                                else record.base_digest.to_state()),
+                "base_ctph": (None if record.base_ctph is None
+                              else str(record.base_ctph)),
+                "base_size": record.base_size,
+                "has_baseline": record.has_baseline,
+                "born_empty": record.born_empty,
+            })
+        return {"backend": self.backend, "entries": entries}
+
+    def restore(self, state: dict) -> None:
+        """Replace the cache contents with a :meth:`checkpoint` snapshot."""
+        from ..simhash.sdhash import SdDigest
+        self._by_node.clear()
+        for entry in state["entries"]:
+            type_state = entry["base_type"]
+            record = TrackedFile(
+                node_id=int(entry["node_id"]),
+                path=WinPath(entry["path"]),
+                base_type=None if type_state is None else FileType(
+                    type_state["name"], type_state["description"],
+                    type_state["category"], type_state["is_high_entropy"]),
+                base_digest=(None if entry["base_digest"] is None
+                             else SdDigest.from_state(entry["base_digest"])),
+                base_ctph=(None if entry["base_ctph"] is None
+                           else CtphSignature.parse(entry["base_ctph"])),
+                base_size=int(entry["base_size"]),
+                has_baseline=bool(entry["has_baseline"]),
+                born_empty=bool(entry["born_empty"]),
+            )
+            self._by_node[record.node_id] = record

@@ -27,3 +27,11 @@ class ProcessDeletionState:
         """Record one protected-file deletion; True when it should score."""
         self.count += 1
         return self.count > self.allowance
+
+    def state(self) -> dict:
+        """JSON-serialisable accumulator state (checkpoint/restore)."""
+        return {"count": self.count}
+
+    def load(self, state: dict) -> "ProcessDeletionState":
+        self.count = int(state["count"])
+        return self

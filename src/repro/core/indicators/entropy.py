@@ -54,3 +54,13 @@ class ProcessEntropyState:
         if read_mean is None or write_mean is None:
             return None
         return max(0.0, write_mean - read_mean)
+
+    def state(self) -> dict:
+        """JSON-serialisable accumulator state (checkpoint/restore)."""
+        return {"p_read": list(self.p_read.state()),
+                "p_write": list(self.p_write.state())}
+
+    def load(self, state: dict) -> "ProcessEntropyState":
+        self.p_read.load(*state["p_read"])
+        self.p_write.load(*state["p_write"])
+        return self

@@ -49,3 +49,15 @@ class ProcessFunnelState:
             self._scored_spread = spread
             return True
         return False
+
+    def state(self) -> dict:
+        """JSON-serialisable accumulator state (checkpoint/restore)."""
+        return {"types_read": sorted(self.types_read),
+                "types_written": sorted(self.types_written),
+                "scored_spread": self._scored_spread}
+
+    def load(self, state: dict) -> "ProcessFunnelState":
+        self.types_read = set(state["types_read"])
+        self.types_written = set(state["types_written"])
+        self._scored_spread = int(state["scored_spread"])
+        return self

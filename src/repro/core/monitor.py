@@ -63,6 +63,27 @@ class CryptoDropMonitor:
     def attached(self) -> bool:
         return self._attached
 
+    # -- checkpoint / restore -------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """JSON-serialisable snapshot of the engine's scoring state."""
+        return self.engine.checkpoint()
+
+    @classmethod
+    def from_checkpoint(cls, vfs: VirtualFileSystem, state: dict,
+                        config: Optional[CryptoDropConfig] = None,
+                        policy: Optional[AlertPolicy] = None
+                        ) -> "CryptoDropMonitor":
+        """A new (detached) monitor resumed from a :meth:`checkpoint`.
+
+        The restored monitor scores exactly as the checkpointed one would
+        have: same reputations, same union flags, same baselines.  Attach
+        it to the same VFS (node ids must match) to continue a run.
+        """
+        monitor = cls(vfs, config, policy)
+        monitor.engine.restore(state)
+        return monitor
+
     # -- results ---------------------------------------------------------------
 
     @property

@@ -132,3 +132,44 @@ class Scoreboard:
 
     def union_count(self) -> int:
         return sum(1 for row in self._rows.values() if row.union_fired)
+
+    # -- checkpoint / restore -------------------------------------------------
+
+    def checkpoint(self) -> list:
+        """JSON-serialisable snapshot of every row and its journal."""
+        rows = []
+        for root_pid in sorted(self._rows):
+            row = self._rows[root_pid]
+            rows.append({
+                "root_pid": row.root_pid,
+                "name": row.name,
+                "score": row.score,
+                "threshold": row.threshold,
+                "flags": sorted(row.flags),
+                "union_fired": row.union_fired,
+                "detected": row.detected,
+                "history": [
+                    {"t_us": e.timestamp_us, "indicator": e.indicator,
+                     "points": e.points, "score_after": e.score_after,
+                     "path": e.path, "detail": e.detail}
+                    for e in row.history],
+            })
+        return rows
+
+    def restore(self, state: list) -> None:
+        """Replace all rows with a :meth:`checkpoint` snapshot."""
+        self._rows.clear()
+        for entry in state:
+            row = ProcessScore(
+                root_pid=int(entry["root_pid"]),
+                name=entry["name"],
+                score=float(entry["score"]),
+                threshold=float(entry["threshold"]),
+                flags=set(entry["flags"]),
+                union_fired=bool(entry["union_fired"]),
+                detected=bool(entry["detected"]),
+                history=[ScoreEvent(e["t_us"], e["indicator"], e["points"],
+                                    e["score_after"], e["path"], e["detail"])
+                         for e in entry["history"]],
+            )
+            self._rows[row.root_pid] = row

@@ -122,3 +122,11 @@ class WeightedEntropyMean:
 
     def state(self) -> Tuple[float, float, int]:
         return self._weighted_sum, self._weight_total, self.ops
+
+    def load(self, weighted_sum: float, weight_total: float,
+             ops: int) -> "WeightedEntropyMean":
+        """Restore a :meth:`state` tuple (engine checkpoint/restore)."""
+        self._weighted_sum = float(weighted_sum)
+        self._weight_total = float(weight_total)
+        self.ops = int(ops)
+        return self

@@ -1,0 +1,13 @@
+"""Fault injection and crash resilience.
+
+Deterministic environmental misbehaviour (transient denials, short reads,
+latency spikes, watchdog kills) plus the supervisor that restarts a
+killed monitor from checkpointed state.  See ``docs/robustness.md``.
+"""
+
+from .injector import FaultInjector
+from .plan import FaultPlan, monitor_crash, transient_faults
+from .supervisor import MonitorSupervisor
+
+__all__ = ["FaultInjector", "FaultPlan", "MonitorSupervisor",
+           "monitor_crash", "transient_faults"]

@@ -1,0 +1,107 @@
+"""The fault-injecting filter driver.
+
+:class:`FaultInjector` sits in the same minifilter stack as the analysis
+engine and plays the *environment*: it denies operations the way a locked
+file would (``OperationDenied``, modelling ``ERROR_SHARING_VIOLATION`` /
+``ERROR_ACCESS_DENIED``), truncates read payloads, charges latency spikes
+to the simulated clock, and fires scheduled "the watchdog just died"
+events for a supervisor to handle.
+
+Determinism contract: all fault decisions come from one
+``random.Random(plan.seed)`` consumed in a fixed per-operation order, so
+the same plan over the same operation stream injects the same faults —
+which is what lets the chaos suite assert verdict stability across runs.
+
+With no plan armed the injector returns ALLOW immediately and charges
+nothing: attaching it is behaviourally invisible.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Callable, Optional
+
+from ..fs.events import Decision, FsOperation, OpKind
+from ..fs.filters import FilterDriver, PostVerdict
+from ..fs.vfs import SYSTEM_PID
+from .plan import FaultPlan
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector(FilterDriver):
+    """Seeded environmental-misbehaviour filter driver."""
+
+    name = "fault-injector"
+
+    def __init__(self, plan: Optional[FaultPlan] = None,
+                 on_monitor_kill: Optional[Callable[[int], None]] = None) -> None:
+        #: called with the 1-based op index whenever a scheduled monitor
+        #: kill fires (typically MonitorSupervisor.crash_and_restart)
+        self.on_monitor_kill = on_monitor_kill
+        self.arm(plan)
+
+    def arm(self, plan: Optional[FaultPlan]) -> None:
+        """Install ``plan`` (or disarm with None) and reset all state."""
+        self.plan = plan if plan is not None and plan.armed else None
+        self._rng = random.Random(plan.seed) if self.plan else None
+        self._kills = deque(sorted(self.plan.kill_monitor_at_ops)) \
+            if self.plan else deque()
+        self._pending_latency_us = 0.0
+        self.op_index = 0
+        self.denials = 0
+        self.short_reads = 0
+        self.latency_spikes = 0
+        self.kills_fired = 0
+
+    @property
+    def armed(self) -> bool:
+        return self.plan is not None
+
+    def stats(self) -> dict:
+        return {"ops_seen": self.op_index, "denials": self.denials,
+                "short_reads": self.short_reads,
+                "latency_spikes": self.latency_spikes,
+                "monitor_kills": self.kills_fired}
+
+    # ------------------------------------------------------------------
+    # filter driver interface
+    # ------------------------------------------------------------------
+
+    def pre_operation(self, op: FsOperation) -> Decision:
+        plan = self.plan
+        if plan is None or op.pid == SYSTEM_PID:
+            return Decision.ALLOW
+        self.op_index += 1
+        rng = self._rng
+        # Draw order is fixed (latency, short read, denial) so the fault
+        # stream is a pure function of (seed, operation stream).
+        if plan.latency_spike_rate and rng.random() < plan.latency_spike_rate:
+            self._pending_latency_us += plan.latency_spike_us
+            self.latency_spikes += 1
+        if (plan.short_read_rate and op.kind is OpKind.READ
+                and rng.random() < plan.short_read_rate):
+            op.context["fault_read_factor"] = plan.short_read_factor
+            self.short_reads += 1
+        if (plan.deny_rate and op.kind in plan.deny_kinds
+                and (plan.max_denials is None
+                     or self.denials < plan.max_denials)
+                and rng.random() < plan.deny_rate):
+            self.denials += 1
+            return Decision.DENY
+        return Decision.ALLOW
+
+    def post_operation(self, op: FsOperation) -> PostVerdict:
+        if self.plan is None or op.pid == SYSTEM_PID:
+            return PostVerdict.ALLOW
+        while self._kills and self.op_index >= self._kills[0]:
+            self._kills.popleft()
+            self.kills_fired += 1
+            if self.on_monitor_kill is not None:
+                self.on_monitor_kill(self.op_index)
+        return PostVerdict.ALLOW
+
+    def added_latency_us(self, op: FsOperation) -> float:
+        cost, self._pending_latency_us = self._pending_latency_us, 0.0
+        return cost

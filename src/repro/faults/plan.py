@@ -1,0 +1,101 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultPlan` declares *what* can go wrong around the detector and
+*how often*, keyed by a seed so that the same plan against the same
+operation stream misbehaves at exactly the same operations every run.
+This reproduces the environment the paper's filter driver lives in
+(§IV–V): locked files that refuse opens (sharing violations), reads that
+come back short, I/O that stalls, and ransomware that kills the watchdog
+process outright.
+
+Plans are immutable and carry no runtime state; the
+:class:`~repro.faults.injector.FaultInjector` owns the RNG and counters.
+An all-zero plan (:meth:`FaultPlan.armed` is False) injects nothing, and
+an unarmed injector is a strict no-op filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from ..fs.events import OpKind
+
+__all__ = ["FaultPlan", "transient_faults", "monitor_crash"]
+
+#: operation kinds a transient denial may target by default — the ones a
+#: locked/oplocked file refuses on a real NTFS volume.
+DEFAULT_DENY_KINDS: Tuple[OpKind, ...] = (
+    OpKind.OPEN, OpKind.WRITE, OpKind.RENAME, OpKind.DELETE)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One immutable schedule of environmental misbehaviour.
+
+    Rates are per *eligible* operation probabilities in ``[0, 1]``; the
+    injector draws from a ``random.Random(seed)`` in a fixed order, so a
+    given (plan, operation stream) pair always faults identically.
+    """
+
+    seed: int = 0
+
+    # -- transient denials (sharing violations / locked files) -----------
+    #: probability that an eligible op fails with ``OperationDenied``
+    deny_rate: float = 0.0
+    deny_kinds: Tuple[OpKind, ...] = DEFAULT_DENY_KINDS
+    #: cap on total denials (None = unlimited)
+    max_denials: Optional[int] = None
+
+    # -- short reads ------------------------------------------------------
+    #: probability that a READ returns only a prefix of the payload
+    short_read_rate: float = 0.0
+    #: fraction of the payload that survives a short read (0, 1]
+    short_read_factor: float = 0.5
+
+    # -- latency spikes ---------------------------------------------------
+    #: probability that an op is charged ``latency_spike_us`` extra
+    latency_spike_rate: float = 0.0
+    latency_spike_us: float = 250_000.0
+
+    # -- monitor kills ----------------------------------------------------
+    #: op indices (1-based, counted over non-system ops) at which the
+    #: watchdog is killed; the injector fires its kill callback there
+    kill_monitor_at_ops: Tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for name in ("deny_rate", "short_read_rate", "latency_spike_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if not 0.0 < self.short_read_factor <= 1.0:
+            raise ValueError("short_read_factor must be in (0, 1]")
+        if any(n <= 0 for n in self.kill_monitor_at_ops):
+            raise ValueError("kill_monitor_at_ops indices are 1-based")
+
+    @property
+    def armed(self) -> bool:
+        """True when the plan can inject anything at all."""
+        return bool(self.deny_rate or self.short_read_rate
+                    or self.latency_spike_rate or self.kill_monitor_at_ops)
+
+    def with_overrides(self, **kwargs) -> "FaultPlan":
+        return replace(self, **kwargs)
+
+
+def transient_faults(seed: int = 0, deny_rate: float = 0.02,
+                     short_read_rate: float = 0.02,
+                     latency_spike_rate: float = 0.01,
+                     **overrides) -> FaultPlan:
+    """A ready-made 'flaky disk' plan: denials, short reads, stalls."""
+    return FaultPlan(seed=seed, deny_rate=deny_rate,
+                     short_read_rate=short_read_rate,
+                     latency_spike_rate=latency_spike_rate,
+                     **overrides)
+
+
+def monitor_crash(*at_ops: int, seed: int = 0, **overrides) -> FaultPlan:
+    """A plan that only kills the monitor at the given operation indices."""
+    return FaultPlan(seed=seed,
+                     kill_monitor_at_ops=tuple(sorted(at_ops)),
+                     **overrides)

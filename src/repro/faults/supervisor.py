@@ -1,0 +1,109 @@
+"""Crash-resilient monitor service.
+
+Ransomware that kills the watchdog is the paper's nastiest adversary
+(§IV): a real deployment answers it by running CryptoDrop as an
+auto-restarting service whose scoring state is journalled continuously,
+so a fresh incarnation resumes with the dead one's reputation rather than
+zeroed counters.  :class:`MonitorSupervisor` models exactly that:
+
+* it owns the :class:`~repro.core.monitor.CryptoDropMonitor` lifecycle,
+* every completed operation's effect on the engine is considered durable
+  (write-ahead model), so :meth:`crash` captures the state the service
+  would have persisted up to the kill,
+* :meth:`restart` attaches a brand-new monitor restored from that state.
+
+Wire :meth:`crash_and_restart` to a
+:class:`~repro.faults.injector.FaultInjector`'s ``on_monitor_kill`` to
+chaos-test the kill-the-watchdog scenario end to end.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from ..core.config import CryptoDropConfig
+from ..core.detection import AlertPolicy, Detection
+from ..core.monitor import CryptoDropMonitor
+from ..fs.vfs import VirtualFileSystem
+
+__all__ = ["MonitorSupervisor"]
+
+
+class MonitorSupervisor:
+    """Owns a monitor's kill/restart lifecycle with state carry-over."""
+
+    def __init__(self, vfs: VirtualFileSystem,
+                 config: Optional[CryptoDropConfig] = None,
+                 policy: Optional[AlertPolicy] = None) -> None:
+        self.vfs = vfs
+        self.config = config or CryptoDropConfig()
+        self.policy = policy
+        self.monitor: Optional[CryptoDropMonitor] = None
+        self.last_checkpoint: Optional[dict] = None
+        self.crashes = 0
+        self.restarts = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> CryptoDropMonitor:
+        """Attach the first monitor incarnation (fresh state)."""
+        if self.monitor is not None:
+            raise RuntimeError("supervisor already running")
+        self.monitor = CryptoDropMonitor(self.vfs, self.config,
+                                         self.policy).attach()
+        return self.monitor
+
+    def checkpoint(self) -> dict:
+        """Persist the current engine state (and return it)."""
+        if self.monitor is None:
+            raise RuntimeError("no monitor running")
+        self.last_checkpoint = self.monitor.checkpoint()
+        # Round-trip through JSON: what a real service writes to disk is
+        # bytes, and restore must work from exactly those bytes.
+        self.last_checkpoint = json.loads(json.dumps(self.last_checkpoint))
+        return self.last_checkpoint
+
+    def crash(self, op_index: Optional[int] = None) -> None:
+        """The watchdog dies.  Scoring stops; journalled state survives."""
+        if self.monitor is None:
+            return
+        self.checkpoint()
+        self.monitor.detach()
+        self.monitor = None
+        self.crashes += 1
+
+    def restart(self) -> CryptoDropMonitor:
+        """Attach a new incarnation resumed from the last checkpoint."""
+        if self.monitor is not None:
+            raise RuntimeError("monitor still running; crash() first")
+        if self.last_checkpoint is None:
+            return self.start()
+        self.monitor = CryptoDropMonitor.from_checkpoint(
+            self.vfs, self.last_checkpoint, self.config,
+            self.policy).attach()
+        self.restarts += 1
+        return self.monitor
+
+    def crash_and_restart(self, op_index: Optional[int] = None) -> None:
+        """Kill + immediate service restart (FaultInjector callback)."""
+        self.crash(op_index)
+        self.restart()
+
+    def stop(self) -> None:
+        if self.monitor is not None:
+            self.monitor.detach()
+            self.monitor = None
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def detections(self) -> List[Detection]:
+        """Detections across every incarnation (restored ones included)."""
+        if self.monitor is not None:
+            return self.monitor.detections
+        return []
+
+    def stats(self) -> dict:
+        return {"crashes": self.crashes, "restarts": self.restarts,
+                "running": self.monitor is not None}

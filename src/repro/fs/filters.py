@@ -92,7 +92,10 @@ class FilterStack:
         matching minifilter short-circuiting.
         """
         extra_us = 0.0
-        for filt in self._filters:
+        # Iterate over a snapshot: a hook may attach/detach filters (the
+        # fault supervisor swaps a killed monitor mid-run) and the change
+        # must only affect subsequent operations.
+        for filt in list(self._filters):
             decision = filt.pre_operation(op)
             charged = filt.added_latency_us(op)
             extra_us += charged
@@ -106,7 +109,7 @@ class FilterStack:
         extra_us = 0.0
         verdict: PostVerdict = PostVerdict.ALLOW
         decider: Optional[FilterDriver] = None
-        for filt in self._filters:
+        for filt in list(self._filters):
             result = filt.post_operation(op)
             charged = filt.added_latency_us(op)
             extra_us += charged

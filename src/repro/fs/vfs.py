@@ -302,6 +302,12 @@ class VirtualFileSystem:
 
         def action() -> None:
             payload = node.read_bytes(offset, size)
+            # A pre-op filter may schedule a short read (fault injection):
+            # only a prefix of the payload reaches the caller, and the
+            # post-op hooks observe exactly the delivered bytes.
+            factor = op.context.get("fault_read_factor")
+            if factor is not None and len(payload) > 1:
+                payload = payload[:max(1, int(len(payload) * factor))]
             out.append(payload)
             op.data = payload
             op.size = len(payload)

@@ -1,12 +1,15 @@
 """Cuckoo-sandbox substitute: VM, per-sample revert cycles, campaigns."""
 
 from .campaign import CampaignResult, cull_haul, run_campaign
+from .journal import CampaignJournal
 from .machine import ExecutionContext, RunOutcome, VirtualMachine
 from .parallel import run_campaign_parallel
-from .runner import BenignResult, SampleResult, run_benign, run_sample
+from .runner import (BenignResult, SampleResult, errored_result, run_benign,
+                     run_sample)
 
 __all__ = [
-    "BenignResult", "CampaignResult", "ExecutionContext", "RunOutcome", "SampleResult", "run_benign",
-    "VirtualMachine", "cull_haul", "run_campaign", "run_campaign_parallel",
+    "BenignResult", "CampaignJournal", "CampaignResult", "ExecutionContext",
+    "RunOutcome", "SampleResult", "VirtualMachine", "cull_haul",
+    "errored_result", "run_benign", "run_campaign", "run_campaign_parallel",
     "run_sample",
 ]

@@ -101,15 +101,32 @@ class CampaignResult:
 def run_campaign(samples: Sequence, corpus: Optional[GeneratedCorpus] = None,
                  config: Optional[CryptoDropConfig] = None,
                  record_ops: bool = False,
-                 progress: Optional[ProgressFn] = None) -> CampaignResult:
-    """Run every sample through a revert cycle on a shared machine."""
+                 progress: Optional[ProgressFn] = None,
+                 journal=None) -> CampaignResult:
+    """Run every sample through a revert cycle on a shared machine.
+
+    ``journal`` (a path or :class:`~repro.sandbox.journal.CampaignJournal`)
+    makes the sweep crash-resumable: each completed result is appended
+    durably, and a rerun against the same journal executes only the
+    samples missing from it, splicing journalled results back in order.
+    """
+    from .journal import CampaignJournal, coerce_journal
     corpus = corpus or generate()
+    journal = coerce_journal(journal)
+    done = journal.load() if journal is not None else {}
     machine = VirtualMachine(corpus)
     machine.snapshot()
     campaign = CampaignResult()
     total = len(samples)
     for index, sample in enumerate(samples):
-        result = run_sample(machine, sample, config, record_ops)
+        cached = (done.get(CampaignJournal.key_for(sample))
+                  if journal is not None else None)
+        if cached is not None:
+            result = cached
+        else:
+            result = run_sample(machine, sample, config, record_ops)
+            if journal is not None:
+                journal.record(result)
         campaign.results.append(result)
         if progress is not None:
             progress(index + 1, total, result)

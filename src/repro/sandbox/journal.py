@@ -1,0 +1,152 @@
+"""Campaign result journal — crash-safe sweep resume.
+
+The paper's 492-sample sweep ran for 22 days; ours runs in minutes but
+the failure mode is the same: losing a half-finished campaign to one
+crash wastes every completed revert cycle.  :class:`CampaignJournal`
+appends each completed :class:`~repro.sandbox.runner.SampleResult` to a
+JSON-lines file the moment it exists, so an interrupted campaign —
+serial or parallel — resumes by rerunning only the samples missing from
+the journal.
+
+The format is append-only and tolerant: a line half-written at the
+moment of a crash is skipped on load (the sample simply reruns).
+Results are keyed by ``(sample_name, seed)``, which is unique within a
+cohort and stable across resumes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, Tuple
+
+from ..fs.paths import WinPath
+from .runner import SampleResult
+
+__all__ = ["CampaignJournal", "coerce_journal", "result_from_dict",
+           "result_to_dict"]
+
+#: journal key: unique, order-independent sample identity
+JournalKey = Tuple[str, int]
+
+
+def result_to_dict(result: SampleResult) -> dict:
+    """JSON-safe encoding of one sample result (exact round trip)."""
+    return {
+        "sample_name": result.sample_name,
+        "family": result.family,
+        "behavior_class": result.behavior_class,
+        "seed": result.seed,
+        "detected": result.detected,
+        "suspended": result.suspended,
+        "files_lost": result.files_lost,
+        "files_modified": result.files_modified,
+        "files_missing": result.files_missing,
+        "new_files": result.new_files,
+        "union_fired": result.union_fired,
+        "score": result.score,
+        "threshold": result.threshold,
+        "flags": sorted(result.flags),
+        "sim_seconds": result.sim_seconds,
+        "error": result.error,
+        "completed": result.completed,
+        "inert": result.inert,
+        "touched_dirs": sorted(str(p) for p in result.touched_dirs),
+        "extensions_accessed": sorted(result.extensions_accessed),
+        "notes_written": result.notes_written,
+        "files_attacked": result.files_attacked,
+        "disposal": result.disposal,
+        "traversal": result.traversal,
+        "cipher": result.cipher,
+        "indicator_points": dict(result.indicator_points),
+    }
+
+
+def result_from_dict(entry: dict) -> SampleResult:
+    """Inverse of :func:`result_to_dict`."""
+    return SampleResult(
+        sample_name=entry["sample_name"],
+        family=entry["family"],
+        behavior_class=entry["behavior_class"],
+        seed=entry["seed"],
+        detected=entry["detected"],
+        suspended=entry["suspended"],
+        files_lost=entry["files_lost"],
+        files_modified=entry["files_modified"],
+        files_missing=entry["files_missing"],
+        new_files=entry["new_files"],
+        union_fired=entry["union_fired"],
+        score=entry["score"],
+        threshold=entry["threshold"],
+        flags=set(entry["flags"]),
+        sim_seconds=entry["sim_seconds"],
+        error=entry["error"],
+        completed=entry["completed"],
+        inert=entry["inert"],
+        touched_dirs={WinPath(p) for p in entry["touched_dirs"]},
+        extensions_accessed=set(entry["extensions_accessed"]),
+        notes_written=entry["notes_written"],
+        files_attacked=entry["files_attacked"],
+        disposal=entry["disposal"],
+        traversal=entry["traversal"],
+        cipher=entry["cipher"],
+        indicator_points=dict(entry["indicator_points"]),
+    )
+
+
+class CampaignJournal:
+    """Append-only JSONL journal of completed sample results."""
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+
+    @staticmethod
+    def key_for(obj) -> JournalKey:
+        """Journal key of a profile, sample, or result."""
+        profile = getattr(obj, "profile", obj)
+        name = getattr(profile, "sample_name", None)
+        if name is None:
+            raise TypeError(f"cannot key {obj!r} for the journal")
+        return (name, profile.seed)
+
+    def load(self) -> Dict[JournalKey, SampleResult]:
+        """All intact journalled results (truncated tail lines skipped)."""
+        results: Dict[JournalKey, SampleResult] = {}
+        if not os.path.exists(self.path):
+            return results
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    result = result_from_dict(entry)
+                except (ValueError, KeyError, TypeError):
+                    # A crash mid-append leaves a torn final line; the
+                    # sample it described simply reruns on resume.
+                    continue
+                results[(result.sample_name, result.seed)] = result
+        return results
+
+    def record(self, result: SampleResult) -> None:
+        """Durably append one result (flushed before returning)."""
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        line = json.dumps(result_to_dict(result), sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def clear(self) -> None:
+        if os.path.exists(self.path):
+            os.remove(self.path)
+
+
+def coerce_journal(journal) -> Optional[CampaignJournal]:
+    """Accept a path, a :class:`CampaignJournal`, or None."""
+    if journal is None or isinstance(journal, CampaignJournal):
+        return journal
+    return CampaignJournal(journal)

@@ -9,6 +9,17 @@ journal-reverted between samples), and reassembles a
 :class:`~repro.sandbox.campaign.CampaignResult` in the original sample
 order — bit-identical to the serial runner's.
 
+Dispatch is crash-resilient: samples are submitted individually (not via
+``pool.map``), so the death of a worker process loses at most the one
+sample it was executing.  That sample is requeued onto a fresh worker —
+``multiprocessing.Pool`` respawns dead workers and re-runs the
+initializer — with bounded retries; a sample that exhausts its retries or
+its per-sample wall-clock timeout becomes an errored
+:class:`~repro.sandbox.runner.SampleResult` instead of aborting the
+sweep.  With a journal attached, completed results are durably appended
+as they arrive and an interrupted campaign resumes by running only the
+missing samples.
+
 Requires a ``fork``-capable platform (Linux/macOS): the corpus is shared
 with workers through fork inheritance rather than pickling ~85 MB per
 worker.  On platforms without ``fork`` the function transparently falls
@@ -19,16 +30,23 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import List, Optional, Sequence
+import time
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..core.config import CryptoDropConfig
 from ..corpus.builder import GeneratedCorpus, generate
 from ..ransomware import instantiate
 from .campaign import CampaignResult
+from .journal import CampaignJournal, coerce_journal
 from .machine import VirtualMachine
-from .runner import SampleResult, run_sample
+from .runner import SampleResult, errored_result, run_sample
 
 __all__ = ["run_campaign_parallel"]
+
+#: host-seconds a sample may spend queued+running before it is requeued
+DEFAULT_SAMPLE_TIMEOUT = 300.0
+#: how often the dispatcher rescans outstanding work
+_POLL_INTERVAL_S = 0.02
 
 # Module globals used to hand state to forked workers without pickling.
 _PARENT_CORPUS: Optional[GeneratedCorpus] = None
@@ -52,32 +70,121 @@ def run_campaign_parallel(samples: Sequence,
                           corpus: Optional[GeneratedCorpus] = None,
                           config: Optional[CryptoDropConfig] = None,
                           record_ops: bool = False,
-                          workers: Optional[int] = None) -> CampaignResult:
+                          workers: Optional[int] = None,
+                          journal=None,
+                          sample_timeout: Optional[float] = DEFAULT_SAMPLE_TIMEOUT,
+                          max_retries: int = 2) -> CampaignResult:
     """Run a cohort across worker processes; same results as serial.
 
     ``workers`` defaults to the CPU count capped at 8 (per-worker corpus
     copies cost memory).  With one worker, or without ``fork``, the call
     degrades to the ordinary serial campaign.
+
+    ``sample_timeout`` is the host-wall-clock budget per dispatch attempt
+    (None disables it — a dead worker then goes undetected, so leave it
+    on); ``max_retries`` bounds how often a lost/timed-out sample is
+    requeued before it is recorded as errored.
     """
-    global _PARENT_CORPUS
+    global _PARENT_CORPUS, _WORKER_MACHINE
     corpus = corpus or generate()
+    journal = coerce_journal(journal)
     if workers is None:
         workers = min(8, os.cpu_count() or 1)
     if workers <= 1 or "fork" not in multiprocessing.get_all_start_methods():
         from .campaign import run_campaign
-        return run_campaign(samples, corpus, config, record_ops)
+        return run_campaign(samples, corpus, config, record_ops,
+                            journal=journal)
 
     profiles = [sample.profile for sample in samples]
+    completed: Dict[int, SampleResult] = {}
+    if journal is not None:
+        cached = journal.load()
+        for index, profile in enumerate(profiles):
+            hit = cached.get(CampaignJournal.key_for(profile))
+            if hit is not None:
+                completed[index] = hit
+
+    if _PARENT_CORPUS is not None:
+        raise RuntimeError(
+            "run_campaign_parallel is already active in this process: the "
+            "corpus is handed to forked workers through the module global "
+            "_PARENT_CORPUS (fork inheritance, not pickling), so nested or "
+            "concurrent parallel campaigns would silently share the wrong "
+            "corpus.  Run campaigns sequentially, or use workers=1 for the "
+            "serial path.")
     _PARENT_CORPUS = corpus
     try:
         ctx = multiprocessing.get_context("fork")
-        with ctx.Pool(processes=workers, initializer=_init_worker) as pool:
-            results: List[SampleResult] = pool.map(
-                _run_one,
-                [(profile, config, record_ops) for profile in profiles],
-                chunksize=max(1, len(profiles) // (workers * 4) or 1))
+        pool = ctx.Pool(processes=workers, initializer=_init_worker)
+        try:
+            completed.update(_dispatch(pool, profiles, completed, config,
+                                       record_ops, journal, sample_timeout,
+                                       max_retries))
+        finally:
+            pool.terminate()
+            pool.join()
     finally:
+        # Hygiene: the parent never owns a worker machine, and the corpus
+        # global must not leak into unrelated forks after teardown.
         _PARENT_CORPUS = None
+        _WORKER_MACHINE = None
     campaign = CampaignResult()
-    campaign.results.extend(results)
+    campaign.results.extend(completed[i] for i in range(len(profiles)))
     return campaign
+
+
+def _dispatch(pool, profiles: Sequence, already_done: Dict[int, SampleResult],
+              config, record_ops: bool, journal: Optional[CampaignJournal],
+              sample_timeout: Optional[float],
+              max_retries: int) -> Dict[int, SampleResult]:
+    """Per-sample submission with requeue-on-loss and bounded retries."""
+    results: Dict[int, SampleResult] = {}
+    #: index -> (async_result, deadline, attempt)
+    pending: Dict[int, Tuple] = {}
+
+    def submit(index: int, attempt: int) -> None:
+        handle = pool.apply_async(
+            _run_one, ((profiles[index], config, record_ops),))
+        deadline = (time.monotonic() + sample_timeout
+                    if sample_timeout is not None else None)
+        pending[index] = (handle, deadline, attempt)
+
+    for index in range(len(profiles)):
+        if index not in already_done:
+            submit(index, attempt=1)
+
+    while pending:
+        progressed = False
+        now = time.monotonic()
+        for index in list(pending):
+            handle, deadline, attempt = pending[index]
+            if handle.ready():
+                del pending[index]
+                progressed = True
+                try:
+                    result = handle.get()
+                except Exception as exc:  # noqa: BLE001 - worker raised
+                    result = errored_result(
+                        profiles[index], f"{type(exc).__name__}: {exc}")
+                results[index] = result
+                if journal is not None:
+                    journal.record(result)
+            elif deadline is not None and now > deadline:
+                # Lost to a dead worker, or wedged past its wall-clock
+                # budget.  The pool has already respawned any dead worker
+                # (rerunning _init_worker), so requeueing lands the
+                # sample on a healthy machine.
+                del pending[index]
+                progressed = True
+                if attempt <= max_retries:
+                    submit(index, attempt + 1)
+                else:
+                    # Deliberately not journalled: a resume should retry
+                    # a timed-out sample rather than pin its failure.
+                    results[index] = errored_result(
+                        profiles[index],
+                        f"TimeoutError: no result after {attempt} "
+                        f"attempts of {sample_timeout:g}s")
+        if not progressed:
+            time.sleep(_POLL_INTERVAL_S)
+    return results

@@ -79,6 +79,29 @@ class SdDigest:
             h.update(np.packbits(filt.bits).tobytes())
         return h.hexdigest()
 
+    # -- checkpoint serialization (JSON-safe, exact) -------------------
+
+    def to_state(self) -> dict:
+        return {
+            "filters": [{"bits": np.packbits(f.bits).tobytes().hex(),
+                         "count": f.count} for f in self.filters],
+            "n_features": self.n_features,
+            "source_len": self.source_len,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SdDigest":
+        filters: List[BloomFilter] = []
+        for entry in state["filters"]:
+            filt = BloomFilter()
+            packed = np.frombuffer(bytes.fromhex(entry["bits"]),
+                                   dtype=np.uint8)
+            filt.bits = np.unpackbits(packed).astype(bool)[:len(filt.bits)]
+            filt.count = int(entry["count"])
+            filters.append(filt)
+        return cls(filters, int(state["n_features"]),
+                   int(state["source_len"]))
+
 
 def _anchor_positions(buf: np.ndarray) -> np.ndarray:
     """Content-defined window start offsets (shift-invariant)."""

@@ -65,6 +65,12 @@ class CtphSignature:
     def __str__(self) -> str:
         return f"{self.blocksize}:{self.sig1}:{self.sig2}"
 
+    @classmethod
+    def parse(cls, text: str) -> "CtphSignature":
+        """Inverse of ``str()`` (the signature alphabet has no colons)."""
+        blocksize, sig1, sig2 = text.split(":")
+        return cls(int(blocksize), sig1, sig2)
+
     def __eq__(self, other: object) -> bool:
         return (isinstance(other, CtphSignature)
                 and str(self) == str(other))

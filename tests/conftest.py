@@ -8,6 +8,9 @@ freshly-reverted one each time).
 
 from __future__ import annotations
 
+import os
+import signal
+
 import pytest
 
 from repro.corpus import generate
@@ -17,6 +20,36 @@ from repro.sandbox import VirtualMachine
 TEST_CORPUS_SEED = 1337
 TEST_CORPUS_FILES = 420
 TEST_CORPUS_DIRS = 36
+
+#: global per-test wall-clock limit — a wedged test (a lost worker, a
+#: dispatch loop that never drains) fails loudly instead of hanging the
+#: whole tier-1 run.  Generous on purpose: the slowest legitimate test
+#: (an evasion sweep) runs for minutes under full-suite load.  Override
+#: per test with @pytest.mark.timeout(N) or globally with
+#: REPRO_TEST_TIMEOUT (0 disables).
+PER_TEST_TIMEOUT_S = float(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("timeout")
+    limit = float(marker.args[0]) if marker and marker.args \
+        else PER_TEST_TIMEOUT_S
+    if limit <= 0 or not hasattr(signal, "SIGALRM"):
+        yield  # platform without SIGALRM (or limit disabled): no fence
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {limit:g}s per-test wall-clock limit")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

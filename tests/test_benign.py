@@ -102,3 +102,61 @@ class TestWholeSuite:
             assert result.trajectory[-1][1] == result.final_score
         assert result.score_at_threshold(result.final_score) or \
             not result.trajectory
+
+
+class TestScoreAtThresholdUnionCrossing:
+    """Regression: a union event drops the *effective* threshold mid-run,
+    so a sweep threshold above the peak score can still be a detection if
+    the union threshold was crossed after the union fired (§V-B2)."""
+
+    def _result(self, trajectory, union_threshold=180.0):
+        from repro.sandbox import BenignResult
+        return BenignResult(
+            app_name="synthetic", final_score=trajectory[-1][1],
+            detected=False, suspended=False, union_fired=True,
+            completed=True, trajectory=trajectory,
+            union_threshold=union_threshold)
+
+    def test_union_crossing_counts_at_high_sweep_threshold(self):
+        result = self._result([(1, 50.0, "entropy"),
+                               (2, 120.0, "union"),
+                               (3, 185.0, "type_change")])
+        # peak score 185 < 200, but union dropped the bar to 180
+        assert result.score_at_threshold(200.0)
+
+    def test_pre_union_scores_do_not_use_union_bar(self):
+        result = self._result([(1, 185.0, "entropy"),
+                               (2, 190.0, "union")])
+        # 185 predates the union event; at the union moment the score is
+        # 190 >= 180, so this IS flagged — but only from the event on
+        assert result.score_at_threshold(200.0)
+        result = self._result([(1, 179.0, "entropy"),
+                               (2, 179.5, "union")])
+        assert not result.score_at_threshold(200.0)
+
+    def test_no_union_event_keeps_plain_threshold(self):
+        result = self._result([(1, 185.0, "entropy"),
+                               (2, 190.0, "similarity")])
+        assert not result.score_at_threshold(200.0)
+        assert result.score_at_threshold(190.0)
+
+    def test_union_disabled_run_ignores_crossings(self):
+        result = self._result([(1, 120.0, "union"),
+                               (2, 185.0, "entropy")],
+                              union_threshold=None)
+        assert not result.score_at_threshold(200.0)
+
+    def test_explicit_override_beats_recorded_threshold(self):
+        result = self._result([(1, 120.0, "union"),
+                               (2, 150.0, "entropy")])
+        assert not result.score_at_threshold(200.0)
+        assert result.score_at_threshold(200.0, union_threshold=150.0)
+
+    def test_legacy_two_tuple_trajectories_still_work(self):
+        from repro.sandbox import BenignResult
+        result = BenignResult(
+            app_name="legacy", final_score=210.0, detected=True,
+            suspended=False, union_fired=False, completed=True,
+            trajectory=[(1, 100.0), (2, 210.0)])
+        assert result.score_at_threshold(200.0)
+        assert not result.score_at_threshold(211.0)

@@ -1,0 +1,312 @@
+"""Chaos suite: campaigns under injected faults, crashes, and resume.
+
+Three failure domains, per the robustness design (docs/robustness.md):
+
+* **environmental faults** — a seeded :class:`FaultPlan` must leave a
+  campaign with zero aborted samples and verdicts that are bit-stable
+  across identical runs;
+* **monitor death** — a killed-and-restarted CryptoDrop must resume from
+  its checkpoint and reach the same verdict as an uninterrupted run;
+* **harness death** — a worker killed mid-sweep is requeued, and an
+  interrupted (journalled) campaign resumes by rerunning only the
+  missing samples.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core import CryptoDropMonitor
+from repro.faults import (FaultInjector, MonitorSupervisor, monitor_crash,
+                          transient_faults)
+from repro.ransomware import instantiate, working_cohort
+from repro.sandbox import (CampaignJournal, run_campaign,
+                           run_campaign_parallel, run_sample)
+from repro.sandbox.journal import result_from_dict, result_to_dict
+
+pytestmark = pytest.mark.chaos
+
+
+def verdict(result):
+    """The fields a chaos run must keep bit-stable."""
+    return (result.sample_name, result.detected, result.suspended,
+            result.files_lost, result.score, result.threshold,
+            result.union_fired, sorted(result.flags), result.error,
+            result.completed)
+
+
+def cohort_subset(*families, per_family=2):
+    picked = []
+    for family in families:
+        picked.extend([s for s in working_cohort()
+                       if s.profile.family == family][:per_family])
+    return picked
+
+
+def fresh_subset(subset):
+    """Samples are stateful (files_attacked, notes); re-instantiate."""
+    return [instantiate(s.profile) for s in subset]
+
+
+class TestFaultedCampaignDeterminism:
+    def test_no_plan_matches_plain_campaign_exactly(self, machine,
+                                                    small_corpus):
+        subset = cohort_subset("xorist", "teslacrypt")
+        plain = run_campaign(fresh_subset(subset), small_corpus)
+        injector = FaultInjector(None)
+        machine.vfs.filters.attach(injector)
+        try:
+            shadowed = [run_sample(machine, s) for s in fresh_subset(subset)]
+        finally:
+            machine.vfs.filters.detach(injector)
+        assert injector.stats()["ops_seen"] == 0
+        for fresh, shadow in zip(plain.results, shadowed):
+            left, right = result_to_dict(fresh), result_to_dict(shadow)
+            # the session machine's sim clock has a different float
+            # origin than a fresh machine's, so elapsed time carries
+            # ~1e-15 accumulation noise; everything else is exact
+            assert left.pop("sim_seconds") == \
+                pytest.approx(right.pop("sim_seconds"))
+            assert left == right
+
+    def test_seeded_faults_zero_aborts_and_stable_verdicts(self, machine):
+        subset = cohort_subset("xorist", "teslacrypt", "ctb-locker")
+        plan = transient_faults(seed=99, deny_rate=0.05,
+                                short_read_rate=0.05,
+                                latency_spike_rate=0.02)
+        sweeps = []
+        for _ in range(2):
+            injector = FaultInjector(plan)
+            machine.vfs.filters.attach(injector)
+            try:
+                results = [run_sample(machine, s)
+                           for s in fresh_subset(subset)]
+            finally:
+                machine.vfs.filters.detach(injector)
+            assert injector.stats()["ops_seen"] > 0
+            sweeps.append([verdict(r) for r in results])
+        first, second = sweeps
+        assert first == second
+        # zero aborted samples: every run produced a real verdict
+        assert all(v[8] is None for v in first)  # error field
+        assert all(v[1] for v in first)          # still all detected
+
+
+class TestMonitorCrashResilience:
+    def _run_with_kills(self, machine, sample, *at_ops):
+        supervisor = MonitorSupervisor(machine.vfs)
+        supervisor.start()
+        injector = FaultInjector(
+            monitor_crash(*at_ops),
+            on_monitor_kill=supervisor.crash_and_restart)
+        machine.vfs.filters.attach(injector)
+        try:
+            outcome = machine.run_program(sample)
+            row = supervisor.monitor.engine.row_of(outcome.pid)
+            detections = list(supervisor.detections)
+            return outcome, row, detections, supervisor
+        finally:
+            machine.vfs.filters.detach(injector)
+            supervisor.stop()
+            machine.revert()
+
+    def _run_uninterrupted(self, machine, sample):
+        monitor = CryptoDropMonitor(machine.vfs).attach()
+        try:
+            outcome = machine.run_program(sample)
+            row = monitor.engine.row_of(outcome.pid)
+            return outcome, row, list(monitor.detections)
+        finally:
+            monitor.detach()
+            machine.revert()
+
+    def test_single_kill_reaches_same_verdict(self, machine):
+        profile = cohort_subset("teslacrypt", per_family=1)[0].profile
+        base_out, base_row, base_det = self._run_uninterrupted(
+            machine, instantiate(profile))
+        out, row, detections, supervisor = self._run_with_kills(
+            machine, instantiate(profile), 200)
+        assert supervisor.crashes == 1 and supervisor.restarts == 1
+        assert bool(detections) == bool(base_det) == True  # noqa: E712
+        assert (row.score, row.threshold, sorted(row.flags),
+                row.union_fired) == \
+            (base_row.score, base_row.threshold, sorted(base_row.flags),
+             base_row.union_fired)
+        assert out.suspended == base_out.suspended
+
+    def test_repeated_kills_degrade_gracefully(self, machine):
+        profile = cohort_subset("xorist", per_family=1)[0].profile
+        _base_out, base_row, base_det = self._run_uninterrupted(
+            machine, instantiate(profile))
+        _out, row, detections, supervisor = self._run_with_kills(
+            machine, instantiate(profile), 50, 150, 300)
+        assert supervisor.crashes == 3 and supervisor.restarts == 3
+        assert bool(detections) == bool(base_det) == True  # noqa: E712
+        assert (row.score, sorted(row.flags)) == \
+            (base_row.score, sorted(base_row.flags))
+
+    def test_checkpoint_survives_json_round_trip(self, machine):
+        profile = cohort_subset("xorist", per_family=1)[0].profile
+        monitor = CryptoDropMonitor(machine.vfs).attach()
+        try:
+            machine.run_program(instantiate(profile))
+            state = monitor.checkpoint()
+            wire = json.loads(json.dumps(state, sort_keys=True))
+            restored = CryptoDropMonitor.from_checkpoint(machine.vfs, wire)
+            assert restored.checkpoint() == state
+            assert restored.engine.scoreboard.rows()
+            assert len(restored.engine.cache) == len(monitor.engine.cache)
+            assert [d.process_name for d in restored.detections] == \
+                [d.process_name for d in monitor.detections]
+        finally:
+            monitor.detach()
+            machine.revert()
+
+
+class TestCampaignJournal:
+    def test_result_round_trip_is_exact(self, machine):
+        sample = cohort_subset("teslacrypt", per_family=1)[0]
+        result = run_sample(machine, sample, record_ops=True)
+        clone = result_from_dict(
+            json.loads(json.dumps(result_to_dict(result))))
+        assert result_to_dict(clone) == result_to_dict(result)
+        assert clone.touched_dirs == result.touched_dirs
+
+    def test_serial_resume_reruns_only_missing(self, small_corpus, tmp_path,
+                                               monkeypatch):
+        subset = cohort_subset("xorist", "cryptodefense")
+        journal = CampaignJournal(tmp_path / "campaign.jsonl")
+        first = run_campaign(fresh_subset(subset)[:2], small_corpus,
+                             journal=journal)
+        assert len(journal.load()) == 2
+
+        executed = []
+        import repro.sandbox.campaign as campaign_mod
+        real_run_sample = campaign_mod.run_sample
+
+        def counting_run_sample(machine, sample, *args, **kwargs):
+            executed.append(sample.profile.sample_name)
+            return real_run_sample(machine, sample, *args, **kwargs)
+
+        monkeypatch.setattr(campaign_mod, "run_sample", counting_run_sample)
+        resumed = run_campaign(fresh_subset(subset), small_corpus,
+                               journal=journal)
+        assert executed == [s.profile.sample_name for s in subset[2:]]
+        assert len(resumed.results) == len(subset)
+        assert [r.sample_name for r in resumed.results] == \
+            [s.profile.sample_name for s in subset]
+        # the spliced-in journalled results are the first run's, verbatim
+        assert [verdict(r) for r in resumed.results[:2]] == \
+            [verdict(r) for r in first.results]
+
+    def test_torn_final_line_is_skipped(self, small_corpus, tmp_path):
+        subset = cohort_subset("xorist", per_family=2)
+        journal = CampaignJournal(tmp_path / "torn.jsonl")
+        run_campaign(fresh_subset(subset), small_corpus, journal=journal)
+        with open(journal.path, "a", encoding="utf-8") as fh:
+            fh.write('{"sample_name": "half-writ')  # crash mid-append
+        assert len(journal.load()) == 2
+
+    def test_clear_removes_the_file(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "gone.jsonl")
+        assert journal.load() == {}
+        journal.clear()  # no file: no-op
+        with open(journal.path, "w", encoding="utf-8") as fh:
+            fh.write("x\n")
+        journal.clear()
+        assert not os.path.exists(journal.path)
+
+
+# ---------------------------------------------------------------------------
+# parallel dispatch under failure
+# ---------------------------------------------------------------------------
+
+# Module globals consumed by _killer_run_one in forked workers (set by the
+# worker-kill test before the pool forks; pickling resolves the function
+# by name, fork inheritance carries the globals).
+_KILL_TARGET = None
+_KILL_FUSE = None
+
+
+def _killer_run_one(args):
+    profile, _config, _record_ops = args
+    if profile.sample_name == _KILL_TARGET and not os.path.exists(_KILL_FUSE):
+        open(_KILL_FUSE, "w").close()
+        os._exit(1)  # simulate a hard worker crash (no exception, no result)
+    import repro.sandbox.parallel as parallel_mod
+    sample = instantiate(profile)
+    return run_sample(parallel_mod._WORKER_MACHINE, sample, _config,
+                      _record_ops)
+
+
+class TestParallelResilience:
+    def test_worker_killed_mid_sweep_completes_all_samples(
+            self, small_corpus, tmp_path, monkeypatch):
+        global _KILL_TARGET, _KILL_FUSE
+        subset = cohort_subset("xorist", per_family=4)
+        import repro.sandbox.parallel as parallel_mod
+        _KILL_TARGET = subset[0].profile.sample_name
+        _KILL_FUSE = str(tmp_path / "worker-killed")
+        monkeypatch.setattr(parallel_mod, "_run_one", _killer_run_one)
+        try:
+            campaign = run_campaign_parallel(
+                subset, small_corpus, workers=2, sample_timeout=10.0,
+                max_retries=2)
+        finally:
+            _KILL_TARGET = _KILL_FUSE = None
+        assert os.path.exists(str(tmp_path / "worker-killed"))
+        assert len(campaign.results) == len(subset)
+        assert all(r.error is None for r in campaign.results)
+        assert campaign.detection_rate == 1.0
+
+    def test_timeout_exhaustion_yields_errored_results(self, small_corpus):
+        subset = cohort_subset("xorist", per_family=2)
+        campaign = run_campaign_parallel(
+            subset, small_corpus, workers=2, sample_timeout=0.01,
+            max_retries=0)
+        assert len(campaign.results) == len(subset)
+        assert all(r.error and "TimeoutError" in r.error
+                   for r in campaign.results)
+        assert all(not r.completed for r in campaign.results)
+
+    def test_worker_exception_becomes_errored_result(self, small_corpus,
+                                                     monkeypatch):
+        import repro.sandbox.parallel as parallel_mod
+        monkeypatch.setattr(parallel_mod, "_run_one", _raising_run_one)
+        subset = cohort_subset("xorist", per_family=2)
+        campaign = run_campaign_parallel(subset, small_corpus, workers=2)
+        assert all(r.error == "RuntimeError: worker bug"
+                   for r in campaign.results)
+
+    def test_parallel_journal_resume_skips_completed(self, small_corpus,
+                                                     tmp_path, monkeypatch):
+        subset = cohort_subset("xorist", per_family=3)
+        journal = CampaignJournal(tmp_path / "par.jsonl")
+        first = run_campaign_parallel(subset, small_corpus, workers=2,
+                                      journal=journal)
+        assert len(journal.load()) == len(subset)
+        lines_before = sum(1 for _ in open(journal.path))
+
+        import repro.sandbox.parallel as parallel_mod
+        monkeypatch.setattr(parallel_mod, "_run_one", _raising_run_one)
+        resumed = run_campaign_parallel(subset, small_corpus, workers=2,
+                                        journal=journal)
+        # nothing reran (the poisoned _run_one was never reached) and the
+        # journal did not grow
+        assert [verdict(r) for r in resumed.results] == \
+            [verdict(r) for r in first.results]
+        assert sum(1 for _ in open(journal.path)) == lines_before
+
+    def test_concurrent_campaign_guard(self, small_corpus, monkeypatch):
+        import repro.sandbox.parallel as parallel_mod
+        monkeypatch.setattr(parallel_mod, "_PARENT_CORPUS", object())
+        subset = cohort_subset("xorist", per_family=1)
+        with pytest.raises(RuntimeError, match="fork"):
+            run_campaign_parallel(subset, small_corpus, workers=2)
+
+
+def _raising_run_one(args):
+    raise RuntimeError("worker bug")

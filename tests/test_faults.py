@@ -1,0 +1,209 @@
+"""Fault-injection subsystem: plans, the injector driver, error contracts.
+
+The FsError-tolerance contract is the load-bearing one: transient
+environmental failures (``OperationDenied`` — locked files, sharing
+violations — plus short reads) must be *skipped* by ransomware samples,
+while ``ProcessSuspended`` (CryptoDrop's verdict) must unwind the whole
+program.  Chaos/campaign-level scenarios live in ``test_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import pytest
+
+from repro.faults import (FaultInjector, FaultPlan, MonitorSupervisor,
+                          monitor_crash, transient_faults)
+from repro.fs.events import OpKind
+from repro.ransomware import working_cohort
+from repro.sandbox import run_sample
+
+pytestmark = pytest.mark.chaos
+
+
+@contextlib.contextmanager
+def injected(machine, plan, on_kill=None):
+    injector = FaultInjector(plan, on_monitor_kill=on_kill)
+    machine.vfs.filters.attach(injector)
+    try:
+        yield injector
+    finally:
+        machine.vfs.filters.detach(injector)
+
+
+def family_sample(family, behavior_class=None):
+    for sample in working_cohort():
+        if sample.profile.family != family:
+            continue
+        if (behavior_class is None
+                or sample.profile.behavior_class == behavior_class):
+            return sample
+    raise LookupError(f"no working {family}/{behavior_class} sample")
+
+
+class TestFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(deny_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(short_read_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(short_read_factor=0.0)
+        with pytest.raises(ValueError):
+            FaultPlan(kill_monitor_at_ops=(0,))
+
+    def test_armed_semantics(self):
+        assert not FaultPlan().armed
+        assert FaultPlan(deny_rate=0.1).armed
+        assert FaultPlan(kill_monitor_at_ops=(5,)).armed
+        assert transient_faults(seed=1).armed
+        assert monitor_crash(10, 20).kill_monitor_at_ops == (10, 20)
+
+    def test_with_overrides_is_pure(self):
+        base = transient_faults(seed=3)
+        tweaked = base.with_overrides(deny_rate=0.5)
+        assert tweaked.deny_rate == 0.5
+        assert base.deny_rate != 0.5
+
+
+class TestInjectorNeutrality:
+    """No plan armed => attaching the injector changes nothing."""
+
+    def test_unarmed_injector_is_invisible(self, machine):
+        sample = family_sample("xorist")
+        bare = run_sample(machine, sample)
+        with injected(machine, None) as injector:
+            shadowed = run_sample(machine, family_sample("xorist"))
+        assert injector.stats() == {"ops_seen": 0, "denials": 0,
+                                    "short_reads": 0, "latency_spikes": 0,
+                                    "monitor_kills": 0}
+        assert (bare.score, bare.files_lost, sorted(bare.flags),
+                bare.sim_seconds) == \
+            (shadowed.score, shadowed.files_lost, sorted(shadowed.flags),
+             shadowed.sim_seconds)
+
+    def test_all_zero_plan_never_arms(self, machine):
+        with injected(machine, FaultPlan(seed=9)) as injector:
+            run_sample(machine, family_sample("xorist"))
+        assert not injector.armed
+        assert injector.stats()["ops_seen"] == 0
+
+
+class TestInjectorDeterminism:
+    def test_same_plan_same_stream_same_faults(self, machine):
+        plan = transient_faults(seed=42, deny_rate=0.05,
+                                short_read_rate=0.05)
+        runs = []
+        for _ in range(2):
+            with injected(machine, plan) as injector:
+                result = run_sample(machine, family_sample("teslacrypt"))
+                runs.append((result.detected, result.score,
+                             result.files_lost, sorted(result.flags),
+                             injector.stats()))
+        assert runs[0] == runs[1]
+        assert runs[0][4]["denials"] > 0 or runs[0][4]["short_reads"] > 0
+
+    def test_different_seed_different_faults(self, machine):
+        stats = []
+        for seed in (1, 2):
+            plan = transient_faults(seed=seed, deny_rate=0.08,
+                                    short_read_rate=0.08)
+            with injected(machine, plan) as injector:
+                run_sample(machine, family_sample("teslacrypt"))
+                stats.append(injector.stats())
+        assert stats[0] != stats[1]
+
+
+class TestInjectorFaults:
+    def test_max_denials_caps_injection(self, machine):
+        plan = FaultPlan(seed=7, deny_rate=1.0, max_denials=3,
+                         deny_kinds=(OpKind.OPEN,))
+        with injected(machine, plan) as injector:
+            run_sample(machine, family_sample("xorist"))
+        assert injector.denials == 3
+
+    def test_short_reads_truncate_but_do_not_crash(self, machine):
+        plan = FaultPlan(seed=7, short_read_rate=1.0, short_read_factor=0.25)
+        with injected(machine, plan) as injector:
+            result = run_sample(machine, family_sample("xorist"))
+        assert injector.short_reads > 0
+        assert result.error is None
+
+    def test_latency_spikes_charge_the_simulated_clock(self, machine):
+        quiet = run_sample(machine, family_sample("xorist"))
+        plan = FaultPlan(seed=7, latency_spike_rate=1.0,
+                         latency_spike_us=250_000.0)
+        with injected(machine, plan) as injector:
+            spiky = run_sample(machine, family_sample("xorist"))
+        assert injector.latency_spikes > 0
+        assert spiky.sim_seconds > quiet.sim_seconds
+
+
+class TestFsErrorToleranceContract:
+    """Denials are per-file skips; ProcessSuspended unwinds the program."""
+
+    FAMILIES = [("teslacrypt", "A"), ("xorist", "A"),
+                ("ctb-locker", "B"), ("cryptowall", "A")]
+
+    def test_families_cover_both_classes(self):
+        classes = {behavior for _family, behavior in self.FAMILIES}
+        assert {"A", "B"} <= classes
+
+    @pytest.mark.parametrize("family,behavior", FAMILIES)
+    def test_denials_are_skipped_not_fatal(self, machine, family, behavior):
+        sample = family_sample(family, behavior)
+        plan = FaultPlan(seed=11, deny_rate=0.15)
+        with injected(machine, plan) as injector:
+            result = run_sample(machine, sample)
+        assert injector.denials > 0
+        # The run must never abort on an environmental error: either it
+        # ran to completion around the locked files, or CryptoDrop
+        # suspended it — the only legitimate early exit.
+        assert result.error is None
+        assert result.completed or result.suspended
+
+    @pytest.mark.parametrize("family,behavior", FAMILIES)
+    def test_suspension_unwinds_whole_program(self, machine, family,
+                                              behavior):
+        result = run_sample(machine, family_sample(family, behavior))
+        assert result.detected and result.suspended
+        # suspension fired mid-attack: the sample never finished its
+        # traversal, so the corpus retains undamaged files
+        assert not result.completed
+        assert result.files_lost < 420
+
+    def test_detection_survives_heavy_denial(self, machine):
+        """Even with half of all opens/writes refused, the detector still
+        converges — denials starve it of evidence (denied ops never
+        complete, so nothing is scored), which may *delay* the verdict and
+        cost extra files, but must never produce a crash or a miss."""
+        plan = FaultPlan(seed=3, deny_rate=0.5,
+                         deny_kinds=(OpKind.OPEN, OpKind.WRITE))
+        with injected(machine, plan) as injector:
+            denied = run_sample(machine, family_sample("xorist"))
+        assert injector.denials > 0
+        assert denied.error is None
+        assert denied.detected and denied.suspended
+
+
+class TestMonitorSupervisor:
+    def test_lifecycle_guards(self, machine):
+        supervisor = MonitorSupervisor(machine.vfs)
+        with pytest.raises(RuntimeError):
+            supervisor.checkpoint()
+        supervisor.start()
+        with pytest.raises(RuntimeError):
+            supervisor.start()
+        supervisor.crash()
+        assert supervisor.stats() == {"crashes": 1, "restarts": 0,
+                                      "running": False}
+        supervisor.restart()
+        assert supervisor.monitor is not None
+        supervisor.stop()
+
+    def test_restart_without_checkpoint_starts_fresh(self, machine):
+        supervisor = MonitorSupervisor(machine.vfs)
+        monitor = supervisor.restart()
+        assert monitor.attached
+        supervisor.stop()

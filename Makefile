@@ -4,7 +4,7 @@
 
 PYTEST = PYTHONPATH=src python -m pytest -x -q
 
-.PHONY: test unit chaos
+.PHONY: test unit chaos bench bench-check
 
 test:
 	$(PYTEST)
@@ -16,3 +16,16 @@ unit:
 # fault-injection + crash-resilience suite only
 chaos:
 	$(PYTEST) -m chaos tests/test_chaos.py tests/test_faults.py
+
+# full hot-path benchmark harness → BENCH_2.json (see docs/performance.md)
+bench:
+	PYTHONPATH=src python benchmarks/run_bench.py
+	PYTHONPATH=src:benchmarks python -m pytest -q \
+		benchmarks/bench_performance.py benchmarks/bench_close_path.py \
+		benchmarks/bench_compare_batch.py
+
+# regression gate: rerun the harness and fail on >25% hot-path slowdown
+# against the committed BENCH_2.json baseline
+bench-check:
+	PYTHONPATH=src python benchmarks/run_bench.py --output /tmp/BENCH_2.current.json
+	python benchmarks/check_regression.py --current /tmp/BENCH_2.current.json

@@ -1,0 +1,58 @@
+"""ISSUE 2 — the single-digest close path, measured and counter-verified.
+
+The close-heavy campaign rewrites the same documents repeatedly: the
+workload whose steady state the digest LRU turns from digest-per-close
+into lookup-per-close.  Beyond raw time, the counter assertions pin the
+tentpole's invariant: each closed version is digested at most once, so
+``bytes_digested`` never exceeds ``bytes_closed`` plus the one-off
+baseline captures.
+"""
+
+import pytest
+
+from run_bench import close_heavy_campaign
+
+_CAMPAIGN = dict(n_files=24, rewrites=6, payload=48 * 1024)
+
+
+def test_bench_close_heavy_cached(benchmark):
+    _, stats = benchmark.pedantic(
+        lambda: close_heavy_campaign(**_CAMPAIGN), rounds=3, iterations=1)
+    assert stats.single_digest_holds
+
+
+def test_bench_close_heavy_uncached(benchmark):
+    _, stats = benchmark.pedantic(
+        lambda: close_heavy_campaign(**_CAMPAIGN, digest_cache_entries=0),
+        rounds=3, iterations=1)
+    # no cache → every close digests, but still exactly once per close
+    assert stats.digest_cache_hits == 0
+
+
+class TestSingleDigestCounters:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return close_heavy_campaign(**_CAMPAIGN)
+
+    def test_bytes_digested_le_bytes_closed(self, campaign):
+        _, stats = campaign
+        assert stats.bytes_digested <= stats.bytes_closed
+
+    def test_only_baselines_were_digested(self, campaign):
+        # the rewrites reuse content: only the initial per-file baseline
+        # capture should ever have digested anything
+        _, stats = campaign
+        assert stats.bytes_digested == (_CAMPAIGN["n_files"]
+                                        * _CAMPAIGN["payload"])
+
+    def test_steady_state_closes_all_hit(self, campaign):
+        _, stats = campaign
+        n_closes = _CAMPAIGN["n_files"] * _CAMPAIGN["rewrites"]
+        assert stats.op_counts["close"] == n_closes
+        assert stats.digest_cache_hits == n_closes
+
+    def test_cache_beats_no_cache(self, campaign):
+        cached_s, _ = campaign
+        uncached_s, _ = close_heavy_campaign(**_CAMPAIGN,
+                                             digest_cache_entries=0)
+        assert uncached_s / cached_s >= 2.0

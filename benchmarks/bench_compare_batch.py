@@ -1,0 +1,47 @@
+"""ISSUE 2 — batched sdhash compare vs the scalar per-pair loop.
+
+The acceptance bar is a ≥5× speedup on 32-filter digests (multi-hundred-
+KB documents) with bit-identical scores; the equivalence itself is pinned
+by tests/test_simhash_vectorised.py, this file pins the speed.
+"""
+
+import pytest
+
+from run_bench import _digest_with_filters
+from repro.simhash.sdhash import compare, compare_scalar
+
+
+@pytest.fixture(scope="module")
+def digests():
+    a = _digest_with_filters(32)
+    b = _digest_with_filters(32)
+    return a, b
+
+
+def test_bench_compare_batched_32f(benchmark, digests):
+    a, b = digests
+    score = benchmark(compare, a, b)
+    assert score == compare_scalar(a, b)
+
+
+def test_bench_compare_scalar_32f(benchmark, digests):
+    a, b = digests
+    benchmark.pedantic(compare_scalar, args=digests, rounds=3, iterations=1)
+
+
+def test_batched_speedup_at_least_5x(digests):
+    import time
+    a, b = digests
+
+    def best_of(fn, n):
+        times = []
+        for _ in range(n):
+            started = time.perf_counter()
+            fn(a, b)
+            times.append(time.perf_counter() - started)
+        return min(times)
+
+    compare(a, b)  # warm the packed-matrix caches
+    scalar = best_of(compare_scalar, 3)
+    batched = best_of(compare, 5)
+    assert scalar / batched >= 5.0, f"only {scalar / batched:.1f}x"

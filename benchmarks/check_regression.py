@@ -1,0 +1,85 @@
+"""Compare a fresh ``BENCH_2.json`` against the committed baseline.
+
+``make bench-check`` runs the harness into a scratch file and calls this
+script; it exits non-zero when any named hot path regressed more than the
+threshold (default 25%) against the baseline, printing a per-path table
+either way.  Speedups getting *faster* never fail the check.
+
+Scales must match: comparing a ``--smoke`` run against a full-scale
+baseline is meaningless and is rejected up front.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_2.json"
+DEFAULT_THRESHOLD = 0.25
+
+
+def compare_reports(baseline: dict, current: dict,
+                    threshold: float = DEFAULT_THRESHOLD) -> list:
+    """Regressions as ``(name, baseline_s, current_s, ratio)`` tuples.
+
+    A hot path regresses when its current time exceeds the baseline by
+    more than ``threshold`` (0.25 → 25% slower).  Paths present only in
+    one report are ignored — adding a new bench must not fail the gate
+    retroactively.
+    """
+    if baseline.get("scale") != current.get("scale"):
+        raise ValueError(
+            f"scale mismatch: baseline {baseline.get('scale')!r} vs "
+            f"current {current.get('scale')!r}")
+    regressions = []
+    base_paths = baseline.get("hot_paths", {})
+    for name, entry in sorted(current.get("hot_paths", {}).items()):
+        base = base_paths.get(name)
+        if base is None:
+            continue
+        base_s, cur_s = base["seconds"], entry["seconds"]
+        if base_s <= 0:
+            continue
+        ratio = cur_s / base_s
+        if ratio > 1.0 + threshold:
+            regressions.append((name, base_s, cur_s, ratio))
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--current", type=Path, required=True)
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="fractional slowdown that fails (0.25 = 25%%)")
+    args = parser.parse_args(argv)
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+    try:
+        regressions = compare_reports(baseline, current, args.threshold)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    base_paths = baseline.get("hot_paths", {})
+    for name, entry in sorted(current.get("hot_paths", {}).items()):
+        base = base_paths.get(name)
+        if base is None:
+            print(f"  {name:28s} {entry['seconds'] * 1000:9.3f} ms   (new)")
+            continue
+        ratio = entry["seconds"] / base["seconds"]
+        flag = "REGRESSED" if ratio > 1.0 + args.threshold else "ok"
+        print(f"  {name:28s} {base['seconds'] * 1000:9.3f} -> "
+              f"{entry['seconds'] * 1000:9.3f} ms  {ratio:5.2f}x  {flag}")
+    if regressions:
+        print(f"{len(regressions)} hot path(s) regressed more than "
+              f"{args.threshold:.0%}", file=sys.stderr)
+        return 1
+    print("no hot-path regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,193 @@
+"""Hot-path benchmark harness → ``BENCH_2.json``.
+
+Times the engine's performance-critical paths directly (no pytest
+overhead) and writes a machine-comparable JSON report:
+
+* ``hot_paths`` — best-of-N seconds per call for each named path.  These
+  are the regression-gated numbers: ``check_regression.py`` fails the
+  build when any of them slows down more than 25% against the committed
+  baseline.
+* ``speedups`` — vectorised-vs-scalar ratios for the sdhash digest and
+  the batched all-pairs compare, plus cached-vs-uncached ratio for the
+  close-heavy engine campaign.
+* ``counters`` — the perfstats snapshot of the close-heavy campaign,
+  including the single-digest invariant (bytes digested ≤ bytes closed).
+
+Run via ``make bench`` (full scale) or with ``--smoke`` for a seconds-long
+structural pass (used by the tier-1 smoke test; smoke numbers are not
+comparable to a full-scale baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.corpus.wordlists import paragraphs
+from repro.core import CryptoDropConfig, CryptoDropMonitor
+from repro.fs import DOCUMENTS, VirtualFileSystem
+from repro.perfstats import collect
+from repro.simhash.sdhash import (compare, compare_scalar, sdhash,
+                                  sdhash_scalar)
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_2.json"
+SCHEMA_VERSION = 2
+
+
+def _text(seed: int, approx_bytes: int) -> bytes:
+    data = paragraphs(random.Random(seed), approx_bytes).encode()
+    while len(data) < approx_bytes:
+        data += paragraphs(random.Random(seed + len(data)),
+                           approx_bytes).encode()
+    return data[:approx_bytes]
+
+
+def _best_seconds(fn, repeats: int) -> float:
+    """Best-of-N wall time.  The minimum is the noise-robust estimator
+    for regression gating: scheduler preemption and cache pollution only
+    ever add time, so the fastest observed run is the closest to the
+    code's true cost."""
+    times = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - started)
+    return min(times)
+
+
+def _digest_with_filters(min_filters: int):
+    """Text content large enough to span ``min_filters`` Bloom filters."""
+    size = min_filters * 24 * 1024
+    while True:
+        digest = sdhash(_text(7, size))
+        if digest is not None and len(digest) >= min_filters:
+            return digest
+        size *= 2
+
+
+def close_heavy_campaign(n_files: int, rewrites: int, payload: int,
+                         digest_cache_entries: int = 256):
+    """Rewrite-then-close the same documents repeatedly.
+
+    Steady state is exactly the workload the digest cache exists for:
+    every close re-inspects content the engine has digested before.
+    Returns ``(elapsed_seconds, PerfStats)``.
+    """
+    vfs = VirtualFileSystem()
+    vfs._ensure_dirs(DOCUMENTS)
+    paths = []
+    for i in range(n_files):
+        path = DOCUMENTS / f"doc{i}.txt"
+        vfs.peek_write(path, _text(i, payload))
+        paths.append(path)
+    config = CryptoDropConfig(digest_cache_entries=digest_cache_entries)
+    monitor = CryptoDropMonitor(vfs, config).attach()
+    pid = vfs.processes.spawn("editor.exe").pid
+    started = time.perf_counter()
+    for _ in range(rewrites):
+        for path in paths:
+            handle = vfs.open(pid, path, "rw")
+            data = vfs.read(pid, handle)
+            vfs.seek(pid, handle, 0)
+            vfs.write(pid, handle, data)
+            vfs.close(pid, handle)
+    elapsed = time.perf_counter() - started
+    stats = collect(monitor)
+    monitor.detach()
+    return elapsed, stats
+
+
+def run(smoke: bool = False) -> dict:
+    if smoke:
+        digest_payload = 32 * 1024
+        repeats, scalar_repeats = 3, 2
+        n_filters = 8
+        campaign = dict(n_files=6, rewrites=3, payload=24 * 1024)
+    else:
+        digest_payload = 128 * 1024
+        repeats, scalar_repeats = 9, 3
+        n_filters = 32
+        campaign = dict(n_files=24, rewrites=6, payload=48 * 1024)
+
+    payload = _text(3, digest_payload)
+    hot_paths = {}
+    speedups = {}
+
+    hot_paths["sdhash_digest"] = _best_seconds(
+        lambda: sdhash(payload), repeats)
+    scalar_digest = _best_seconds(
+        lambda: sdhash_scalar(payload), scalar_repeats)
+    speedups["sdhash_vectorised_vs_scalar"] = (
+        scalar_digest / hot_paths["sdhash_digest"])
+
+    big_a = _digest_with_filters(n_filters)
+    big_b = _digest_with_filters(n_filters)
+    hot_paths["compare_batched"] = _best_seconds(
+        lambda: compare(big_a, big_b), repeats)
+    scalar_compare = _best_seconds(
+        lambda: compare_scalar(big_a, big_b), scalar_repeats)
+    speedups["compare_batched_vs_scalar"] = (
+        scalar_compare / hot_paths["compare_batched"])
+
+    campaign_rounds = 1 if smoke else 3
+    cached_runs = [close_heavy_campaign(**campaign)
+                   for _ in range(campaign_rounds)]
+    stats = cached_runs[0][1]
+    cached_s = min(elapsed for elapsed, _ in cached_runs)
+    uncached_s = min(close_heavy_campaign(**campaign,
+                                          digest_cache_entries=0)[0]
+                     for _ in range(campaign_rounds))
+    hot_paths["close_heavy_campaign"] = cached_s
+    speedups["close_path_cached_vs_uncached"] = uncached_s / cached_s
+
+    counters = stats.as_dict()
+    return {
+        "schema": SCHEMA_VERSION,
+        "scale": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "hot_paths": {name: {"seconds": round(s, 6)}
+                      for name, s in hot_paths.items()},
+        "speedups": {name: round(ratio, 2)
+                     for name, ratio in speedups.items()},
+        "counters": counters,
+        "invariants": {
+            # single-digest close path: steady-state closes never digest
+            # more than they close
+            "bytes_digested_le_bytes_closed": counters["single_digest_holds"],
+            "digest_cache_hits_positive": counters["digest_cache"]["hits"] > 0,
+        },
+        "filters_compared": len(big_a),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="where to write the JSON report")
+    parser.add_argument("--smoke", action="store_true",
+                        help="seconds-long structural pass (not comparable "
+                             "to a full-scale baseline)")
+    args = parser.parse_args(argv)
+    report = run(smoke=args.smoke)
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True)
+                           + "\n")
+    print(f"wrote {args.output}")
+    for name, entry in sorted(report["hot_paths"].items()):
+        print(f"  {name:28s} {entry['seconds'] * 1000:9.3f} ms")
+    for name, ratio in sorted(report["speedups"].items()):
+        print(f"  {name:36s} {ratio:6.2f}x")
+    ok = all(report["invariants"].values())
+    print(f"  invariants: {'OK' if ok else 'VIOLATED'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

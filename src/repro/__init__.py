@@ -24,7 +24,8 @@ Quickstart::
 """
 
 from . import (analysis, baselines, benign, core, corpus, crypto,
-               experiments, fs, magic, ransomware, sandbox, simhash)
+               experiments, fs, magic, perfstats, ransomware, sandbox,
+               simhash)
 from .core import CryptoDropConfig, CryptoDropMonitor, Detection
 from .entropy import (WeightedEntropyMean, corrected_entropy,
                       entropy_weight, shannon_entropy, windowed_entropy)
@@ -40,7 +41,7 @@ __all__ = [
     "VirtualFileSystem", "VirtualMachine", "WeightedEntropyMean",
     "WinPath", "__version__", "analysis", "baselines", "benign", "core",
     "corrected_entropy", "corpus", "crypto", "entropy_weight",
-    "experiments", "fs", "magic", "ransomware", "run_benign",
+    "experiments", "fs", "magic", "perfstats", "ransomware", "run_benign",
     "RecoveryReport", "TraceRecord", "TraceRecorder", "recover_from_shadow", "replay_trace",
     "run_campaign", "run_sample", "sandbox", "shannon_entropy", "simhash",
     "windowed_entropy",

@@ -103,6 +103,9 @@ class CryptoDropConfig:
     # -- engine internals ------------------------------------------------------
     #: skip baseline digests for files larger than this (cost ceiling)
     max_inspect_bytes: int = 4 * 1024 * 1024
+    #: LRU entries in the content-hash digest cache (0 disables caching);
+    #: hits skip re-identifying and re-digesting bytes already inspected
+    digest_cache_entries: int = 256
     latency: LatencyModel = field(default_factory=LatencyModel)
 
     def with_overrides(self, **kwargs) -> "CryptoDropConfig":

@@ -23,6 +23,7 @@ is suspended and the (policy-modelled) user is asked.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional
 
 from ..fs.errors import FsError
@@ -67,13 +68,21 @@ class AnalysisEngine(FilterDriver):
         self.scoreboard = Scoreboard(self.config)
         self.cache = FileStateCache(self.config.similarity_backend,
                                     self.config.max_inspect_bytes,
-                                    digests_enabled=self.config.enable_similarity)
+                                    digests_enabled=self.config.enable_similarity,
+                                    digest_cache_entries=self.config.digest_cache_entries)
         self.detections: List[Detection] = []
         self._proc: Dict[int, _ProcessState] = {}
         self._whitelist: set = set()
         self._pending_cost_us = 0.0
         self.op_counts: Dict[str, int] = {}
         self.bytes_inspected = 0
+        #: content bytes of every write-then-close inspection (the
+        #: single-digest invariant: cache.digest_cache.bytes_digested
+        #: never exceeds this plus baseline-capture traffic)
+        self.bytes_closed = 0
+        #: measured post_operation wall time per op kind, microseconds
+        self.op_wall_us: Dict[str, float] = {}
+        self._hits_applied = 0
 
     # ------------------------------------------------------------------
     # filter driver interface
@@ -118,19 +127,25 @@ class AnalysisEngine(FilterDriver):
             return PostVerdict.ALLOW
         if not self._relevant(op):
             return PostVerdict.ALLOW
-        self.op_counts[op.kind.value] = self.op_counts.get(op.kind.value, 0) + 1
-        handler = {
-            OpKind.CREATE: self._on_create,
-            OpKind.OPEN: self._on_open,
-            OpKind.READ: self._on_read,
-            OpKind.WRITE: self._on_write,
-            OpKind.CLOSE: self._on_close,
-            OpKind.RENAME: self._on_rename,
-            OpKind.DELETE: self._on_delete,
-        }.get(op.kind)
+        started = time.perf_counter_ns()
+        kind = op.kind.value
+        self.op_counts[kind] = self.op_counts.get(kind, 0) + 1
+        handler = self._DISPATCH.get(op.kind)
+        hits_before = self._hits_applied
         if handler is not None:
-            handler(op)
-        return self._verdict(op)
+            handler(self, op)
+        # Scores only move through Scoreboard.apply (called from _apply in
+        # the handlers), so an op that applied no indicator hit cannot have
+        # pushed any row over threshold — skip materialising its scoreboard
+        # row entirely.  Hot loops of benign reads/writes never touch the
+        # scoreboard at all.
+        if self._hits_applied == hits_before:
+            verdict = PostVerdict.ALLOW
+        else:
+            verdict = self._verdict(op)
+        self.op_wall_us[kind] = (self.op_wall_us.get(kind, 0.0)
+                                 + (time.perf_counter_ns() - started) / 1000.0)
+        return verdict
 
     # ------------------------------------------------------------------
     # scope and baselines
@@ -216,6 +231,7 @@ class AnalysisEngine(FilterDriver):
             content = self.vfs.peek_read(op.path)
         except FsError:
             return
+        self.bytes_closed += len(content)
         record = self.cache.get(op.node_id)
         if record is None:
             if self.config.is_protected(op.path):
@@ -267,9 +283,16 @@ class AnalysisEngine(FilterDriver):
 
     def _inspect_version(self, op: FsOperation, record: TrackedFile,
                          content: bytes) -> None:
-        """Close/link-time comparison of the new version to the baseline."""
+        """Close/link-time comparison of the new version to the baseline.
+
+        The single-digest close path: ``cache.inspect`` types and digests
+        the content exactly once (through the digest LRU), and that one
+        :class:`InspectionResult` feeds both the similarity comparison and
+        the baseline refresh below.
+        """
         state = self._state(op.pid)
-        new_type = identify(content)
+        inspection = self.cache.inspect(content)
+        new_type = inspection.file_type
         self.bytes_inspected += len(content)
         self._charge_inspection(len(content))
         if self.config.enable_funneling and new_type.name != "empty":
@@ -278,7 +301,8 @@ class AnalysisEngine(FilterDriver):
             score = None
             if self.config.enable_similarity:
                 score = similarity_score(record, content,
-                                         self.config.similarity_backend)
+                                         self.config.similarity_backend,
+                                         inspection=inspection)
             # §V-C dynamic scoring: when the similarity indicator cannot
             # speak (file below sdhash's floor), the remaining evidence
             # is weighted up so small-file sweeps convict sooner
@@ -302,7 +326,20 @@ class AnalysisEngine(FilterDriver):
                     detail=f"score={score}"))
         self.cache.refresh_baseline(op.node_id, op.path
                                     if op.dest_path is None else op.dest_path,
-                                    content)
+                                    content, inspection=inspection)
+
+    # Built once at class definition: op kind → unbound handler.  The
+    # per-call dict the old post_operation rebuilt was ~7 dict inserts per
+    # operation on the hottest path in the engine.
+    _DISPATCH = {
+        OpKind.CREATE: _on_create,
+        OpKind.OPEN: _on_open,
+        OpKind.READ: _on_read,
+        OpKind.WRITE: _on_write,
+        OpKind.CLOSE: _on_close,
+        OpKind.RENAME: _on_rename,
+        OpKind.DELETE: _on_delete,
+    }
 
     def _count_deletion(self, op: FsOperation) -> None:
         if not self.config.enable_deletion:
@@ -314,6 +351,7 @@ class AnalysisEngine(FilterDriver):
                 detail=f"count={state.deletion.count}"))
 
     def _apply(self, op: FsOperation, hit: IndicatorHit) -> None:
+        self._hits_applied += 1
         root = self._root_pid(op.pid)
         name = self._proc_name(root)
         self.scoreboard.apply(root, hit, op.timestamp_us,
@@ -406,6 +444,8 @@ class AnalysisEngine(FilterDriver):
                 for d in self.detections],
             "op_counts": dict(self.op_counts),
             "bytes_inspected": self.bytes_inspected,
+            "bytes_closed": self.bytes_closed,
+            "op_wall_us": dict(self.op_wall_us),
         }
 
     def restore(self, state: dict) -> None:
@@ -436,6 +476,10 @@ class AnalysisEngine(FilterDriver):
             for d in state["detections"]]
         self.op_counts = dict(state["op_counts"])
         self.bytes_inspected = int(state["bytes_inspected"])
+        # Absent in pre-existing checkpoints: default to zero rather than
+        # rejecting the snapshot.
+        self.bytes_closed = int(state.get("bytes_closed", 0))
+        self.op_wall_us = dict(state.get("op_wall_us", {}))
 
     # -- introspection helpers (examples, tests, experiments) ----------------
 

@@ -1,4 +1,4 @@
-"""Per-file state tracking — baselines, moves, and links.
+"""Per-file state tracking — baselines, moves, links, and inspection.
 
 CryptoDrop measures *change*, so it must know what each protected file
 looked like before the current writer touched it.  :class:`FileStateCache`
@@ -14,11 +14,24 @@ what makes the paper's hard cases work:
   file, the incoming node inherits the clobbered baseline, "allowing
   linking the original and new content and ultimately leading to union
   detection" (§V-B2).
+
+Inspection — identifying a buffer's magic type and computing its
+similarity digest — is the engine's single most expensive per-operation
+job, so it is centralised in :meth:`FileStateCache.inspect`, which
+returns one :class:`InspectionResult` that the engine threads through
+scoring *and* baseline refresh (the single-digest invariant: each closed
+version is typed and digested exactly once).  Behind it sits a bounded
+:class:`DigestCache`, an LRU keyed by content hash, so re-inspections of
+bytes the engine has already digested — Class-B files closing with
+unchanged content after a move back, editors re-saving identical bytes —
+skip the digest entirely.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
+from hashlib import blake2b
 from typing import Dict, Optional
 
 from ..fs.paths import WinPath
@@ -27,7 +40,8 @@ from ..simhash import sdhash as _sdhash
 from ..simhash.sdhash import SdDigest
 from ..simhash.ssdeep import CtphSignature, ctph
 
-__all__ = ["TrackedFile", "FileStateCache"]
+__all__ = ["TrackedFile", "FileStateCache", "InspectionResult",
+           "DigestCache"]
 
 
 @dataclass
@@ -46,12 +60,110 @@ class TrackedFile:
     born_empty: bool = False
 
 
+@dataclass
+class InspectionResult:
+    """One version's identification + digest, computed exactly once.
+
+    ``digested`` records whether the similarity backend actually ran over
+    the content (False when digests are disabled or the buffer exceeds
+    the inspection ceiling) — consumers use it to distinguish "digest is
+    None because the content cannot score" from "digest was never
+    attempted".
+    """
+
+    file_type: FileType
+    digest: Optional[SdDigest]
+    ctph: Optional[CtphSignature]
+    size: int
+    digested: bool
+
+
+class DigestCache:
+    """Bounded LRU of :class:`InspectionResult` keyed by content hash.
+
+    The key is a 16-byte BLAKE2b of the content — hashing is ~50× cheaper
+    than digesting, so a hit turns a close-time inspection into a lookup.
+    Hit/miss/eviction counters and the bytes-digested tally feed
+    :mod:`repro.perfstats`; entries are deliberately *not* serialised by
+    checkpoints (a restored engine re-digests rather than trusting stale
+    results — see :meth:`FileStateCache.restore`).
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "evictions",
+                 "bytes_digested", "_entries")
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = max(0, int(capacity))
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.bytes_digested = 0
+        self._entries: "OrderedDict[bytes, InspectionResult]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key(content: bytes) -> bytes:
+        return blake2b(content, digest_size=16).digest()
+
+    def get(self, key: bytes) -> Optional[InspectionResult]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: bytes, result: InspectionResult) -> None:
+        if self.capacity <= 0:
+            return
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear_entries(self) -> None:
+        """Drop cached results; counters survive."""
+        self._entries.clear()
+
+    def counters(self) -> dict:
+        """The checkpoint-safe slice of :meth:`stats`: lifetime counters
+        only, no ephemeral entry count — a restored cache starts empty, so
+        including ``entries`` would make checkpoints non-idempotent."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "bytes_digested": self.bytes_digested,
+        }
+
+    def stats(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "bytes_digested": self.bytes_digested,
+        }
+
+    def load_stats(self, state: dict) -> None:
+        self.hits = int(state.get("hits", 0))
+        self.misses = int(state.get("misses", 0))
+        self.evictions = int(state.get("evictions", 0))
+        self.bytes_digested = int(state.get("bytes_digested", 0))
+
+
 class FileStateCache:
     """Node-id-keyed baseline cache with move/link handling."""
 
     def __init__(self, backend: str = "sdhash",
                  max_inspect_bytes: int = 4 * 1024 * 1024,
-                 digests_enabled: bool = True) -> None:
+                 digests_enabled: bool = True,
+                 digest_cache_entries: int = 256) -> None:
         if backend not in ("sdhash", "ctph"):
             raise ValueError(f"unknown similarity backend {backend!r}")
         self.backend = backend
@@ -59,6 +171,7 @@ class FileStateCache:
         #: ablation runs with the similarity indicator off skip digesting
         #: entirely (type identification is kept — it is cheap)
         self.digests_enabled = digests_enabled
+        self.digest_cache = DigestCache(digest_cache_entries)
         self._by_node: Dict[int, TrackedFile] = {}
 
     def __len__(self) -> int:
@@ -70,6 +183,37 @@ class FileStateCache:
     def get(self, node_id: int) -> Optional[TrackedFile]:
         return self._by_node.get(node_id)
 
+    # -- inspection ------------------------------------------------------------
+
+    def inspect(self, content: bytes) -> InspectionResult:
+        """Identify and digest ``content`` once, through the LRU cache."""
+        if not isinstance(content, bytes):
+            content = bytes(content)
+        key = None
+        if self.digest_cache.capacity > 0:
+            key = self.digest_cache.key(content)
+            found = self.digest_cache.get(key)
+            if found is not None:
+                return found
+        else:
+            self.digest_cache.misses += 1
+        file_type = identify(content)
+        digest: Optional[SdDigest] = None
+        sig: Optional[CtphSignature] = None
+        digested = False
+        if self.digests_enabled and len(content) <= self.max_inspect_bytes:
+            digested = True
+            self.digest_cache.bytes_digested += len(content)
+            if self.backend == "sdhash":
+                digest = _sdhash(content)
+            else:
+                sig = ctph(content)
+        result = InspectionResult(file_type, digest, sig, len(content),
+                                  digested)
+        if key is not None:
+            self.digest_cache.put(key, result)
+        return result
+
     # -- lifecycle -----------------------------------------------------------
 
     def track_new(self, node_id: int, path: WinPath) -> TrackedFile:
@@ -79,8 +223,9 @@ class FileStateCache:
         self._by_node[node_id] = record
         return record
 
-    def ensure_baseline(self, node_id: int, path: WinPath,
-                        content: bytes) -> TrackedFile:
+    def ensure_baseline(self, node_id: int, path: WinPath, content: bytes,
+                        inspection: Optional[InspectionResult] = None
+                        ) -> TrackedFile:
         """Capture the previous-version baseline if not already cached."""
         record = self._by_node.get(node_id)
         if record is None:
@@ -88,35 +233,39 @@ class FileStateCache:
             self._by_node[node_id] = record
         record.path = path
         if not record.has_baseline:
-            self._capture(record, content)
+            self._capture(record, content, inspection)
         return record
 
-    def _capture(self, record: TrackedFile, content: bytes) -> None:
-        record.base_type = identify(content)
-        record.base_size = len(content)
-        if not self.digests_enabled:
-            record.base_digest = None
+    def _capture(self, record: TrackedFile, content: bytes,
+                 inspection: Optional[InspectionResult] = None) -> None:
+        if inspection is None:
+            inspection = self.inspect(content)
+        record.base_type = inspection.file_type
+        record.base_size = inspection.size
+        if self.backend == "sdhash":
+            record.base_digest = inspection.digest
             record.base_ctph = None
-        elif len(content) <= self.max_inspect_bytes:
-            if self.backend == "sdhash":
-                record.base_digest = _sdhash(content)
-            else:
-                record.base_ctph = ctph(content)
         else:
+            record.base_ctph = inspection.ctph
             record.base_digest = None
-            record.base_ctph = None
         record.has_baseline = True
 
-    def refresh_baseline(self, node_id: int, path: WinPath,
-                         content: bytes) -> TrackedFile:
-        """After an inspection, the new version becomes the baseline."""
+    def refresh_baseline(self, node_id: int, path: WinPath, content: bytes,
+                         inspection: Optional[InspectionResult] = None
+                         ) -> TrackedFile:
+        """After an inspection, the new version becomes the baseline.
+
+        Pass the close-time :class:`InspectionResult` to reuse its type
+        and digest — the single-digest close path — instead of paying for
+        a second identification and digest of the same bytes.
+        """
         record = self._by_node.get(node_id)
         if record is None:
             record = TrackedFile(node_id=node_id, path=path)
             self._by_node[node_id] = record
         record.path = path
         record.born_empty = False
-        self._capture(record, content)
+        self._capture(record, content, inspection)
         return record
 
     # -- moves -----------------------------------------------------------------
@@ -165,7 +314,9 @@ class FileStateCache:
 
         Node ids are stable for the lifetime of a VFS, so a restored cache
         keyed by them reconnects to the same files after a monitor
-        restart.
+        restart.  Digest-cache *entries* are deliberately excluded — only
+        the counters travel — so a restored engine can never act on a
+        stale cached inspection.
         """
         entries = []
         for node_id in sorted(self._by_node):
@@ -188,12 +339,14 @@ class FileStateCache:
                 "has_baseline": record.has_baseline,
                 "born_empty": record.born_empty,
             })
-        return {"backend": self.backend, "entries": entries}
+        return {"backend": self.backend, "entries": entries,
+                "digest_cache": self.digest_cache.counters()}
 
     def restore(self, state: dict) -> None:
         """Replace the cache contents with a :meth:`checkpoint` snapshot."""
-        from ..simhash.sdhash import SdDigest
         self._by_node.clear()
+        self.digest_cache.clear_entries()
+        self.digest_cache.load_stats(state.get("digest_cache", {}))
         for entry in state["entries"]:
             type_state = entry["base_type"]
             record = TrackedFile(

@@ -15,28 +15,45 @@ from __future__ import annotations
 from typing import Optional
 
 from ...simhash import compare, compare_signatures, ctph, sdhash
-from ..filestate import TrackedFile
+from ..filestate import InspectionResult, TrackedFile
 
 __all__ = ["similarity_score", "similarity_collapsed"]
 
 
 def similarity_score(record: TrackedFile, new_content: bytes,
-                     backend: str = "sdhash") -> Optional[int]:
+                     backend: str = "sdhash",
+                     inspection: Optional[InspectionResult] = None
+                     ) -> Optional[int]:
     """0–100 similarity of ``new_content`` to the record's baseline.
 
     None when either side has no digest (too small, never captured, or the
     file was born empty under the current writer).
+
+    ``inspection`` carries the close path's single
+    :class:`~..filestate.InspectionResult` for ``new_content`` so the
+    digest is not recomputed here.  When the inspection did *not* digest
+    (``digested`` is False — e.g. the buffer exceeded the inspection
+    ceiling), we fall back to digesting directly: the ceiling only caps
+    the *baseline* side, matching the pre-cache behaviour.
     """
     if not record.has_baseline or record.born_empty:
         return None
     if backend == "sdhash":
         if record.base_digest is None:
             return None
-        return compare(record.base_digest, sdhash(new_content))
+        if inspection is not None and inspection.digested:
+            new_digest = inspection.digest
+        else:
+            new_digest = sdhash(new_content)
+        return compare(record.base_digest, new_digest)
     if backend == "ctph":
         if record.base_ctph is None:
             return None
-        return compare_signatures(record.base_ctph, ctph(new_content))
+        if inspection is not None and inspection.digested:
+            new_sig = inspection.ctph
+        else:
+            new_sig = ctph(new_content)
+        return compare_signatures(record.base_ctph, new_sig)
     raise ValueError(f"unknown similarity backend {backend!r}")
 
 

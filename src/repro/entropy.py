@@ -25,11 +25,17 @@ __all__ = [
 ]
 
 
+def _as_bytes(data) -> bytes:
+    """Copy only non-bytes inputs (memoryview, bytearray); the engine's
+    read/write payloads are already immutable ``bytes``."""
+    return data if isinstance(data, bytes) else bytes(data)
+
+
 def shannon_entropy(data: bytes) -> float:
     """Shannon entropy of ``data`` in bits per byte (0.0 for empty input)."""
     if not data:
         return 0.0
-    counts = np.bincount(np.frombuffer(bytes(data), dtype=np.uint8),
+    counts = np.bincount(np.frombuffer(_as_bytes(data), dtype=np.uint8),
                          minlength=256)
     probs = counts[counts > 0] / len(data)
     return float(-(probs * np.log2(probs)).sum())
@@ -48,7 +54,7 @@ def corrected_entropy(data: bytes) -> float:
     """
     if not data:
         return 0.0
-    buf = np.frombuffer(bytes(data), dtype=np.uint8)
+    buf = np.frombuffer(_as_bytes(data), dtype=np.uint8)
     counts = np.bincount(buf, minlength=256)
     nonzero = counts[counts > 0]
     probs = nonzero / len(buf)
@@ -64,7 +70,7 @@ def windowed_entropy(data: bytes, window: int = 64, step: int = 16) -> np.ndarra
     scatter-add.  Returns an empty array when ``data`` is shorter than one
     window.
     """
-    buf = np.frombuffer(bytes(data), dtype=np.uint8)
+    buf = np.frombuffer(_as_bytes(data), dtype=np.uint8)
     if len(buf) < window:
         return np.zeros(0, dtype=np.float64)
     views = np.lib.stride_tricks.sliding_window_view(buf, window)[::step]
@@ -72,10 +78,12 @@ def windowed_entropy(data: bytes, window: int = 64, step: int = 16) -> np.ndarra
     rows = np.repeat(np.arange(n_windows, dtype=np.int64), window)
     flat = rows * 256 + views.ravel()
     counts = np.bincount(flat, minlength=n_windows * 256).reshape(n_windows, 256)
-    probs = counts / window
-    with np.errstate(divide="ignore", invalid="ignore"):
-        terms = np.where(probs > 0, probs * np.log2(probs), 0.0)
-    return -terms.sum(axis=1)
+    # count → p·log2(p) term table (counts are integers in [0, window]):
+    # identical float ops per term, but no log2 over a mostly-zero matrix
+    c = np.arange(1, window + 1, dtype=np.float64)
+    terms = np.zeros(window + 1, dtype=np.float64)
+    terms[1:] = (c / window) * np.log2(c / window)
+    return -terms[counts].sum(axis=1)
 
 
 def entropy_weight(entropy: float, n_bytes: int) -> float:

@@ -1,0 +1,110 @@
+"""Hot-path performance counters for the analysis engine.
+
+The ISSUE-2 benchmark harness (``make bench``) needs one structured view
+of everything the engine measures about its own cost: digest-cache
+traffic, the bytes it actually digested versus the bytes that passed
+through write-then-close inspections, and measured wall time per
+operation kind.  :func:`collect` snapshots those counters from a live
+:class:`~repro.core.engine.AnalysisEngine` (or a
+:class:`~repro.core.monitor.CryptoDropMonitor` wrapping one) into a
+:class:`PerfStats` that serialises cleanly into ``BENCH_2.json``.
+
+The headline invariant this module exists to verify is the
+**single-digest close path**: on a steady-state close-heavy workload,
+``bytes_digested`` stays at or below ``bytes_closed`` because each closed
+version is digested at most once (and repeat content not at all, thanks
+to the digest LRU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["PerfStats", "collect"]
+
+
+@dataclass
+class PerfStats:
+    """One snapshot of the engine's hot-path counters."""
+
+    #: digest LRU traffic (see repro.core.filestate.DigestCache)
+    digest_cache_hits: int = 0
+    digest_cache_misses: int = 0
+    digest_cache_evictions: int = 0
+    digest_cache_entries: int = 0
+    digest_cache_capacity: int = 0
+    #: content bytes the similarity backend actually digested
+    bytes_digested: int = 0
+    #: content bytes of every write-then-close inspection
+    bytes_closed: int = 0
+    #: content bytes of every inspection (baselines + closes)
+    bytes_inspected: int = 0
+    tracked_files: int = 0
+    detections: int = 0
+    #: operations handled, per kind
+    op_counts: Dict[str, int] = field(default_factory=dict)
+    #: measured post_operation wall time per kind, microseconds
+    op_wall_us: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        """Digest-cache hit rate in [0, 1]; 0.0 before any lookup."""
+        total = self.digest_cache_hits + self.digest_cache_misses
+        return self.digest_cache_hits / total if total else 0.0
+
+    @property
+    def single_digest_holds(self) -> bool:
+        """True when the close path digested no more than it closed.
+
+        Baseline captures also digest, so this is only meaningful on
+        workloads whose steady state is rewrite-then-close of content the
+        cache has already seen — exactly what the close-heavy bench runs.
+        """
+        return self.bytes_digested <= self.bytes_closed
+
+    def as_dict(self) -> dict:
+        return {
+            "digest_cache": {
+                "hits": self.digest_cache_hits,
+                "misses": self.digest_cache_misses,
+                "evictions": self.digest_cache_evictions,
+                "entries": self.digest_cache_entries,
+                "capacity": self.digest_cache_capacity,
+                "hit_rate": self.hit_rate,
+            },
+            "bytes_digested": self.bytes_digested,
+            "bytes_closed": self.bytes_closed,
+            "bytes_inspected": self.bytes_inspected,
+            "single_digest_holds": self.single_digest_holds,
+            "tracked_files": self.tracked_files,
+            "detections": self.detections,
+            "op_counts": dict(self.op_counts),
+            "op_wall_us": {k: round(v, 3)
+                           for k, v in self.op_wall_us.items()},
+        }
+
+
+def collect(engine) -> PerfStats:
+    """Snapshot :class:`PerfStats` from an engine or monitor.
+
+    Accepts either an :class:`~repro.core.engine.AnalysisEngine` or a
+    :class:`~repro.core.monitor.CryptoDropMonitor` (anything with an
+    ``engine`` attribute is unwrapped first).
+    """
+    engine = getattr(engine, "engine", engine)
+    cache_stats = engine.cache.digest_cache.stats()
+    return PerfStats(
+        digest_cache_hits=cache_stats["hits"],
+        digest_cache_misses=cache_stats["misses"],
+        digest_cache_evictions=cache_stats["evictions"],
+        digest_cache_entries=cache_stats["entries"],
+        digest_cache_capacity=cache_stats["capacity"],
+        bytes_digested=cache_stats["bytes_digested"],
+        bytes_closed=engine.bytes_closed,
+        bytes_inspected=engine.bytes_inspected,
+        tracked_files=len(engine.cache),
+        detections=len(engine.detections),
+        op_counts=dict(engine.op_counts),
+        op_wall_us=dict(engine.op_wall_us),
+    )

@@ -13,11 +13,37 @@ from typing import Iterable, List
 
 import numpy as np
 
-__all__ = ["BloomFilter", "FILTER_BITS", "BITS_PER_FEATURE", "MAX_FEATURES"]
+__all__ = ["BloomFilter", "FILTER_BITS", "BITS_PER_FEATURE", "MAX_FEATURES",
+           "feature_positions", "packed_popcount"]
 
 FILTER_BITS = 2048          # 256 bytes, as in sdhash
 BITS_PER_FEATURE = 5        # sdhash uses 5 sub-hashes per SHA-1 feature
 MAX_FEATURES = 160          # features per filter before chaining
+
+#: per-byte popcount lookup, the workhorse of batched digest comparison
+_POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)],
+                      dtype=np.uint16)
+
+
+def feature_positions(hashes: np.ndarray) -> np.ndarray:
+    """Bit positions for a batch of feature hashes, vectorised.
+
+    ``hashes`` is an ``(n, 20)`` uint8 array of SHA-1 digests; the result
+    is ``(n, BITS_PER_FEATURE)`` int64 positions, bit-identical to
+    :meth:`BloomFilter.positions` per row.  The five 11-bit slices occupy
+    the low 55 bits of the first-16-bytes big-endian integer, which live
+    entirely inside bytes 8..16 viewed as one big-endian uint64.
+    """
+    low = np.ascontiguousarray(hashes[:, 8:16]).view(">u8")
+    low = low.astype(np.uint64).reshape(-1)
+    shifts = np.arange(BITS_PER_FEATURE, dtype=np.uint64) * np.uint64(11)
+    return ((low[:, None] >> shifts[None, :])
+            & np.uint64(FILTER_BITS - 1)).astype(np.int64)
+
+
+def packed_popcount(packed: np.ndarray) -> np.ndarray:
+    """Popcount along the last axis of a uint8-packed bit array."""
+    return _POPCOUNT8[packed].sum(axis=-1, dtype=np.int64)
 
 
 class BloomFilter:
@@ -81,3 +107,16 @@ class BloomFilter:
         for feature_hash in hashes:
             filt.add(feature_hash)
         return filt
+
+    @classmethod
+    def from_position_rows(cls, rows: np.ndarray) -> "BloomFilter":
+        """Build a filter from ``(k, BITS_PER_FEATURE)`` precomputed
+        positions (one row per feature) in a single scatter."""
+        filt = cls()
+        filt.bits[rows.reshape(-1)] = True
+        filt.count = rows.shape[0]
+        return filt
+
+    def packed(self) -> np.ndarray:
+        """The bit array packed to 256 uint8 values (np.packbits order)."""
+        return np.packbits(self.bits)

@@ -27,6 +27,16 @@ Algorithm (faithful in shape, simplified in constants — see DESIGN.md):
   (≤ 160 features each),
 * compare digests filter-by-filter; the score is the mean of each filter's
   best match against the other digest, scaled to 0–100.
+
+Every stage past the SHA-1 calls is batched through NumPy: feature
+selection uses a sliding-window maximum instead of a per-candidate Python
+loop, Bloom bit positions are derived for all features at once, and
+:func:`compare` evaluates every filter pair through a packed uint64/uint8
+bit-matrix with table-driven popcounts.  The original per-feature /
+per-pair implementations are retained as :func:`sdhash_scalar`,
+:func:`compare_scalar`, and ``_select_features_scalar``; the golden
+equivalence tests (``tests/test_simhash_vectorised.py``) pin the two
+paths bit-identical, and ``make bench`` measures the gap.
 """
 
 from __future__ import annotations
@@ -36,10 +46,11 @@ from typing import List, Optional
 
 import numpy as np
 
-from .bloom import MAX_FEATURES, BloomFilter
+from .bloom import (FILTER_BITS, MAX_FEATURES, BloomFilter,
+                    feature_positions, packed_popcount)
 
 __all__ = ["SdDigest", "sdhash", "compare", "MIN_DIGEST_BYTES",
-           "WINDOW", "ANCHOR_MASK"]
+           "WINDOW", "ANCHOR_MASK", "sdhash_scalar", "compare_scalar"]
 
 WINDOW = 64
 #: anchor density: offsets where rolling-hash & ANCHOR_MASK == 0 (~1/16)
@@ -58,32 +69,53 @@ MIN_FEATURE_ENTROPY = 0.8
 POPULARITY_SPAN = 3
 
 
+def _as_bytes(data) -> bytes:
+    """Copy only non-bytes inputs (memoryview, bytearray)."""
+    return data if isinstance(data, bytes) else bytes(data)
+
+
 class SdDigest:
     """A chained-Bloom-filter similarity digest."""
 
-    __slots__ = ("filters", "n_features", "source_len")
+    __slots__ = ("filters", "n_features", "source_len", "_packed", "_pops")
 
     def __init__(self, filters: List[BloomFilter], n_features: int,
                  source_len: int) -> None:
         self.filters = filters
         self.n_features = n_features
         self.source_len = source_len
+        self._packed: Optional[np.ndarray] = None
+        self._pops: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return len(self.filters)
 
+    def packed_matrix(self) -> np.ndarray:
+        """All filters stacked as an ``(n_filters, 256)`` uint8 bit-matrix
+        (np.packbits order), built once and cached — what :func:`compare`
+        runs its all-pairs intersections over."""
+        if self._packed is None:
+            self._packed = np.stack([f.packed() for f in self.filters])
+        return self._packed
+
+    def popcounts(self) -> np.ndarray:
+        """Per-filter set-bit counts, cached alongside the packed matrix."""
+        if self._pops is None:
+            self._pops = packed_popcount(self.packed_matrix())
+        return self._pops
+
     def hexdigest(self) -> str:
         """Stable textual form (for logging / golden tests)."""
         h = hashlib.sha1()
-        for filt in self.filters:
-            h.update(np.packbits(filt.bits).tobytes())
+        for row in self.packed_matrix():
+            h.update(row.tobytes())
         return h.hexdigest()
 
     # -- checkpoint serialization (JSON-safe, exact) -------------------
 
     def to_state(self) -> dict:
         return {
-            "filters": [{"bits": np.packbits(f.bits).tobytes().hex(),
+            "filters": [{"bits": f.packed().tobytes().hex(),
                          "count": f.count} for f in self.filters],
             "n_features": self.n_features,
             "source_len": self.source_len,
@@ -107,29 +139,96 @@ def _anchor_positions(buf: np.ndarray) -> np.ndarray:
     """Content-defined window start offsets (shift-invariant)."""
     if len(buf) < WINDOW + 8:
         return np.zeros(0, dtype=np.int64)
-    # rolling value over each 8-byte context, via correlation with weights
-    contexts = np.lib.stride_tricks.sliding_window_view(buf, 8).astype(np.int64)
-    values = contexts @ _ANCHOR_WEIGHTS
+    # rolling value over each 8-byte context: eight shifted integer adds
+    # instead of materialising an (n, 8) context matrix — exact integer
+    # arithmetic, so the anchors are unchanged
+    b64 = buf.astype(np.int64)
+    n = len(buf) - 7
+    values = np.zeros(n, dtype=np.int64)
+    for k, weight in enumerate(_ANCHOR_WEIGHTS):
+        values += int(weight) * b64[k:k + n]
     # a window starting at offset i is anchored by the context ending at i-1
     starts = np.nonzero((values & ANCHOR_MASK) == 0)[0] + 8
     return starts[starts + WINDOW <= len(buf)]
 
 
+#: term table for window entropies: _ENTROPY_TERMS[c] equals the
+#: ``p * log2(p)`` term for a byte count of c out of WINDOW, computed with
+#: the same float ops the direct formula uses — looking it up instead of
+#: calling log2 on a mostly-zero (n, 256) matrix is what makes feature
+#: selection fast, while every summed term stays bit-identical.
+_ENTROPY_TERMS = np.zeros(WINDOW + 1, dtype=np.float64)
+_counts = np.arange(1, WINDOW + 1, dtype=np.float64)
+_ENTROPY_TERMS[1:] = (_counts / WINDOW) * np.log2(_counts / WINDOW)
+del _counts
+
+
+#: row-block size for the per-window histograms: keeps each scatter's
+#: working set (block × 256 int64 counts + the term gather) inside the
+#: CPU caches; rows are independent, so blocking cannot change a result.
+_ENTROPY_BLOCK = 512
+
+
+def _window_entropies(windows: np.ndarray) -> np.ndarray:
+    """Shannon entropy of each row of an ``(n, WINDOW)`` uint8 array."""
+    n = windows.shape[0]
+    out = np.empty(n, dtype=np.float64)
+    block = _ENTROPY_BLOCK
+    base = np.repeat(np.arange(min(n, block), dtype=np.int64), WINDOW) * 256
+    for lo in range(0, n, block):
+        hi = min(n, lo + block)
+        k = hi - lo
+        idx = base[:k * WINDOW] + windows[lo:hi].reshape(-1).astype(np.int64)
+        counts = np.bincount(idx, minlength=k * 256).reshape(k, 256)
+        out[lo:hi] = -_ENTROPY_TERMS[counts].sum(axis=1)
+    return out
+
+
+def _select_feature_windows(data: bytes) -> np.ndarray:
+    """The selected 64-byte windows of ``data`` as an ``(k, WINDOW)``
+    uint8 array (k may be 0), fully vectorised.
+
+    The popularity rule is a sliding-window maximum: a candidate survives
+    when its entropy strictly exceeds every earlier neighbour's (leftmost
+    tie wins) and is no lower than any later neighbour's.
+    """
+    buf = np.frombuffer(data, dtype=np.uint8)
+    starts = _anchor_positions(buf)
+    if starts.size == 0:
+        return np.zeros((0, WINDOW), dtype=np.uint8)
+    windows = np.lib.stride_tricks.sliding_window_view(buf, WINDOW)[starts]
+    entropies = _window_entropies(windows)
+    n = entropies.shape[0]
+    span = POPULARITY_SPAN
+    padded = np.full(n + 2 * span, -np.inf)
+    padded[span:span + n] = entropies
+    neigh = np.lib.stride_tricks.sliding_window_view(padded, 2 * span + 1)
+    left_max = neigh[:, :span].max(axis=1)
+    right_max = neigh[:, span:].max(axis=1)      # includes the candidate
+    keep = ((entropies >= MIN_FEATURE_ENTROPY)
+            & (entropies > left_max)
+            & (entropies >= right_max))
+    return np.ascontiguousarray(windows[keep])
+
+
 def _select_features(data: bytes) -> List[bytes]:
     """Pick characteristic 64-byte windows of ``data``."""
+    return [w.tobytes() for w in _select_feature_windows(_as_bytes(data))]
+
+
+def _select_features_scalar(data: bytes) -> List[bytes]:
+    """Scalar reference for the popularity-window selection loop.
+
+    Kept verbatim from the pre-vectorisation implementation; the golden
+    equivalence tests pin ``_select_features`` against it.
+    """
     buf = np.frombuffer(bytes(data), dtype=np.uint8)
     starts = _anchor_positions(buf)
     if starts.size == 0:
         return []
     windows = np.lib.stride_tricks.sliding_window_view(buf, WINDOW)[starts]
+    entropies = _window_entropies(windows)
     n = windows.shape[0]
-    rows = np.repeat(np.arange(n, dtype=np.int64), WINDOW)
-    counts = np.bincount(rows * 256 + windows.ravel().astype(np.int64),
-                         minlength=n * 256).reshape(n, 256)
-    probs = counts / WINDOW
-    with np.errstate(divide="ignore", invalid="ignore"):
-        terms = np.where(probs > 0, probs * np.log2(probs), 0.0)
-    entropies = -terms.sum(axis=1)
     eligible = entropies >= MIN_FEATURE_ENTROPY
     features: List[bytes] = []
     for idx in range(n):
@@ -149,10 +248,29 @@ def _select_features(data: bytes) -> List[bytes]:
 
 def sdhash(data: bytes) -> Optional[SdDigest]:
     """Digest ``data``; returns None when the input is too small to score."""
+    data = _as_bytes(data)
+    if len(data) < MIN_DIGEST_BYTES:
+        return None
+    windows = _select_feature_windows(data)
+    n = windows.shape[0]
+    if n < MIN_FEATURES:
+        return None
+    sha1 = hashlib.sha1
+    raw = b"".join([sha1(w).digest() for w in windows])
+    hashes = np.frombuffer(raw, dtype=np.uint8).reshape(n, 20)
+    positions = feature_positions(hashes)
+    filters = [BloomFilter.from_position_rows(positions[i:i + MAX_FEATURES])
+               for i in range(0, n, MAX_FEATURES)]
+    return SdDigest(filters, n, len(data))
+
+
+def sdhash_scalar(data: bytes) -> Optional[SdDigest]:
+    """Scalar reference digest path (per-feature hash + ``BloomFilter.add``
+    loop) — for golden equivalence tests and ``make bench`` only."""
     data = bytes(data)
     if len(data) < MIN_DIGEST_BYTES:
         return None
-    features = _select_features(data)
+    features = _select_features_scalar(data)
     if len(features) < MIN_FEATURES:
         return None
     filters: List[BloomFilter] = [BloomFilter()]
@@ -163,11 +281,54 @@ def sdhash(data: bytes) -> Optional[SdDigest]:
     return SdDigest(filters, len(features), len(data))
 
 
+def _ordered(a: SdDigest, b: SdDigest) -> tuple:
+    """The (small, large) pair, independent of argument order.
+
+    The score averages best-matches over the *smaller* digest's filters.
+    When both digests hold the same number of filters that choice is
+    ambiguous, so ties break on digest content (feature count, then
+    hexdigest) rather than argument position — making ``compare``
+    symmetric: ``compare(a, b) == compare(b, a)``.
+    """
+    if len(a) != len(b):
+        return (a, b) if len(a) < len(b) else (b, a)
+    if a.n_features != b.n_features:
+        return (a, b) if a.n_features < b.n_features else (b, a)
+    return (a, b) if a.hexdigest() <= b.hexdigest() else (b, a)
+
+
 def compare(a: Optional[SdDigest], b: Optional[SdDigest]) -> Optional[int]:
-    """sdhash confidence score 0–100; None when either digest is missing."""
+    """sdhash confidence score 0–100; None when either digest is missing.
+
+    All filter pairs are evaluated in one batched pass over the two
+    digests' packed bit-matrices; the arithmetic mirrors
+    :meth:`BloomFilter.similarity` operation for operation, so scores are
+    bit-identical to :func:`compare_scalar`.
+    """
     if a is None or b is None:
         return None
-    small, large = (a, b) if len(a) <= len(b) else (b, a)
+    small, large = _ordered(a, b)
+    inter = packed_popcount(small.packed_matrix()[:, None, :]
+                            & large.packed_matrix()[None, :, :])
+    pa = small.popcounts()[:, None]
+    pb = large.popcounts()[None, :]
+    expected = pa * pb / FILTER_BITS
+    max_overlap = np.minimum(pa, pb)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        raw = (inter - expected) / (max_overlap - expected)
+        sim = np.where((pa == 0) | (pb == 0) | (max_overlap <= expected),
+                       0.0, np.clip(raw, 0.0, 1.0))
+    scores = sim.max(axis=1).tolist()
+    return int(round(100 * sum(scores) / len(scores)))
+
+
+def compare_scalar(a: Optional[SdDigest],
+                   b: Optional[SdDigest]) -> Optional[int]:
+    """Scalar reference comparison (per-pair ``BloomFilter.similarity``
+    loop) — for golden equivalence tests and ``make bench`` only."""
+    if a is None or b is None:
+        return None
+    small, large = _ordered(a, b)
     scores = []
     for filt in small.filters:
         best = max(filt.similarity(other) for other in large.filters)

@@ -80,19 +80,35 @@ class CtphSignature:
 
 
 def _hash_pass(data: bytes, blocksize: int) -> Tuple[str, str]:
-    roll = _RollingHash()
+    # The rolling hash is inlined (same arithmetic as _RollingHash.update)
+    # — one method call per input byte is the difference between this pass
+    # being bearable and not on multi-megabyte ablation corpora.
+    h1 = h2 = h3 = 0
+    window = bytearray(_RollingHash.WINDOW)
+    wsize = _RollingHash.WINDOW
+    pos = 0
     fnv1 = _FNV_OFFSET
     fnv2 = _FNV_OFFSET
     sig1 = []
     sig2 = []
+    bs2 = blocksize * 2
+    cap1 = SPAMSUM_LENGTH - 1
+    cap2 = SPAMSUM_LENGTH // 2 - 1
     for byte in data:
         fnv1 = ((fnv1 * _FNV_PRIME) ^ byte) & 0xFFFFFFFF
         fnv2 = ((fnv2 * _FNV_PRIME) ^ byte) & 0xFFFFFFFF
-        rh = roll.update(byte)
-        if rh % blocksize == blocksize - 1 and len(sig1) < SPAMSUM_LENGTH - 1:
+        slot = pos % wsize
+        oldest = window[slot]
+        h2 = (h2 - h1 + wsize * byte) & 0xFFFFFFFF
+        h1 = (h1 + byte - oldest) & 0xFFFFFFFF
+        window[slot] = byte
+        pos += 1
+        h3 = ((h3 << 5) ^ byte) & 0xFFFFFFFF
+        rh = (h1 + h2 + h3) & 0xFFFFFFFF
+        if rh % blocksize == blocksize - 1 and len(sig1) < cap1:
             sig1.append(_B64[fnv1 & 63])
             fnv1 = _FNV_OFFSET
-        if rh % (blocksize * 2) == blocksize * 2 - 1 and len(sig2) < SPAMSUM_LENGTH // 2 - 1:
+        if rh % bs2 == bs2 - 1 and len(sig2) < cap2:
             sig2.append(_B64[fnv2 & 63])
             fnv2 = _FNV_OFFSET
     sig1.append(_B64[fnv1 & 63])
@@ -102,7 +118,8 @@ def _hash_pass(data: bytes, blocksize: int) -> Tuple[str, str]:
 
 def ctph(data: bytes) -> Optional[CtphSignature]:
     """Compute a CTPH signature; None for inputs too small to be useful."""
-    data = bytes(data)
+    if not isinstance(data, bytes):
+        data = bytes(data)
     if len(data) < MIN_INPUT:
         return None
     blocksize = MIN_BLOCKSIZE

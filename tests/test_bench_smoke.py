@@ -1,0 +1,115 @@
+"""Structural smoke pass over the ``make bench`` harness (ISSUE 2).
+
+Runs the benchmark harness at smoke scale — seconds, not minutes — and
+checks the report's shape, the single-digest invariant, the headline
+speedups, and the regression comparator's accept/reject logic.  Full
+numbers live in the committed ``BENCH_2.json`` (regenerate with
+``make bench``, gate with ``make bench-check``).
+"""
+
+import copy
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from check_regression import compare_reports
+from run_bench import main as run_bench_main
+from run_bench import run as run_bench
+
+pytestmark = pytest.mark.benchmarks
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_bench(smoke=True)
+
+
+class TestReportShape:
+    def test_hot_paths_named_and_positive(self, report):
+        for name in ("sdhash_digest", "compare_batched",
+                     "close_heavy_campaign"):
+            assert report["hot_paths"][name]["seconds"] > 0
+
+    def test_counters_present(self, report):
+        counters = report["counters"]
+        assert counters["bytes_closed"] > 0
+        assert counters["digest_cache"]["hits"] > 0
+        assert counters["op_counts"]["close"] > 0
+        assert counters["op_wall_us"]["close"] > 0
+
+    def test_json_serialisable(self, report):
+        json.dumps(report)
+
+
+class TestInvariantsAndSpeedups:
+    def test_single_digest_invariant(self, report):
+        assert report["invariants"]["bytes_digested_le_bytes_closed"]
+        counters = report["counters"]
+        assert counters["bytes_digested"] <= counters["bytes_closed"]
+
+    def test_close_path_speedup(self, report):
+        # ISSUE 2 target: ≥2x on close-heavy campaigns (cache on vs off)
+        assert report["speedups"]["close_path_cached_vs_uncached"] >= 2.0
+
+    def test_compare_speedup(self, report):
+        # smoke scale uses fewer filters than the ≥5x/32-filter bar the
+        # full bench pins (benchmarks/bench_compare_batch.py); even so the
+        # batched path must already win
+        assert report["speedups"]["compare_batched_vs_scalar"] >= 2.0
+
+    def test_digest_vectorisation_wins(self, report):
+        assert report["speedups"]["sdhash_vectorised_vs_scalar"] >= 1.5
+
+
+class TestComparator:
+    def test_no_regression_against_self(self, report):
+        assert compare_reports(report, report) == []
+
+    def test_detects_slowdown(self, report):
+        slow = copy.deepcopy(report)
+        entry = slow["hot_paths"]["sdhash_digest"]
+        entry["seconds"] *= 2.0
+        regs = compare_reports(report, slow, threshold=0.25)
+        assert [r[0] for r in regs] == ["sdhash_digest"]
+
+    def test_tolerates_slowdown_below_threshold(self, report):
+        slow = copy.deepcopy(report)
+        slow["hot_paths"]["sdhash_digest"]["seconds"] *= 1.10
+        assert compare_reports(report, slow, threshold=0.25) == []
+
+    def test_speedup_never_fails(self, report):
+        fast = copy.deepcopy(report)
+        for entry in fast["hot_paths"].values():
+            entry["seconds"] *= 0.5
+        assert compare_reports(report, fast) == []
+
+    def test_new_paths_ignored(self, report):
+        grown = copy.deepcopy(report)
+        grown["hot_paths"]["brand_new_bench"] = {"seconds": 1.0}
+        assert compare_reports(report, grown) == []
+
+    def test_scale_mismatch_rejected(self, report):
+        full = copy.deepcopy(report)
+        full["scale"] = "full"
+        with pytest.raises(ValueError):
+            compare_reports(report, full)
+
+
+class TestCli:
+    def test_writes_report_and_exits_zero(self, tmp_path):
+        out = tmp_path / "bench.json"
+        assert run_bench_main(["--smoke", "--output", str(out)]) == 0
+        written = json.loads(out.read_text())
+        assert written["scale"] == "smoke"
+
+    def test_committed_baseline_matches_schema(self, report):
+        baseline_path = Path(__file__).resolve().parent.parent / "BENCH_2.json"
+        baseline = json.loads(baseline_path.read_text())
+        assert baseline["schema"] == report["schema"]
+        assert baseline["scale"] == "full"
+        assert set(report["hot_paths"]) <= set(baseline["hot_paths"])
+        assert baseline["invariants"]["bytes_digested_le_bytes_closed"]

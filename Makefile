@@ -1,10 +1,15 @@
-# Convenience entry points.  Tier-1 is plain `make test`; the chaos
+# Convenience entry points.  Tier-1 is plain `make test`; `make verify`
+# is the full pre-merge gate (tests + bench regression check); the chaos
 # suite (fault injection, worker kills, crash/resume) can be run on its
 # own while iterating on robustness work.
 
 PYTEST = PYTHONPATH=src python -m pytest -x -q
 
-.PHONY: test unit chaos bench bench-check
+.PHONY: verify test unit chaos bench bench-check
+
+# the default pre-merge gate: tier-1 tests, then the hot-path regression
+# check against the newest committed BENCH_<N>.json
+verify: test bench-check
 
 test:
 	$(PYTEST)
@@ -17,7 +22,7 @@ unit:
 chaos:
 	$(PYTEST) -m chaos tests/test_chaos.py tests/test_faults.py
 
-# full hot-path benchmark harness → BENCH_2.json (see docs/performance.md)
+# full hot-path benchmark harness → BENCH_3.json (see docs/performance.md)
 bench:
 	PYTHONPATH=src python benchmarks/run_bench.py
 	PYTHONPATH=src:benchmarks python -m pytest -q \
@@ -25,7 +30,7 @@ bench:
 		benchmarks/bench_compare_batch.py
 
 # regression gate: rerun the harness and fail on >25% hot-path slowdown
-# against the committed BENCH_2.json baseline
+# against the newest committed BENCH_<N>.json baseline
 bench-check:
-	PYTHONPATH=src python benchmarks/run_bench.py --output /tmp/BENCH_2.current.json
-	python benchmarks/check_regression.py --current /tmp/BENCH_2.current.json
+	PYTHONPATH=src python benchmarks/run_bench.py --output /tmp/BENCH_3.current.json
+	python benchmarks/check_regression.py --current /tmp/BENCH_3.current.json

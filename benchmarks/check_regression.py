@@ -1,9 +1,13 @@
-"""Compare a fresh ``BENCH_2.json`` against the committed baseline.
+"""Compare a fresh bench report against the committed baseline.
 
 ``make bench-check`` runs the harness into a scratch file and calls this
 script; it exits non-zero when any named hot path regressed more than the
 threshold (default 25%) against the baseline, printing a per-path table
 either way.  Speedups getting *faster* never fail the check.
+
+The baseline defaults to the newest committed ``BENCH_<N>.json`` (highest
+``N``), so landing a new bench generation retargets the gate without
+touching this script; ``--baseline`` still pins an explicit file.
 
 Scales must match: comparing a ``--smoke`` run against a full-scale
 baseline is meaningless and is rejected up front.
@@ -13,11 +17,24 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 
-DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_2.json"
+REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_THRESHOLD = 0.25
+
+
+def newest_baseline(root: Path = REPO_ROOT) -> Path:
+    """The committed ``BENCH_<N>.json`` with the highest generation."""
+    generations = []
+    for path in root.glob("BENCH_*.json"):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+        if match:
+            generations.append((int(match.group(1)), path))
+    if not generations:
+        raise FileNotFoundError(f"no BENCH_<N>.json baseline in {root}")
+    return max(generations)[1]
 
 
 def compare_reports(baseline: dict, current: dict,
@@ -50,13 +67,16 @@ def compare_reports(baseline: dict, current: dict,
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline report (default: newest committed "
+                             "BENCH_<N>.json)")
     parser.add_argument("--current", type=Path, required=True)
     parser.add_argument("--threshold", type=float,
                         default=DEFAULT_THRESHOLD,
                         help="fractional slowdown that fails (0.25 = 25%%)")
     args = parser.parse_args(argv)
-    baseline = json.loads(args.baseline.read_text())
+    baseline_path = args.baseline or newest_baseline()
+    baseline = json.loads(baseline_path.read_text())
     current = json.loads(args.current.read_text())
     try:
         regressions = compare_reports(baseline, current, args.threshold)

@@ -1,4 +1,4 @@
-"""Hot-path benchmark harness → ``BENCH_2.json``.
+"""Hot-path benchmark harness → ``BENCH_3.json``.
 
 Times the engine's performance-critical paths directly (no pytest
 overhead) and writes a machine-comparable JSON report:
@@ -8,19 +8,25 @@ overhead) and writes a machine-comparable JSON report:
   build when any of them slows down more than 25% against the committed
   baseline.
 * ``speedups`` — vectorised-vs-scalar ratios for the sdhash digest and
-  the batched all-pairs compare, plus cached-vs-uncached ratio for the
-  close-heavy engine campaign.
+  the batched all-pairs compare, cached-vs-uncached for the close-heavy
+  engine campaign, and store-vs-BENCH_2-era-path for the campaign
+  throughput sweep (the ISSUE-3 headline: shared BaselineStore + lazy
+  close digests versus per-sample eager digesting).
 * ``counters`` — the perfstats snapshot of the close-heavy campaign,
   including the single-digest invariant (bytes digested ≤ bytes closed).
+* ``campaign`` — throughput and merged engine counters for the
+  store-backed campaign sweep, plus the one-time store build cost.
 
 Run via ``make bench`` (full scale) or with ``--smoke`` for a seconds-long
 structural pass (used by the tier-1 smoke test; smoke numbers are not
-comparable to a full-scale baseline).
+comparable to a full-scale baseline and the ≥3× throughput gate only
+applies at full scale).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import platform
 import random
@@ -30,15 +36,24 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.corpus.builder import generate
+from repro.corpus.spec import default_spec
 from repro.corpus.wordlists import paragraphs
 from repro.core import CryptoDropConfig, CryptoDropMonitor
 from repro.fs import DOCUMENTS, VirtualFileSystem
 from repro.perfstats import collect
+from repro.ransomware import instantiate
+from repro.ransomware.factory import working_cohort
+from repro.sandbox import (VirtualMachine, run_campaign,
+                           run_campaign_parallel, store_for_config)
 from repro.simhash.sdhash import (compare, compare_scalar, sdhash,
                                   sdhash_scalar)
 
-DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_2.json"
-SCHEMA_VERSION = 2
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_3.json"
+SCHEMA_VERSION = 3
+
+#: minimum store-vs-eager campaign speedup gated at full scale
+CAMPAIGN_SPEEDUP_FLOOR = 3.0
 
 
 def _text(seed: int, approx_bytes: int) -> bytes:
@@ -104,17 +119,156 @@ def close_heavy_campaign(n_files: int, rewrites: int, payload: int,
     return elapsed, stats
 
 
+# -- campaign throughput (ISSUE 3) ----------------------------------------
+
+
+def _bench_corpus(n_files: int, n_dirs: int):
+    """A large-file corpus for the throughput sweep.
+
+    Every document is pushed above the samples' pure-Python cipher
+    cutoff, so the workload cost is dominated by the detector's digest
+    path — the thing the BaselineStore exists to amortise — rather than
+    by toy-cipher arithmetic on small payloads.
+    """
+    spec = default_spec()
+    big = dataclasses.replace(
+        spec, types=[dataclasses.replace(t, median_bytes=327680,
+                                         min_bytes=262144,
+                                         max_bytes=524288)
+                     for t in spec.types])
+    return generate(seed=977, n_files=n_files, n_dirs=n_dirs, spec=big)
+
+
+def _bench_cohort(total: int):
+    """A deterministic class-C/delete cohort of ``total`` samples.
+
+    Class C with delete disposal (read original → write ciphertext to a
+    new file → delete original) is the paper's third behaviour class,
+    and it is the shape where the store + lazy digests pay most:
+    pristine reads resolve from the store, and the ciphertext drops are
+    write-once files whose digests are never needed — so the BENCH_2-era
+    path's per-file digest pair is eliminated outright, not just
+    halved.  The 25 working (C, delete) profiles are cycled to fill the
+    cohort; each slot is freshly instantiated by the caller so repeated
+    profiles don't share sample state across runs.
+    """
+    deleters = [s.profile for s in working_cohort(base_seed=0)
+                if s.profile.behavior_class == "C"
+                and s.profile.class_c_disposal == "delete"]
+    return [deleters[i % len(deleters)] for i in range(total)]
+
+
+def _result_fingerprint(campaign) -> list:
+    """The detection outcome of every sample, order-sensitive."""
+    return [(r.sample_name, r.detected, r.files_lost, round(r.score, 6),
+             r.union_fired, sorted(r.flags)) for r in campaign.results]
+
+
+def campaign_throughput(n_files: int, n_dirs: int, cohort: int,
+                        rounds: int) -> dict:
+    """Store-backed lazy campaign vs the BENCH_2-era path, plus the
+    parallel executor as an identity cross-check.
+
+    The BENCH_2-era leg is the exact pre-ISSUE-3 configuration: no
+    baseline store, eager close digests.  Detection results must be
+    bit-identical across all three legs.
+    """
+    corpus = _bench_corpus(n_files, n_dirs)
+    profiles = _bench_cohort(cohort)
+    eager = CryptoDropConfig(lazy_close_digests=False)
+    lazy = CryptoDropConfig()
+
+    def fresh():
+        return [instantiate(p) for p in profiles]
+
+    build_started = time.perf_counter()
+    store = store_for_config(corpus, lazy)
+    store_build_s = time.perf_counter() - build_started
+
+    legs = {}
+
+    def bench2_leg():
+        legs["bench2"] = run_campaign(fresh(), corpus, eager,
+                                      use_baseline_store=False)
+        return legs["bench2"]
+
+    def store_leg():
+        legs["store"] = run_campaign(fresh(), corpus, lazy,
+                                     use_baseline_store=True)
+        return legs["store"]
+
+    bench2_s = _best_seconds(bench2_leg, rounds)
+    store_s = _best_seconds(store_leg, rounds)
+    legs["parallel"] = run_campaign_parallel(
+        fresh(), corpus, lazy, workers=2, use_baseline_store=True)
+
+    fingerprints = {name: _result_fingerprint(result)
+                    for name, result in legs.items()}
+    identical = (fingerprints["bench2"] == fingerprints["store"]
+                 == fingerprints["parallel"])
+
+    perf = legs["store"].perf_stats()
+    return {
+        "seconds_store": store_s,
+        "seconds_bench2_path": bench2_s,
+        "speedup": bench2_s / store_s,
+        "samples": cohort,
+        "corpus_files": len(corpus.files),
+        "store_build_seconds": round(store_build_s, 6),
+        "store_entries": len(store),
+        "results_identical": identical,
+        "samples_per_second": round(cohort / store_s, 3),
+        "store_hits": perf["digest_cache"]["store_hits"],
+        "store_misses": perf["digest_cache"]["store_misses"],
+        "deferred_digests": perf["deferred_digests"],
+        "bytes_digested": perf["bytes_digested"],
+        "workers_parallel_leg": legs["parallel"].perf["workers"],
+    }
+
+
+def untouched_corpus_digest_bytes(n_files: int, n_dirs: int,
+                                  rewrites: int = 2) -> int:
+    """Bytes digested by a store-backed monitor over rewrite-same traffic.
+
+    Every open→read→rewrite-identical→close cycle on a pristine corpus
+    file should resolve both its baseline capture and its close
+    inspection from the BaselineStore, so this returns 0 when the store
+    path works.
+    """
+    corpus = _bench_corpus(n_files, n_dirs)
+    config = CryptoDropConfig()
+    store = store_for_config(corpus, config)
+    machine = VirtualMachine(corpus, baseline_store=store)
+    monitor = CryptoDropMonitor(machine.vfs, config,
+                                baseline_store=store).attach()
+    pid = machine.vfs.processes.spawn("editor.exe").pid
+    paths = [machine.docs_root.joinpath(*(row.rel_dir + (row.name,)))
+             for row in corpus.files]
+    for _ in range(rewrites):
+        for path in paths:
+            handle = machine.vfs.open(pid, path, "rw")
+            data = machine.vfs.read(pid, handle)
+            machine.vfs.seek(pid, handle, 0)
+            machine.vfs.write(pid, handle, data)
+            machine.vfs.close(pid, handle)
+    stats = collect(monitor)
+    monitor.detach()
+    return stats.bytes_digested
+
+
 def run(smoke: bool = False) -> dict:
     if smoke:
         digest_payload = 32 * 1024
         repeats, scalar_repeats = 3, 2
         n_filters = 8
         campaign = dict(n_files=6, rewrites=3, payload=24 * 1024)
+        throughput = dict(n_files=8, n_dirs=4, cohort=6, rounds=1)
     else:
         digest_payload = 128 * 1024
         repeats, scalar_repeats = 9, 3
         n_filters = 32
         campaign = dict(n_files=24, rewrites=6, payload=48 * 1024)
+        throughput = dict(n_files=36, n_dirs=10, cohort=50, rounds=2)
 
     payload = _text(3, digest_payload)
     hot_paths = {}
@@ -147,7 +301,27 @@ def run(smoke: bool = False) -> dict:
     hot_paths["close_heavy_campaign"] = cached_s
     speedups["close_path_cached_vs_uncached"] = uncached_s / cached_s
 
+    sweep = campaign_throughput(**throughput)
+    hot_paths["campaign_throughput"] = sweep["seconds_store"]
+    speedups["campaign_store_vs_bench2_path"] = sweep["speedup"]
+    untouched_bytes = untouched_corpus_digest_bytes(
+        n_files=throughput["n_files"] // 2, n_dirs=throughput["n_dirs"])
+
     counters = stats.as_dict()
+    invariants = {
+        # single-digest close path: steady-state closes never digest
+        # more than they close
+        "bytes_digested_le_bytes_closed": counters["single_digest_holds"],
+        "digest_cache_hits_positive": counters["digest_cache"]["hits"] > 0,
+        # ISSUE 3: detection outcomes are independent of store/laziness/
+        # parallelism, and a store-backed monitor digests nothing for
+        # untouched corpus content
+        "campaign_results_identical": sweep["results_identical"],
+        "store_untouched_bytes_digested_zero": untouched_bytes == 0,
+    }
+    if not smoke:
+        invariants["campaign_speedup_ge_3"] = (
+            sweep["speedup"] >= CAMPAIGN_SPEEDUP_FLOOR)
     return {
         "schema": SCHEMA_VERSION,
         "scale": "smoke" if smoke else "full",
@@ -158,14 +332,60 @@ def run(smoke: bool = False) -> dict:
         "speedups": {name: round(ratio, 2)
                      for name, ratio in speedups.items()},
         "counters": counters,
-        "invariants": {
-            # single-digest close path: steady-state closes never digest
-            # more than they close
-            "bytes_digested_le_bytes_closed": counters["single_digest_holds"],
-            "digest_cache_hits_positive": counters["digest_cache"]["hits"] > 0,
-        },
+        "campaign": {k: v for k, v in sweep.items()
+                     if k not in ("seconds_store",)},
+        "invariants": invariants,
         "filters_compared": len(big_a),
     }
+
+
+def validate_report(report: dict) -> list:
+    """Structural schema check; returns a list of problems (empty = ok).
+
+    Guards the report shape the regression gate and the docs rely on,
+    without pinning machine-dependent numbers.
+    """
+    problems = []
+
+    def need(cond, what):
+        if not cond:
+            problems.append(what)
+
+    need(report.get("schema") == SCHEMA_VERSION,
+         f"schema != {SCHEMA_VERSION}")
+    need(report.get("scale") in ("smoke", "full"), "bad scale")
+    hot_paths = report.get("hot_paths", {})
+    for name in ("sdhash_digest", "compare_batched", "close_heavy_campaign",
+                 "campaign_throughput"):
+        entry = hot_paths.get(name)
+        need(isinstance(entry, dict)
+             and isinstance(entry.get("seconds"), (int, float))
+             and entry.get("seconds", -1) > 0,
+             f"hot_paths[{name}] missing or non-positive")
+    speedups = report.get("speedups", {})
+    for name in ("sdhash_vectorised_vs_scalar", "compare_batched_vs_scalar",
+                 "close_path_cached_vs_uncached",
+                 "campaign_store_vs_bench2_path"):
+        need(isinstance(speedups.get(name), (int, float)),
+             f"speedups[{name}] missing")
+    campaign = report.get("campaign", {})
+    for name in ("seconds_bench2_path", "speedup", "samples",
+                 "corpus_files", "store_build_seconds", "store_entries",
+                 "results_identical", "samples_per_second", "store_hits",
+                 "store_misses", "deferred_digests", "bytes_digested"):
+        need(name in campaign, f"campaign[{name}] missing")
+    invariants = report.get("invariants", {})
+    for name in ("bytes_digested_le_bytes_closed",
+                 "digest_cache_hits_positive",
+                 "campaign_results_identical",
+                 "store_untouched_bytes_digested_zero"):
+        need(isinstance(invariants.get(name), bool),
+             f"invariants[{name}] missing")
+    if report.get("scale") == "full":
+        need(isinstance(invariants.get("campaign_speedup_ge_3"), bool),
+             "invariants[campaign_speedup_ge_3] missing at full scale")
+    need(isinstance(report.get("counters"), dict), "counters missing")
+    return problems
 
 
 def main(argv=None) -> int:
@@ -177,6 +397,7 @@ def main(argv=None) -> int:
                              "to a full-scale baseline)")
     args = parser.parse_args(argv)
     report = run(smoke=args.smoke)
+    problems = validate_report(report)
     args.output.write_text(json.dumps(report, indent=2, sort_keys=True)
                            + "\n")
     print(f"wrote {args.output}")
@@ -184,7 +405,13 @@ def main(argv=None) -> int:
         print(f"  {name:28s} {entry['seconds'] * 1000:9.3f} ms")
     for name, ratio in sorted(report["speedups"].items()):
         print(f"  {name:36s} {ratio:6.2f}x")
-    ok = all(report["invariants"].values())
+    sweep = report["campaign"]
+    print(f"  campaign: {sweep['samples']} samples, "
+          f"{sweep['samples_per_second']:.2f}/s, "
+          f"store build {sweep['store_build_seconds'] * 1000:.1f} ms")
+    ok = all(report["invariants"].values()) and not problems
+    for problem in problems:
+        print(f"  schema problem: {problem}")
     print(f"  invariants: {'OK' if ok else 'VIOLATED'}")
     return 0 if ok else 1
 

@@ -6,10 +6,13 @@ shared corpus with per-sample VM revert, then prints the Table-I-style
 family breakdown, the Fig.-3 files-lost distribution, the Fig.-5
 extension frequencies, and the §V-B2 union accounting.
 
-Run:  python examples/campaign_survey.py [--full]
+Run:  python examples/campaign_survey.py [--full] [--perf]
 
 ``--full`` runs the complete 492-sample cohort on the 5,099-file corpus
 (a few minutes of CPU); the default is a faithful small-scale pass.
+``--perf`` appends the campaign's aggregated engine counters (digest
+cache and BaselineStore traffic, bytes digested, throughput — see
+docs/performance.md).
 """
 
 import argparse
@@ -18,10 +21,36 @@ from repro.experiments import (FULL, SMALL, campaign_at_scale, run_fig3,
                                run_fig5, run_table1, run_union_effect)
 
 
+def print_perf(campaign) -> None:
+    """The campaign's merged per-sample engine counters, human-readable."""
+    perf = campaign.perf_stats()
+    cache = perf.get("digest_cache", {})
+    print("campaign performance")
+    print(f"  samples              {perf.get('samples', 0)}")
+    if perf.get("wall_seconds"):
+        print(f"  wall seconds         {perf['wall_seconds']:.2f}")
+        print(f"  samples/second       {perf['samples_per_second']:.2f}")
+        print(f"  workers              {perf.get('workers', 1)}")
+    store = perf.get("baseline_store")
+    if store:
+        print(f"  baseline store       {store['entries']} entries "
+              f"({store['backend']}, fingerprint {store['fingerprint']})")
+    print(f"  digest cache         {cache.get('hits', 0)} hits / "
+          f"{cache.get('misses', 0)} misses "
+          f"({cache.get('hit_rate', 0.0):.0%})")
+    print(f"  store hits/misses    {cache.get('store_hits', 0)} / "
+          f"{cache.get('store_misses', 0)}")
+    print(f"  deferred digests     {perf.get('deferred_digests', 0)}")
+    print(f"  bytes digested       {perf.get('bytes_digested', 0):,}")
+    print(f"  bytes inspected      {perf.get('bytes_inspected', 0):,}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--full", action="store_true",
                         help="run the complete 492-sample cohort")
+    parser.add_argument("--perf", action="store_true",
+                        help="also print aggregated engine perf counters")
     args = parser.parse_args()
     scale = FULL if args.full else SMALL
 
@@ -36,6 +65,9 @@ def main() -> None:
     print(run_fig5(scale, campaign=campaign).render())
     print()
     print(run_union_effect(scale, campaign=campaign).render())
+    if args.perf:
+        print()
+        print_perf(campaign)
 
 
 if __name__ == "__main__":

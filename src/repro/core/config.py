@@ -106,6 +106,18 @@ class CryptoDropConfig:
     #: LRU entries in the content-hash digest cache (0 disables caching);
     #: hits skip re-identifying and re-digesting bytes already inspected
     digest_cache_entries: int = 256
+    #: defer baseline/close digests until a comparison first consumes
+    #: them — captures that are never compared (deleted originals,
+    #: born-under-the-writer files) then never digest at all.  Scoring is
+    #: bit-identical either way (a digest is a pure function of content);
+    #: turn off to bound per-record memory on very long-lived monitors.
+    lazy_close_digests: bool = True
+
+    # -- campaign execution ----------------------------------------------------
+    #: worker processes for parallel campaigns; 0 means one per CPU.
+    #: (The old hard cap of 8 existed because each worker held its own
+    #: corpus digests — the shared BaselineStore removed that cost.)
+    campaign_workers: int = 0
     latency: LatencyModel = field(default_factory=LatencyModel)
 
     def with_overrides(self, **kwargs) -> "CryptoDropConfig":

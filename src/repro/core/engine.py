@@ -61,7 +61,8 @@ class AnalysisEngine(FilterDriver):
 
     def __init__(self, vfs: VirtualFileSystem,
                  config: Optional[CryptoDropConfig] = None,
-                 policy: Optional[AlertPolicy] = None) -> None:
+                 policy: Optional[AlertPolicy] = None,
+                 baseline_store=None) -> None:
         self.vfs = vfs
         self.config = config or CryptoDropConfig()
         self.policy = policy or SuspendPolicy()
@@ -69,10 +70,15 @@ class AnalysisEngine(FilterDriver):
         self.cache = FileStateCache(self.config.similarity_backend,
                                     self.config.max_inspect_bytes,
                                     digests_enabled=self.config.enable_similarity,
-                                    digest_cache_entries=self.config.digest_cache_entries)
+                                    digest_cache_entries=self.config.digest_cache_entries,
+                                    baseline_store=baseline_store,
+                                    defer_digests=self.config.lazy_close_digests)
         self.detections: List[Detection] = []
         self._proc: Dict[int, _ProcessState] = {}
         self._whitelist: set = set()
+        #: funneling memo: node_id → identified type name for offset-0
+        #: reads of untracked nodes (invalidated on write/delete)
+        self._read_type_memo: Dict[int, str] = {}
         self._pending_cost_us = 0.0
         self.op_counts: Dict[str, int] = {}
         self.bytes_inspected = 0
@@ -198,7 +204,14 @@ class AnalysisEngine(FilterDriver):
             if record is not None and record.base_type is not None:
                 type_name = record.base_type.name
             elif op.offset == 0:
-                type_name = identify(op.data).name
+                # Untracked node: identify once per node, not per read —
+                # sweeps that re-read the same unprotected file repeatedly
+                # (viewers, AV-style scans) pay identify() exactly once.
+                type_name = self._read_type_memo.get(op.node_id)
+                if type_name is None:
+                    type_name = identify(op.data).name
+                    if op.node_id is not None:
+                        self._read_type_memo[op.node_id] = type_name
             if type_name and state.funnel.on_read_type(type_name):
                 self._apply(op, IndicatorHit(
                     "funneling", self.config.funnel_points,
@@ -208,6 +221,9 @@ class AnalysisEngine(FilterDriver):
         lat = self.config.latency
         self._pending_cost_us += (lat.write_base_us
                                   + lat.write_per_kb_us * op.size / 1024.0)
+        if op.node_id is not None and self._read_type_memo:
+            # the node's content is changing — its memoised type is stale
+            self._read_type_memo.pop(op.node_id, None)
         if not op.data:
             return
         state = self._state(op.pid)
@@ -247,6 +263,8 @@ class AnalysisEngine(FilterDriver):
         if op.node_id is None or op.dest_path is None:
             return
         clobbered_id = op.dest_node_id if op.dest_existed else None
+        if clobbered_id is not None and self._read_type_memo:
+            self._read_type_memo.pop(clobbered_id, None)
         clobbered_tracked = (clobbered_id is not None
                              and self.cache.is_tracked(clobbered_id))
         record = self.cache.on_rename(op.node_id, op.dest_path, clobbered_id)
@@ -272,6 +290,8 @@ class AnalysisEngine(FilterDriver):
 
     def _on_delete(self, op: FsOperation) -> None:
         self._pending_cost_us += self.config.latency.delete_us
+        if op.node_id is not None and self._read_type_memo:
+            self._read_type_memo.pop(op.node_id, None)
         was_tracked = self.cache.is_tracked(op.node_id)
         self.cache.on_delete(op.node_id)
         if was_tracked or self.config.is_protected(op.path):
@@ -286,12 +306,25 @@ class AnalysisEngine(FilterDriver):
         """Close/link-time comparison of the new version to the baseline.
 
         The single-digest close path: ``cache.inspect`` types and digests
-        the content exactly once (through the digest LRU), and that one
-        :class:`InspectionResult` feeds both the similarity comparison and
-        the baseline refresh below.
+        the content exactly once (through the corpus BaselineStore and
+        the digest LRU), and that one :class:`InspectionResult` feeds both
+        the similarity comparison and the baseline refresh below.  With
+        lazy digests the digest is requested only when this close will
+        actually compare against a digestable baseline; otherwise the new
+        version's digest is deferred until something consumes it.
         """
         state = self._state(op.pid)
-        inspection = self.cache.inspect(content)
+        comparing = (record.has_baseline and not record.born_empty
+                     and self.config.enable_similarity)
+        if comparing:
+            # the baseline side must exist before we can know whether the
+            # new version's digest will be consumed
+            self.cache.materialise_baseline(record)
+        want_digest = (not self.config.lazy_close_digests
+                       or (comparing
+                           and (record.base_digest is not None
+                                or record.base_ctph is not None)))
+        inspection = self.cache.inspect(content, want_digest=want_digest)
         new_type = inspection.file_type
         self.bytes_inspected += len(content)
         self._charge_inspection(len(content))

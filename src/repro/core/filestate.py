@@ -58,6 +58,11 @@ class TrackedFile:
     has_baseline: bool = False
     #: True if this node was newly created by the writer (no prior version)
     born_empty: bool = False
+    #: baseline bytes retained by a deferred capture — the digest is a
+    #: pure function of content, so it can be materialised lazily the
+    #: first time a comparison actually needs it (and never, for the
+    #: common delete/overwrite-without-compare flows)
+    pending_content: Optional[bytes] = None
 
 
 @dataclass
@@ -68,7 +73,10 @@ class InspectionResult:
     the content (False when digests are disabled or the buffer exceeds
     the inspection ceiling) — consumers use it to distinguish "digest is
     None because the content cannot score" from "digest was never
-    attempted".
+    attempted".  ``deferred`` marks the lazy-digest variant: the content
+    *could* be digested but no consumer needed it yet; holders keep the
+    bytes and materialise through :meth:`FileStateCache.inspect` on first
+    use.
     """
 
     file_type: FileType
@@ -76,6 +84,7 @@ class InspectionResult:
     ctph: Optional[CtphSignature]
     size: int
     digested: bool
+    deferred: bool = False
 
 
 class DigestCache:
@@ -90,7 +99,8 @@ class DigestCache:
     """
 
     __slots__ = ("capacity", "hits", "misses", "evictions",
-                 "bytes_digested", "_entries")
+                 "bytes_digested", "store_hits", "store_misses", "deferred",
+                 "_entries")
 
     def __init__(self, capacity: int = 256) -> None:
         self.capacity = max(0, int(capacity))
@@ -98,6 +108,12 @@ class DigestCache:
         self.misses = 0
         self.evictions = 0
         self.bytes_digested = 0
+        #: lookups resolved from an attached corpus BaselineStore
+        self.store_hits = 0
+        #: lookups that probed an attached store and fell through
+        self.store_misses = 0
+        #: inspections whose digest was deferred (lazy close path)
+        self.deferred = 0
         self._entries: "OrderedDict[bytes, InspectionResult]" = OrderedDict()
 
     def __len__(self) -> int:
@@ -138,6 +154,9 @@ class DigestCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "bytes_digested": self.bytes_digested,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+            "deferred": self.deferred,
         }
 
     def stats(self) -> dict:
@@ -148,6 +167,9 @@ class DigestCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "bytes_digested": self.bytes_digested,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
+            "deferred": self.deferred,
         }
 
     def load_stats(self, state: dict) -> None:
@@ -155,6 +177,9 @@ class DigestCache:
         self.misses = int(state.get("misses", 0))
         self.evictions = int(state.get("evictions", 0))
         self.bytes_digested = int(state.get("bytes_digested", 0))
+        self.store_hits = int(state.get("store_hits", 0))
+        self.store_misses = int(state.get("store_misses", 0))
+        self.deferred = int(state.get("deferred", 0))
 
 
 class FileStateCache:
@@ -163,7 +188,9 @@ class FileStateCache:
     def __init__(self, backend: str = "sdhash",
                  max_inspect_bytes: int = 4 * 1024 * 1024,
                  digests_enabled: bool = True,
-                 digest_cache_entries: int = 256) -> None:
+                 digest_cache_entries: int = 256,
+                 baseline_store=None,
+                 defer_digests: bool = False) -> None:
         if backend not in ("sdhash", "ctph"):
             raise ValueError(f"unknown similarity backend {backend!r}")
         self.backend = backend
@@ -172,6 +199,22 @@ class FileStateCache:
         #: entirely (type identification is kept — it is cheap)
         self.digests_enabled = digests_enabled
         self.digest_cache = DigestCache(digest_cache_entries)
+        #: read-only corpus BaselineStore consulted before digesting; must
+        #: have been built under the same parameters, or its results would
+        #: differ from live inspection (bit-identical scoring contract)
+        if baseline_store is not None and not baseline_store.compatible_with(
+                backend, max_inspect_bytes, digests_enabled):
+            raise ValueError(
+                "baseline store was built with different similarity "
+                f"parameters ({baseline_store.backend}, "
+                f"{baseline_store.max_inspect_bytes}, "
+                f"digests={baseline_store.digests_enabled}) than this "
+                f"cache ({backend}, {max_inspect_bytes}, "
+                f"digests={digests_enabled})")
+        self.baseline_store = baseline_store
+        #: lazy close path: baseline captures keep the bytes and digest
+        #: only when a comparison first needs them
+        self.defer_digests = defer_digests
         self._by_node: Dict[int, TrackedFile] = {}
 
     def __len__(self) -> int:
@@ -185,33 +228,57 @@ class FileStateCache:
 
     # -- inspection ------------------------------------------------------------
 
-    def inspect(self, content: bytes) -> InspectionResult:
-        """Identify and digest ``content`` once, through the LRU cache."""
+    def inspect(self, content: bytes,
+                want_digest: bool = True) -> InspectionResult:
+        """Identify and digest ``content`` once, through store + LRU.
+
+        Resolution order: digest LRU (content already inspected by this
+        engine) → attached :class:`~repro.corpus.baselines.BaselineStore`
+        (pristine corpus content, digested once per corpus) → live
+        inspection.  With ``want_digest=False`` a live inspection defers
+        the digest: the result is type-and-size only, flagged
+        ``deferred``, and never cached — callers retain the bytes and
+        re-inspect when a comparison actually needs the digest.
+        """
         if not isinstance(content, bytes):
             content = bytes(content)
+        dc = self.digest_cache
         key = None
-        if self.digest_cache.capacity > 0:
-            key = self.digest_cache.key(content)
-            found = self.digest_cache.get(key)
+        if dc.capacity > 0 or self.baseline_store is not None:
+            key = dc.key(content)
+        if dc.capacity > 0:
+            found = dc.get(key)
             if found is not None:
+                # cached results are always final (digested, or
+                # permanently undigestable) — valid for any want_digest
                 return found
         else:
-            self.digest_cache.misses += 1
+            dc.misses += 1
+        if self.baseline_store is not None:
+            entry = self.baseline_store.get(key)
+            if entry is not None:
+                dc.store_hits += 1
+                return entry
+            dc.store_misses += 1
         file_type = identify(content)
+        can_digest = (self.digests_enabled
+                      and len(content) <= self.max_inspect_bytes)
+        if can_digest and not want_digest:
+            dc.deferred += 1
+            return InspectionResult(file_type, None, None, len(content),
+                                    digested=False, deferred=True)
         digest: Optional[SdDigest] = None
         sig: Optional[CtphSignature] = None
-        digested = False
-        if self.digests_enabled and len(content) <= self.max_inspect_bytes:
-            digested = True
-            self.digest_cache.bytes_digested += len(content)
+        if can_digest:
+            dc.bytes_digested += len(content)
             if self.backend == "sdhash":
                 digest = _sdhash(content)
             else:
                 sig = ctph(content)
         result = InspectionResult(file_type, digest, sig, len(content),
-                                  digested)
-        if key is not None:
-            self.digest_cache.put(key, result)
+                                  can_digest)
+        if key is not None and dc.capacity > 0:
+            dc.put(key, result)
         return result
 
     # -- lifecycle -----------------------------------------------------------
@@ -239,16 +306,39 @@ class FileStateCache:
     def _capture(self, record: TrackedFile, content: bytes,
                  inspection: Optional[InspectionResult] = None) -> None:
         if inspection is None:
-            inspection = self.inspect(content)
+            # With lazy digests on, a capture defers the digest: most
+            # captured baselines are never compared (files that are
+            # deleted, renamed away, or born under the writer), and the
+            # store/LRU still short-circuits the deferral for known bytes.
+            inspection = self.inspect(content,
+                                      want_digest=not self.defer_digests)
         record.base_type = inspection.file_type
         record.base_size = inspection.size
+        if inspection.deferred:
+            record.base_digest = None
+            record.base_ctph = None
+            record.pending_content = content
+        else:
+            record.pending_content = None
+            if self.backend == "sdhash":
+                record.base_digest = inspection.digest
+                record.base_ctph = None
+            else:
+                record.base_ctph = inspection.ctph
+                record.base_digest = None
+        record.has_baseline = True
+
+    def materialise_baseline(self, record: TrackedFile) -> None:
+        """Digest a deferred baseline now (first comparison needs it)."""
+        content = record.pending_content
+        if content is None:
+            return
+        record.pending_content = None
+        inspection = self.inspect(content, want_digest=True)
         if self.backend == "sdhash":
             record.base_digest = inspection.digest
-            record.base_ctph = None
         else:
             record.base_ctph = inspection.ctph
-            record.base_digest = None
-        record.has_baseline = True
 
     def refresh_baseline(self, node_id: int, path: WinPath, content: bytes,
                          inspection: Optional[InspectionResult] = None
@@ -284,14 +374,16 @@ class FileStateCache:
         clobbered = (self._by_node.pop(clobbered_node_id, None)
                      if clobbered_node_id is not None else None)
         if clobbered is not None and clobbered.has_baseline and not clobbered.born_empty:
-            # Link: the incoming node inherits the overwritten baseline.
+            # Link: the incoming node inherits the overwritten baseline
+            # (including a not-yet-materialised deferred one).
             inherited = TrackedFile(
                 node_id=node_id, path=dest,
                 base_type=clobbered.base_type,
                 base_digest=clobbered.base_digest,
                 base_ctph=clobbered.base_ctph,
                 base_size=clobbered.base_size,
-                has_baseline=True, born_empty=False)
+                has_baseline=True, born_empty=False,
+                pending_content=clobbered.pending_content)
             self._by_node[node_id] = inherited
             return inherited
         if moved is not None:
@@ -316,11 +408,16 @@ class FileStateCache:
         keyed by them reconnects to the same files after a monitor
         restart.  Digest-cache *entries* are deliberately excluded — only
         the counters travel — so a restored engine can never act on a
-        stale cached inspection.
+        stale cached inspection.  Deferred baselines are materialised
+        first (pending bytes never serialise), and an attached
+        :class:`~repro.corpus.baselines.BaselineStore` is referenced by
+        its descriptor (corpus seed + fingerprint), never embedded.
         """
         entries = []
         for node_id in sorted(self._by_node):
             record = self._by_node[node_id]
+            if record.pending_content is not None:
+                self.materialise_baseline(record)
             base_type = record.base_type
             entries.append({
                 "node_id": record.node_id,
@@ -340,10 +437,21 @@ class FileStateCache:
                 "born_empty": record.born_empty,
             })
         return {"backend": self.backend, "entries": entries,
-                "digest_cache": self.digest_cache.counters()}
+                "digest_cache": self.digest_cache.counters(),
+                "baseline_store": (None if self.baseline_store is None
+                                   else self.baseline_store.describe())}
 
     def restore(self, state: dict) -> None:
         """Replace the cache contents with a :meth:`checkpoint` snapshot."""
+        descriptor = state.get("baseline_store")
+        if descriptor is not None and self.baseline_store is not None \
+                and descriptor.get("fingerprint") != \
+                self.baseline_store.fingerprint:
+            raise ValueError(
+                "checkpoint references baseline store "
+                f"{descriptor.get('fingerprint')!r} (corpus seed "
+                f"{descriptor.get('seed')!r}) but this cache has store "
+                f"{self.baseline_store.fingerprint!r} attached")
         self._by_node.clear()
         self.digest_cache.clear_entries()
         self.digest_cache.load_stats(state.get("digest_cache", {}))

@@ -38,6 +38,16 @@ def similarity_score(record: TrackedFile, new_content: bytes,
     """
     if not record.has_baseline or record.born_empty:
         return None
+    if record.pending_content is not None:
+        # A lazily captured baseline nobody has materialised yet (the
+        # engine materialises through its cache first, so this only
+        # triggers for standalone callers).  Digests are pure functions
+        # of content, so computing here is bit-identical.
+        pending, record.pending_content = record.pending_content, None
+        if backend == "sdhash":
+            record.base_digest = sdhash(pending)
+        elif backend == "ctph":
+            record.base_ctph = ctph(pending)
     if backend == "sdhash":
         if record.base_digest is None:
             return None

@@ -32,11 +32,13 @@ class CryptoDropMonitor:
 
     def __init__(self, vfs: VirtualFileSystem,
                  config: Optional[CryptoDropConfig] = None,
-                 policy: Optional[AlertPolicy] = None) -> None:
+                 policy: Optional[AlertPolicy] = None,
+                 baseline_store=None) -> None:
         self.vfs = vfs
         self.config = config or CryptoDropConfig()
         self.engine = AnalysisEngine(vfs, self.config,
-                                     policy or SuspendPolicy())
+                                     policy or SuspendPolicy(),
+                                     baseline_store=baseline_store)
         self._attached = False
 
     # -- lifecycle -----------------------------------------------------------
@@ -72,15 +74,18 @@ class CryptoDropMonitor:
     @classmethod
     def from_checkpoint(cls, vfs: VirtualFileSystem, state: dict,
                         config: Optional[CryptoDropConfig] = None,
-                        policy: Optional[AlertPolicy] = None
-                        ) -> "CryptoDropMonitor":
+                        policy: Optional[AlertPolicy] = None,
+                        baseline_store=None) -> "CryptoDropMonitor":
         """A new (detached) monitor resumed from a :meth:`checkpoint`.
 
         The restored monitor scores exactly as the checkpointed one would
         have: same reputations, same union flags, same baselines.  Attach
-        it to the same VFS (node ids must match) to continue a run.
+        it to the same VFS (node ids must match) to continue a run.  A
+        checkpoint taken with a corpus BaselineStore attached records the
+        store's descriptor; restoring with a *different* store attached is
+        rejected (the baselines would not match the referenced corpus).
         """
-        monitor = cls(vfs, config, policy)
+        monitor = cls(vfs, config, policy, baseline_store=baseline_store)
         monitor.engine.restore(state)
         return monitor
 

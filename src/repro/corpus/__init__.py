@@ -7,6 +7,7 @@
 """
 
 from . import content
+from .baselines import BaselineEntry, BaselineStore, content_key
 from .builder import (PAPER_DIRS, PAPER_FILES, CorpusFile, GeneratedCorpus,
                       build_corpus, generate, plant)
 from .profiles import PROFILE_NAMES, profile_spec
@@ -16,9 +17,10 @@ from .wordlists import (FILE_STEMS, FOLDER_NAMES, WORDS, file_stem,
                         paragraph, paragraphs, sentence, title_words)
 
 __all__ = [
-    "CorpusFile", "CorpusSpec", "FILE_STEMS", "FOLDER_NAMES",
+    "BaselineEntry", "BaselineStore", "CorpusFile", "CorpusSpec",
+    "FILE_STEMS", "FOLDER_NAMES",
     "GeneratedCorpus", "PAPER_DIRS", "PAPER_FILES", "PROFILE_NAMES",
-    "TypeSpec", "WORDS", "profile_spec",
+    "TypeSpec", "WORDS", "content_key", "profile_spec",
     "build_corpus", "build_tree", "content", "default_spec", "file_stem",
     "generate", "paragraph", "paragraphs", "plant", "sentence",
     "title_words",

@@ -1,0 +1,187 @@
+"""Precomputed corpus baseline index — digest the corpus once, share it.
+
+The paper's evaluation (§V-A) runs thousands of sample cycles against the
+*same* planted corpus; every cycle starts a fresh engine whose first touch
+of each document re-derives the identical baseline (magic type, sdhash
+digest, entropy) from identical bytes.  :class:`BaselineStore` amortises
+that: after ``generate()``, the whole corpus is digested exactly once into
+an immutable content-keyed index that every engine — and, via fork
+inheritance, every campaign worker process — resolves first-touch
+baselines from instead of re-digesting.
+
+Keys are the same 16-byte BLAKE2b content hashes the engine's
+:class:`~repro.core.filestate.DigestCache` uses, so the store composes
+with the single-digest close path: content the store has never seen (new
+files, already-mutated versions) simply misses and falls back to live
+digesting.
+
+Entries are immutable and shared — :class:`BaselineEntry` deliberately
+exposes the same attribute surface as
+:class:`~repro.core.filestate.InspectionResult` (``file_type``,
+``digest``, ``ctph``, ``size``, ``digested``) so a store hit can be
+consumed anywhere an inspection result is expected, with zero copying.
+
+Checkpoints never embed store entries: :meth:`BaselineStore.describe`
+yields a small descriptor (corpus seed, parameters, content fingerprint)
+that a restored engine validates against its own attached store.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from hashlib import blake2b
+from typing import Dict, Optional
+
+from ..entropy import corrected_entropy
+from ..magic import FileType, identify
+from ..simhash import sdhash as _sdhash
+from ..simhash.sdhash import SdDigest
+from ..simhash.ssdeep import CtphSignature, ctph
+
+__all__ = ["BaselineEntry", "BaselineStore", "content_key"]
+
+
+def content_key(content: bytes) -> bytes:
+    """16-byte BLAKE2b content hash — identical to ``DigestCache.key``."""
+    return blake2b(content, digest_size=16).digest()
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One corpus file's precomputed first-touch baseline.
+
+    Duck-types :class:`~repro.core.filestate.InspectionResult` (plus the
+    corrected Shannon entropy of the pristine bytes), so engines can use
+    a store hit directly as the inspection of that content.
+    """
+
+    file_type: FileType
+    digest: Optional[SdDigest]
+    ctph: Optional[CtphSignature]
+    size: int
+    entropy: float
+    digested: bool
+
+    #: a store entry is always fully materialised, never lazily pending
+    deferred: bool = False
+
+
+class BaselineStore:
+    """Immutable content-key → :class:`BaselineEntry` index of a corpus.
+
+    Built once per (corpus, similarity parameters) via :meth:`build`;
+    lookups are single dict probes.  The store records the parameters it
+    was digested under (``backend``, ``max_inspect_bytes``,
+    ``digests_enabled``) so consumers can refuse a store that would
+    yield different digests than live inspection — bit-identical scoring
+    between store-backed and store-less runs is the contract.
+    """
+
+    __slots__ = ("seed", "backend", "max_inspect_bytes", "digests_enabled",
+                 "total_bytes", "build_seconds", "_entries", "_fingerprint")
+
+    def __init__(self, seed: int, backend: str, max_inspect_bytes: int,
+                 digests_enabled: bool,
+                 entries: Dict[bytes, BaselineEntry],
+                 total_bytes: int = 0, build_seconds: float = 0.0) -> None:
+        self.seed = seed
+        self.backend = backend
+        self.max_inspect_bytes = max_inspect_bytes
+        self.digests_enabled = digests_enabled
+        self.total_bytes = total_bytes
+        self.build_seconds = build_seconds
+        self._entries = entries
+        self._fingerprint: Optional[str] = None
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(cls, corpus, backend: str = "sdhash",
+              max_inspect_bytes: int = 4 * 1024 * 1024,
+              digests_enabled: bool = True) -> "BaselineStore":
+        """Digest every distinct content blob of ``corpus`` once."""
+        if backend not in ("sdhash", "ctph"):
+            raise ValueError(f"unknown similarity backend {backend!r}")
+        started = time.perf_counter()
+        entries: Dict[bytes, BaselineEntry] = {}
+        total = 0
+        for content in corpus.contents.values():
+            key = content_key(content)
+            if key in entries:
+                continue
+            file_type = identify(content)
+            digest: Optional[SdDigest] = None
+            sig: Optional[CtphSignature] = None
+            digested = False
+            if digests_enabled and len(content) <= max_inspect_bytes:
+                digested = True
+                total += len(content)
+                if backend == "sdhash":
+                    digest = _sdhash(content)
+                else:
+                    sig = ctph(content)
+            entries[key] = BaselineEntry(
+                file_type, digest, sig, len(content),
+                corrected_entropy(content), digested)
+        return cls(corpus.seed, backend, max_inspect_bytes, digests_enabled,
+                   entries, total_bytes=total,
+                   build_seconds=time.perf_counter() - started)
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[BaselineEntry]:
+        return self._entries.get(key)
+
+    def lookup_content(self, content: bytes) -> Optional[BaselineEntry]:
+        return self._entries.get(content_key(content))
+
+    def entropy_of(self, content: bytes) -> Optional[float]:
+        entry = self.lookup_content(content)
+        return None if entry is None else entry.entropy
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._entries
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable hash of the key set + parameters (checkpoint identity)."""
+        if self._fingerprint is None:
+            h = blake2b(digest_size=8)
+            h.update(f"{self.seed}|{self.backend}|{self.max_inspect_bytes}|"
+                     f"{self.digests_enabled}|{len(self._entries)}".encode())
+            for key in sorted(self._entries):
+                h.update(key)
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
+
+    def describe(self) -> dict:
+        """Checkpoint-safe descriptor: identity, never entries."""
+        return {
+            "seed": self.seed,
+            "backend": self.backend,
+            "max_inspect_bytes": self.max_inspect_bytes,
+            "digests_enabled": self.digests_enabled,
+            "entries": len(self._entries),
+            "fingerprint": self.fingerprint,
+        }
+
+    def compatible_with(self, backend: str, max_inspect_bytes: int,
+                        digests_enabled: bool) -> bool:
+        """Would this store return the same results as live inspection?"""
+        return (self.backend == backend
+                and self.max_inspect_bytes == max_inspect_bytes
+                and self.digests_enabled == digests_enabled)
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "total_bytes": self.total_bytes,
+            "build_seconds": round(self.build_seconds, 6),
+            "backend": self.backend,
+        }

@@ -56,10 +56,35 @@ class GeneratedCorpus:
     dirs: List[Tuple[str, ...]]
     files: List[CorpusFile]
     contents: Dict[str, bytes] = field(repr=False, default_factory=dict)
+    #: memoised BaselineStore per (backend, max_inspect_bytes,
+    #: digests_enabled) — the corpus is immutable once generated, so each
+    #: parameter set needs digesting exactly once per process
+    _stores: Dict[tuple, object] = field(repr=False, compare=False,
+                                         default_factory=dict)
 
     @property
     def total_bytes(self) -> int:
         return sum(f.size for f in self.files)
+
+    def baseline_store(self, backend: str = "sdhash",
+                       max_inspect_bytes: int = 4 * 1024 * 1024,
+                       digests_enabled: bool = True):
+        """The (cached) precomputed first-touch baseline index.
+
+        Building digests the whole corpus once; campaigns running many
+        samples against this corpus resolve pristine-content baselines
+        from the returned :class:`~repro.corpus.baselines.BaselineStore`
+        instead of re-digesting per sample.
+        """
+        from .baselines import BaselineStore
+        key = (backend, max_inspect_bytes, digests_enabled)
+        store = self._stores.get(key)
+        if store is None:
+            store = BaselineStore.build(self, backend=backend,
+                                        max_inspect_bytes=max_inspect_bytes,
+                                        digests_enabled=digests_enabled)
+            self._stores[key] = store
+        return store
 
     def files_by_type(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}

@@ -39,20 +39,28 @@ class OpKind(enum.Enum):
 
     @property
     def latency_key(self) -> str:
-        return {
-            OpKind.CREATE: "create",
-            OpKind.OPEN: "open",
-            OpKind.READ: "read",
-            OpKind.WRITE: "write",
-            OpKind.CLOSE: "close",
-            OpKind.RENAME: "rename",
-            OpKind.DELETE: "delete",
-            OpKind.TRUNCATE: "write",
-            OpKind.SET_ATTR: "other",
-            OpKind.LIST_DIR: "list",
-            OpKind.STAT: "stat",
-            OpKind.MKDIR: "create",
-        }[self]
+        # resolved via a per-member attribute installed below: this runs
+        # three times per simulated operation, so it must not rebuild a
+        # mapping (or even hash an enum member) on each call
+        return self._latency_key
+
+
+for _kind, _key in {
+        OpKind.CREATE: "create",
+        OpKind.OPEN: "open",
+        OpKind.READ: "read",
+        OpKind.WRITE: "write",
+        OpKind.CLOSE: "close",
+        OpKind.RENAME: "rename",
+        OpKind.DELETE: "delete",
+        OpKind.TRUNCATE: "write",
+        OpKind.SET_ATTR: "other",
+        OpKind.LIST_DIR: "list",
+        OpKind.STAT: "stat",
+        OpKind.MKDIR: "create",
+}.items():
+    _kind._latency_key = _key
+del _kind, _key
 
 
 class Decision(enum.Enum):

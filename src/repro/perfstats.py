@@ -19,9 +19,9 @@ to the digest LRU).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Iterable
 
-__all__ = ["PerfStats", "collect"]
+__all__ = ["PerfStats", "collect", "merge_perf_dicts"]
 
 
 @dataclass
@@ -34,6 +34,12 @@ class PerfStats:
     digest_cache_evictions: int = 0
     digest_cache_entries: int = 0
     digest_cache_capacity: int = 0
+    #: lookups resolved from the shared corpus BaselineStore
+    store_hits: int = 0
+    #: lookups that probed an attached store and fell through
+    store_misses: int = 0
+    #: inspections whose digest was deferred (lazy close path)
+    deferred_digests: int = 0
     #: content bytes the similarity backend actually digested
     bytes_digested: int = 0
     #: content bytes of every write-then-close inspection
@@ -72,7 +78,10 @@ class PerfStats:
                 "entries": self.digest_cache_entries,
                 "capacity": self.digest_cache_capacity,
                 "hit_rate": self.hit_rate,
+                "store_hits": self.store_hits,
+                "store_misses": self.store_misses,
             },
+            "deferred_digests": self.deferred_digests,
             "bytes_digested": self.bytes_digested,
             "bytes_closed": self.bytes_closed,
             "bytes_inspected": self.bytes_inspected,
@@ -100,6 +109,9 @@ def collect(engine) -> PerfStats:
         digest_cache_evictions=cache_stats["evictions"],
         digest_cache_entries=cache_stats["entries"],
         digest_cache_capacity=cache_stats["capacity"],
+        store_hits=cache_stats["store_hits"],
+        store_misses=cache_stats["store_misses"],
+        deferred_digests=cache_stats["deferred"],
         bytes_digested=cache_stats["bytes_digested"],
         bytes_closed=engine.bytes_closed,
         bytes_inspected=engine.bytes_inspected,
@@ -108,3 +120,50 @@ def collect(engine) -> PerfStats:
         op_counts=dict(engine.op_counts),
         op_wall_us=dict(engine.op_wall_us),
     )
+
+
+def merge_perf_dicts(dicts: Iterable[dict]) -> dict:
+    """Sum per-sample :meth:`PerfStats.as_dict` payloads into one view.
+
+    Counters add across samples; ``capacity`` takes the maximum (it is a
+    configuration value, not traffic), the hit rate is recomputed from
+    the summed traffic, and the single-digest invariant holds only if it
+    held for every contributing sample.
+    """
+    dicts = [d for d in dicts if d]
+    cache = {"hits": 0, "misses": 0, "evictions": 0, "entries": 0,
+             "capacity": 0, "store_hits": 0, "store_misses": 0}
+    merged = {
+        "samples": len(dicts),
+        "digest_cache": cache,
+        "deferred_digests": 0,
+        "bytes_digested": 0,
+        "bytes_closed": 0,
+        "bytes_inspected": 0,
+        "single_digest_holds": True,
+        "tracked_files": 0,
+        "detections": 0,
+        "op_counts": {},
+        "op_wall_us": {},
+    }
+    for entry in dicts:
+        sub = entry.get("digest_cache", {})
+        for key in ("hits", "misses", "evictions", "entries",
+                    "store_hits", "store_misses"):
+            cache[key] += int(sub.get(key, 0))
+        cache["capacity"] = max(cache["capacity"],
+                                int(sub.get("capacity", 0)))
+        for key in ("deferred_digests", "bytes_digested", "bytes_closed",
+                    "bytes_inspected", "tracked_files", "detections"):
+            merged[key] += int(entry.get(key, 0))
+        merged["single_digest_holds"] &= bool(
+            entry.get("single_digest_holds", True))
+        for kind, count in entry.get("op_counts", {}).items():
+            merged["op_counts"][kind] = \
+                merged["op_counts"].get(kind, 0) + count
+        for kind, wall in entry.get("op_wall_us", {}).items():
+            merged["op_wall_us"][kind] = round(
+                merged["op_wall_us"].get(kind, 0.0) + wall, 3)
+    total = cache["hits"] + cache["misses"]
+    cache["hit_rate"] = cache["hits"] / total if total else 0.0
+    return merged

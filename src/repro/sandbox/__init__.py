@@ -1,6 +1,7 @@
 """Cuckoo-sandbox substitute: VM, per-sample revert cycles, campaigns."""
 
-from .campaign import CampaignResult, cull_haul, run_campaign
+from .campaign import (CampaignResult, cull_haul, run_campaign,
+                       store_for_config)
 from .journal import CampaignJournal
 from .machine import ExecutionContext, RunOutcome, VirtualMachine
 from .parallel import run_campaign_parallel
@@ -11,5 +12,6 @@ __all__ = [
     "BenignResult", "CampaignJournal", "CampaignResult", "ExecutionContext",
     "RunOutcome", "SampleResult", "VirtualMachine", "cull_haul",
     "errored_result", "run_benign", "run_campaign", "run_campaign_parallel",
+    "store_for_config",
     "run_sample",
 ]

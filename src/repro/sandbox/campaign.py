@@ -9,15 +9,28 @@ and the union-indication accounting (§V-B2).
 from __future__ import annotations
 
 import statistics
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.config import CryptoDropConfig
 from ..corpus.builder import GeneratedCorpus, generate
+from ..perfstats import merge_perf_dicts
 from .machine import VirtualMachine
 from .runner import SampleResult, run_sample
 
-__all__ = ["CampaignResult", "run_campaign", "cull_haul"]
+__all__ = ["CampaignResult", "run_campaign", "cull_haul",
+           "store_for_config"]
+
+
+def store_for_config(corpus: GeneratedCorpus,
+                     config: Optional[CryptoDropConfig]):
+    """The corpus's (cached) BaselineStore matching a detector config."""
+    config = config or CryptoDropConfig()
+    return corpus.baseline_store(
+        backend=config.similarity_backend,
+        max_inspect_bytes=config.max_inspect_bytes,
+        digests_enabled=config.enable_similarity)
 
 ProgressFn = Callable[[int, int, SampleResult], None]
 
@@ -27,6 +40,18 @@ class CampaignResult:
     """Aggregated outcome of one cohort sweep."""
 
     results: List[SampleResult] = field(default_factory=list)
+    #: campaign-level execution counters (wall seconds, throughput,
+    #: workers, baseline-store identity) filled by the runners
+    perf: dict = field(default_factory=dict, compare=False)
+
+    def perf_stats(self) -> dict:
+        """``monitor.stats()``-style aggregate of per-sample engine
+        counters, merged across every sample that carried them, plus the
+        campaign-level execution counters in :attr:`perf`."""
+        merged = merge_perf_dicts([r.perf for r in self.results
+                                   if r.perf is not None])
+        merged.update(self.perf)
+        return merged
 
     # -- headline metrics -----------------------------------------------------
 
@@ -102,22 +127,30 @@ def run_campaign(samples: Sequence, corpus: Optional[GeneratedCorpus] = None,
                  config: Optional[CryptoDropConfig] = None,
                  record_ops: bool = False,
                  progress: Optional[ProgressFn] = None,
-                 journal=None) -> CampaignResult:
+                 journal=None,
+                 use_baseline_store: bool = True) -> CampaignResult:
     """Run every sample through a revert cycle on a shared machine.
 
     ``journal`` (a path or :class:`~repro.sandbox.journal.CampaignJournal`)
     makes the sweep crash-resumable: each completed result is appended
     durably, and a rerun against the same journal executes only the
     samples missing from it, splicing journalled results back in order.
+
+    ``use_baseline_store`` (default on) digests the corpus once into a
+    shared :class:`~repro.corpus.baselines.BaselineStore` so every
+    sample's engine resolves pristine-content baselines without
+    re-digesting; detection results are bit-identical either way.
     """
     from .journal import CampaignJournal, coerce_journal
     corpus = corpus or generate()
     journal = coerce_journal(journal)
     done = journal.load() if journal is not None else {}
-    machine = VirtualMachine(corpus)
+    store = store_for_config(corpus, config) if use_baseline_store else None
+    machine = VirtualMachine(corpus, baseline_store=store)
     machine.snapshot()
     campaign = CampaignResult()
     total = len(samples)
+    started = time.perf_counter()
     for index, sample in enumerate(samples):
         cached = (done.get(CampaignJournal.key_for(sample))
                   if journal is not None else None)
@@ -130,6 +163,13 @@ def run_campaign(samples: Sequence, corpus: Optional[GeneratedCorpus] = None,
         campaign.results.append(result)
         if progress is not None:
             progress(index + 1, total, result)
+    elapsed = time.perf_counter() - started
+    campaign.perf = {
+        "wall_seconds": elapsed,
+        "samples_per_second": total / elapsed if elapsed > 0 else 0.0,
+        "workers": 1,
+        "baseline_store": None if store is None else store.describe(),
+    }
     return campaign
 
 

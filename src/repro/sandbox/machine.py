@@ -125,12 +125,16 @@ class VirtualMachine:
 
     def __init__(self, corpus: Optional[GeneratedCorpus] = None,
                  docs_root: WinPath = DOCUMENTS,
-                 temp_root: WinPath = TEMP) -> None:
+                 temp_root: WinPath = TEMP,
+                 baseline_store=None) -> None:
         self.vfs = VirtualFileSystem()
         self.docs_root = docs_root
         self.temp_root = temp_root
         self.shadow = ShadowCopyService(self.vfs)
         self.corpus = corpus
+        #: precomputed corpus baseline index shared by every monitor that
+        #: runs on this machine (see repro.corpus.baselines)
+        self.baseline_store = baseline_store
         self.vfs._ensure_dirs(temp_root)
         self.vfs._ensure_dirs(docs_root)
         if corpus is not None:

@@ -1,4 +1,4 @@
-"""Parallel campaign execution.
+"""High-throughput parallel campaign execution.
 
 The full 492-sample sweep is embarrassingly parallel: every sample runs
 against its own reverted machine with a fresh detector, so results are
@@ -9,21 +9,32 @@ journal-reverted between samples), and reassembles a
 :class:`~repro.sandbox.campaign.CampaignResult` in the original sample
 order — bit-identical to the serial runner's.
 
-Dispatch is crash-resilient: samples are submitted individually (not via
-``pool.map``), so the death of a worker process loses at most the one
-sample it was executing.  That sample is requeued onto a fresh worker —
-``multiprocessing.Pool`` respawns dead workers and re-runs the
-initializer — with bounded retries; a sample that exhausts its retries or
-its per-sample wall-clock timeout becomes an errored
-:class:`~repro.sandbox.runner.SampleResult` instead of aborting the
-sweep.  With a journal attached, completed results are durably appended
-as they arrive and an interrupted campaign resumes by running only the
-missing samples.
+Throughput model:
 
-Requires a ``fork``-capable platform (Linux/macOS): the corpus is shared
-with workers through fork inheritance rather than pickling ~85 MB per
-worker.  On platforms without ``fork`` the function transparently falls
-back to the serial runner.
+* **Shared baseline index** — the corpus
+  :class:`~repro.corpus.baselines.BaselineStore` is built once in the
+  parent and inherited by every worker through fork (zero-copy), so no
+  worker ever re-digests pristine corpus content.  This also removed the
+  per-worker memory argument behind the old hard cap of 8 workers; the
+  worker count now comes from ``config.campaign_workers`` (0 = one per
+  CPU).
+* **Chunked dispatch with streamed results** — samples are submitted in
+  adaptive chunks (≈4 chunks per worker, so stragglers still balance)
+  instead of one task per sample, cutting per-task IPC; each finished
+  chunk's results stream back and are journalled on arrival.
+* **Crash resilience** — a worker death loses at most one in-flight
+  chunk; its samples are requeued individually (the pool respawns dead
+  workers and re-runs the initializer) with bounded retries, and a
+  sample that exhausts its retries or its wall-clock budget becomes an
+  errored :class:`~repro.sandbox.runner.SampleResult` instead of
+  aborting the sweep.  On the success path the pool is drained and
+  closed cleanly — ``terminate()`` is reserved for the error path, so
+  in-flight journal appends are never cut off mid-write.
+
+Requires a ``fork``-capable platform (Linux/macOS): corpus and store are
+shared with workers through fork inheritance rather than pickling ~85 MB
+per worker.  On platforms without ``fork`` the function transparently
+falls back to the serial runner.
 """
 
 from __future__ import annotations
@@ -31,12 +42,12 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import CryptoDropConfig
 from ..corpus.builder import GeneratedCorpus, generate
 from ..ransomware import instantiate
-from .campaign import CampaignResult
+from .campaign import CampaignResult, store_for_config
 from .journal import CampaignJournal, coerce_journal
 from .machine import VirtualMachine
 from .runner import SampleResult, errored_result, run_sample
@@ -47,23 +58,52 @@ __all__ = ["run_campaign_parallel"]
 DEFAULT_SAMPLE_TIMEOUT = 300.0
 #: how often the dispatcher rescans outstanding work
 _POLL_INTERVAL_S = 0.02
+#: chunks submitted per worker when the chunk size is adaptive — small
+#: enough that a slow chunk cannot serialise the tail of the sweep
+_CHUNKS_PER_WORKER = 4
 
 # Module globals used to hand state to forked workers without pickling.
 _PARENT_CORPUS: Optional[GeneratedCorpus] = None
+_PARENT_STORE = None
 _WORKER_MACHINE: Optional[VirtualMachine] = None
 
 
 def _init_worker() -> None:
     global _WORKER_MACHINE
-    machine = VirtualMachine(_PARENT_CORPUS)
+    machine = VirtualMachine(_PARENT_CORPUS, baseline_store=_PARENT_STORE)
     machine.snapshot()
     _WORKER_MACHINE = machine
 
 
 def _run_one(args) -> SampleResult:
+    """Run a single sample on this worker's machine (chunk building block)."""
     profile, config, record_ops = args
     sample = instantiate(profile)
     return run_sample(_WORKER_MACHINE, sample, config, record_ops)
+
+
+def _run_chunk(args) -> List[Tuple[int, SampleResult]]:
+    """Run a batch of samples; one bad sample never poisons its chunk."""
+    indices, profiles, config, record_ops = args
+    out: List[Tuple[int, SampleResult]] = []
+    for index, profile in zip(indices, profiles):
+        try:
+            result = _run_one((profile, config, record_ops))
+        except Exception as exc:  # noqa: BLE001 - chunk survival
+            result = errored_result(profile, f"{type(exc).__name__}: {exc}")
+        out.append((index, result))
+    return out
+
+
+def _resolve_workers(workers: Optional[int],
+                     config: Optional[CryptoDropConfig]) -> int:
+    """Explicit argument > ``config.campaign_workers`` > one per CPU."""
+    if workers is not None:
+        return max(1, workers)
+    configured = (config or CryptoDropConfig()).campaign_workers
+    if configured > 0:
+        return configured
+    return os.cpu_count() or 1
 
 
 def run_campaign_parallel(samples: Sequence,
@@ -73,27 +113,31 @@ def run_campaign_parallel(samples: Sequence,
                           workers: Optional[int] = None,
                           journal=None,
                           sample_timeout: Optional[float] = DEFAULT_SAMPLE_TIMEOUT,
-                          max_retries: int = 2) -> CampaignResult:
+                          max_retries: int = 2,
+                          chunk_size: Optional[int] = None,
+                          use_baseline_store: bool = True) -> CampaignResult:
     """Run a cohort across worker processes; same results as serial.
 
-    ``workers`` defaults to the CPU count capped at 8 (per-worker corpus
-    copies cost memory).  With one worker, or without ``fork``, the call
-    degrades to the ordinary serial campaign.
+    ``workers`` defaults to ``config.campaign_workers`` (0 = CPU count).
+    With one worker, or without ``fork``, the call degrades to the
+    ordinary serial campaign.
 
-    ``sample_timeout`` is the host-wall-clock budget per dispatch attempt
-    (None disables it — a dead worker then goes undetected, so leave it
-    on); ``max_retries`` bounds how often a lost/timed-out sample is
-    requeued before it is recorded as errored.
+    ``sample_timeout`` is the host-wall-clock budget per sample (None
+    disables it — a dead worker then goes undetected, so leave it on);
+    ``max_retries`` bounds how often a lost/timed-out sample is requeued
+    before it is recorded as errored.  ``chunk_size`` overrides the
+    adaptive batch size (``None`` = cohort split into roughly
+    ``4 × workers`` chunks).
     """
-    global _PARENT_CORPUS, _WORKER_MACHINE
+    global _PARENT_CORPUS, _PARENT_STORE, _WORKER_MACHINE
     corpus = corpus or generate()
     journal = coerce_journal(journal)
-    if workers is None:
-        workers = min(8, os.cpu_count() or 1)
+    workers = _resolve_workers(workers, config)
     if workers <= 1 or "fork" not in multiprocessing.get_all_start_methods():
         from .campaign import run_campaign
         return run_campaign(samples, corpus, config, record_ops,
-                            journal=journal)
+                            journal=journal,
+                            use_baseline_store=use_baseline_store)
 
     profiles = [sample.profile for sample in samples]
     completed: Dict[int, SampleResult] = {}
@@ -112,79 +156,134 @@ def run_campaign_parallel(samples: Sequence,
             "concurrent parallel campaigns would silently share the wrong "
             "corpus.  Run campaigns sequentially, or use workers=1 for the "
             "serial path.")
+    store = store_for_config(corpus, config) if use_baseline_store else None
     _PARENT_CORPUS = corpus
+    _PARENT_STORE = store
+    started = time.perf_counter()
     try:
         ctx = multiprocessing.get_context("fork")
         pool = ctx.Pool(processes=workers, initializer=_init_worker)
         try:
-            completed.update(_dispatch(pool, profiles, completed, config,
-                                       record_ops, journal, sample_timeout,
-                                       max_retries))
-        finally:
+            results, abandoned = _dispatch(pool, profiles, completed, config,
+                                           record_ops, journal,
+                                           sample_timeout, max_retries,
+                                           workers, chunk_size)
+            completed.update(results)
+        except BaseException:
+            # Error/interrupt path only: in-flight work is unrecoverable
+            # anyway, kill it rather than wait.
             pool.terminate()
+            pool.join()
+            raise
+        else:
+            if abandoned:
+                # At least one dispatch was written off to a dead or
+                # wedged worker; its orphaned task would keep the pool's
+                # bookkeeping alive forever, so a clean close would hang.
+                # Every collected result is already journalled — kill
+                # what's left.
+                pool.terminate()
+            else:
+                # Success path: every result has been received — close
+                # lets workers finish their teardown (flushing anything
+                # buffered) instead of dying mid-write under terminate().
+                pool.close()
             pool.join()
     finally:
         # Hygiene: the parent never owns a worker machine, and the corpus
         # global must not leak into unrelated forks after teardown.
         _PARENT_CORPUS = None
+        _PARENT_STORE = None
         _WORKER_MACHINE = None
+    elapsed = time.perf_counter() - started
     campaign = CampaignResult()
     campaign.results.extend(completed[i] for i in range(len(profiles)))
+    campaign.perf = {
+        "wall_seconds": elapsed,
+        "samples_per_second": (len(profiles) / elapsed if elapsed > 0
+                               else 0.0),
+        "workers": workers,
+        "baseline_store": None if store is None else store.describe(),
+    }
     return campaign
 
 
 def _dispatch(pool, profiles: Sequence, already_done: Dict[int, SampleResult],
               config, record_ops: bool, journal: Optional[CampaignJournal],
-              sample_timeout: Optional[float],
-              max_retries: int) -> Dict[int, SampleResult]:
-    """Per-sample submission with requeue-on-loss and bounded retries."""
+              sample_timeout: Optional[float], max_retries: int,
+              workers: int, chunk_size: Optional[int]
+              ) -> Tuple[Dict[int, SampleResult], int]:
+    """Chunked submission, streamed results, requeue-on-loss.
+
+    Fresh work goes out in adaptive chunks; a chunk lost to a dead or
+    wedged worker is requeued as single-sample tasks (attempt counts
+    carry over), so one poisoned sample re-isolates itself instead of
+    dragging its chunk-mates through every retry.
+
+    Returns the collected results plus the number of dispatches that
+    were abandoned past their deadline — their orphaned pool tasks can
+    never complete, which the caller must know before trying a clean
+    ``close()``.
+    """
+    todo = [i for i in range(len(profiles)) if i not in already_done]
+    if chunk_size is None:
+        chunk_size = max(1, len(todo) // (workers * _CHUNKS_PER_WORKER))
     results: Dict[int, SampleResult] = {}
-    #: index -> (async_result, deadline, attempt)
-    pending: Dict[int, Tuple] = {}
+    abandoned = 0
+    #: handle -> (indices, deadline, attempt)
+    pending: Dict[object, Tuple[List[int], Optional[float], int]] = {}
 
-    def submit(index: int, attempt: int) -> None:
+    def submit(indices: List[int], attempt: int) -> None:
         handle = pool.apply_async(
-            _run_one, ((profiles[index], config, record_ops),))
-        deadline = (time.monotonic() + sample_timeout
+            _run_chunk, ((indices, [profiles[i] for i in indices],
+                          config, record_ops),))
+        deadline = (time.monotonic() + sample_timeout * len(indices)
                     if sample_timeout is not None else None)
-        pending[index] = (handle, deadline, attempt)
+        pending[handle] = (indices, deadline, attempt)
 
-    for index in range(len(profiles)):
-        if index not in already_done:
-            submit(index, attempt=1)
+    for start in range(0, len(todo), chunk_size):
+        submit(todo[start:start + chunk_size], attempt=1)
 
     while pending:
         progressed = False
         now = time.monotonic()
-        for index in list(pending):
-            handle, deadline, attempt = pending[index]
+        for handle in list(pending):
+            indices, deadline, attempt = pending[handle]
             if handle.ready():
-                del pending[index]
+                del pending[handle]
                 progressed = True
                 try:
-                    result = handle.get()
-                except Exception as exc:  # noqa: BLE001 - worker raised
-                    result = errored_result(
-                        profiles[index], f"{type(exc).__name__}: {exc}")
-                results[index] = result
-                if journal is not None:
-                    journal.record(result)
+                    chunk_results = handle.get()
+                except Exception as exc:  # noqa: BLE001 - pool-level failure
+                    chunk_results = [
+                        (i, errored_result(profiles[i],
+                                           f"{type(exc).__name__}: {exc}"))
+                        for i in indices]
+                for index, result in chunk_results:
+                    results[index] = result
+                    if journal is not None:
+                        journal.record(result)
             elif deadline is not None and now > deadline:
                 # Lost to a dead worker, or wedged past its wall-clock
                 # budget.  The pool has already respawned any dead worker
-                # (rerunning _init_worker), so requeueing lands the
-                # sample on a healthy machine.
-                del pending[index]
+                # (rerunning _init_worker); requeue the chunk's samples
+                # individually so a healthy machine picks them up and a
+                # single bad sample cannot re-poison a whole chunk.
+                del pending[handle]
                 progressed = True
+                abandoned += 1
                 if attempt <= max_retries:
-                    submit(index, attempt + 1)
+                    for index in indices:
+                        submit([index], attempt + 1)
                 else:
-                    # Deliberately not journalled: a resume should retry
-                    # a timed-out sample rather than pin its failure.
-                    results[index] = errored_result(
-                        profiles[index],
-                        f"TimeoutError: no result after {attempt} "
-                        f"attempts of {sample_timeout:g}s")
+                    for index in indices:
+                        # Deliberately not journalled: a resume should
+                        # retry a timed-out sample rather than pin its
+                        # failure.
+                        results[index] = errored_result(
+                            profiles[index],
+                            f"TimeoutError: no result after {attempt} "
+                            f"attempts of {sample_timeout:g}s")
         if not progressed:
             time.sleep(_POLL_INTERVAL_S)
-    return results
+    return results, abandoned

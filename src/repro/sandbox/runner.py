@@ -17,6 +17,7 @@ from ..core.monitor import CryptoDropMonitor
 from ..fs.events import OpKind
 from ..fs.paths import WinPath
 from ..fs.recorder import OperationRecorder
+from ..perfstats import collect
 from .machine import RunOutcome, VirtualMachine
 
 __all__ = ["BenignResult", "SampleResult", "errored_result", "run_benign",
@@ -54,6 +55,10 @@ class SampleResult:
     cipher: str = ""
     #: total reputation points per indicator (entropy/type_change/...)
     indicator_points: dict = field(default_factory=dict)
+    #: per-sample engine perf counters (repro.perfstats dict); transient —
+    #: not journalled, excluded from equality so journal round trips stay
+    #: exact
+    perf: Optional[dict] = field(default=None, repr=False, compare=False)
 
     @property
     def is_working_detection(self) -> bool:
@@ -95,7 +100,8 @@ def run_sample(machine: VirtualMachine, sample,
     """
     if machine.baseline is None:
         machine.snapshot()
-    monitor = CryptoDropMonitor(machine.vfs, config)
+    monitor = CryptoDropMonitor(machine.vfs, config,
+                                baseline_store=machine.baseline_store)
     recorder = OperationRecorder(
         kinds={OpKind.READ, OpKind.WRITE, OpKind.OPEN,
                OpKind.RENAME, OpKind.DELETE}) if record_ops else None
@@ -166,6 +172,7 @@ def _run_sample_attached(machine: VirtualMachine, sample,
                            if e.indicator == indicator)
             for indicator in {e.indicator for e in row.history}},
     )
+    result.perf = collect(monitor).as_dict()
     if detection is not None:
         detection.files_lost = damage.files_lost
     return result

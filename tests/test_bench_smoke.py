@@ -1,9 +1,10 @@
-"""Structural smoke pass over the ``make bench`` harness (ISSUE 2).
+"""Structural smoke pass over the ``make bench`` harness (ISSUEs 2–3).
 
 Runs the benchmark harness at smoke scale — seconds, not minutes — and
-checks the report's shape, the single-digest invariant, the headline
-speedups, and the regression comparator's accept/reject logic.  Full
-numbers live in the committed ``BENCH_2.json`` (regenerate with
+checks the report's shape (via the harness's own schema validator), the
+single-digest invariant, the headline speedups, the campaign-throughput
+section, and the regression comparator's accept/reject logic.  Full
+numbers live in the newest committed ``BENCH_<N>.json`` (regenerate with
 ``make bench``, gate with ``make bench-check``).
 """
 
@@ -16,9 +17,10 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
 
-from check_regression import compare_reports
+from check_regression import compare_reports, newest_baseline
 from run_bench import main as run_bench_main
 from run_bench import run as run_bench
+from run_bench import validate_report
 
 pytestmark = pytest.mark.benchmarks
 
@@ -31,8 +33,19 @@ def report():
 class TestReportShape:
     def test_hot_paths_named_and_positive(self, report):
         for name in ("sdhash_digest", "compare_batched",
-                     "close_heavy_campaign"):
+                     "close_heavy_campaign", "campaign_throughput"):
             assert report["hot_paths"][name]["seconds"] > 0
+
+    def test_schema_validator_accepts_report(self, report):
+        assert validate_report(report) == []
+
+    def test_schema_validator_catches_damage(self, report):
+        broken = copy.deepcopy(report)
+        del broken["hot_paths"]["campaign_throughput"]
+        broken["campaign"].pop("speedup")
+        problems = validate_report(broken)
+        assert any("campaign_throughput" in p for p in problems)
+        assert any("speedup" in p for p in problems)
 
     def test_counters_present(self, report):
         counters = report["counters"]
@@ -63,6 +76,29 @@ class TestInvariantsAndSpeedups:
 
     def test_digest_vectorisation_wins(self, report):
         assert report["speedups"]["sdhash_vectorised_vs_scalar"] >= 1.5
+
+    def test_campaign_results_identical_across_modes(self, report):
+        # the ISSUE-3 correctness bar: store-backed, store-less, serial
+        # and parallel runs agree bit-for-bit on detection outcomes
+        assert report["invariants"]["campaign_results_identical"]
+        assert report["campaign"]["results_identical"]
+
+    def test_store_leaves_untouched_corpus_undigested(self, report):
+        assert report["invariants"]["store_untouched_bytes_digested_zero"]
+
+    def test_campaign_section_counters(self, report):
+        sweep = report["campaign"]
+        assert sweep["samples"] > 0
+        assert sweep["store_entries"] > 0
+        # the store sits in the resolution path for every first-touch
+        # inspection; whether lookups hit depends on the cohort's attack
+        # shapes, so smoke only pins that it was consulted (the committed
+        # full-scale baseline pins store_hits > 0 below)
+        assert sweep["store_hits"] + sweep["store_misses"] > 0
+        # smoke legs run ~25ms each, so the ratio is scheduler noise —
+        # the ≥3x bar is gated at full scale (campaign_speedup_ge_3)
+        assert sweep["speedup"] > 0
+        assert sweep["store_build_seconds"] > 0
 
 
 class TestComparator:
@@ -107,9 +143,13 @@ class TestCli:
         assert written["scale"] == "smoke"
 
     def test_committed_baseline_matches_schema(self, report):
-        baseline_path = Path(__file__).resolve().parent.parent / "BENCH_2.json"
+        baseline_path = newest_baseline()
+        assert baseline_path.name == "BENCH_3.json"
         baseline = json.loads(baseline_path.read_text())
         assert baseline["schema"] == report["schema"]
         assert baseline["scale"] == "full"
         assert set(report["hot_paths"]) <= set(baseline["hot_paths"])
         assert baseline["invariants"]["bytes_digested_le_bytes_closed"]
+        assert baseline["invariants"]["campaign_results_identical"]
+        assert baseline["campaign"]["store_hits"] > 0
+        assert validate_report(baseline) == []

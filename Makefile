@@ -5,7 +5,7 @@
 
 PYTEST = PYTHONPATH=src python -m pytest -x -q
 
-.PHONY: verify test unit chaos bench bench-check
+.PHONY: verify test unit chaos bench bench-check telemetry-demo
 
 # the default pre-merge gate: tier-1 tests, then the hot-path regression
 # check against the newest committed BENCH_<N>.json
@@ -22,7 +22,7 @@ unit:
 chaos:
 	$(PYTEST) -m chaos tests/test_chaos.py tests/test_faults.py
 
-# full hot-path benchmark harness → BENCH_3.json (see docs/performance.md)
+# full hot-path benchmark harness → BENCH_4.json (see docs/performance.md)
 bench:
 	PYTHONPATH=src python benchmarks/run_bench.py
 	PYTHONPATH=src:benchmarks python -m pytest -q \
@@ -32,5 +32,10 @@ bench:
 # regression gate: rerun the harness and fail on >25% hot-path slowdown
 # against the newest committed BENCH_<N>.json baseline
 bench-check:
-	PYTHONPATH=src python benchmarks/run_bench.py --output /tmp/BENCH_3.current.json
-	python benchmarks/check_regression.py --current /tmp/BENCH_3.current.json
+	PYTHONPATH=src python benchmarks/run_bench.py --output /tmp/BENCH.current.json
+	python benchmarks/check_regression.py --current /tmp/BENCH.current.json
+
+# telemetry walkthrough: one Class-A sample under a telemetry-enabled
+# monitor, full detection narrative printed (docs/observability.md)
+telemetry-demo:
+	PYTHONPATH=src python examples/detection_timeline.py --prometheus

@@ -6,17 +6,21 @@ shared corpus with per-sample VM revert, then prints the Table-I-style
 family breakdown, the Fig.-3 files-lost distribution, the Fig.-5
 extension frequencies, and the §V-B2 union accounting.
 
-Run:  python examples/campaign_survey.py [--full] [--perf]
+Run:  python examples/campaign_survey.py [--full] [--perf] [--telemetry]
 
 ``--full`` runs the complete 492-sample cohort on the 5,099-file corpus
 (a few minutes of CPU); the default is a faithful small-scale pass.
 ``--perf`` appends the campaign's aggregated engine counters (digest
 cache and BaselineStore traffic, bytes digested, throughput — see
 docs/performance.md).
+``--telemetry`` runs the sweep with per-sample telemetry enabled and
+appends the campaign-wide aggregate (event counts by kind, merged
+metric totals — see docs/observability.md).
 """
 
 import argparse
 
+from repro.core import CryptoDropConfig
 from repro.experiments import (FULL, SMALL, campaign_at_scale, run_fig3,
                                run_fig5, run_table1, run_union_effect)
 
@@ -45,17 +49,49 @@ def print_perf(campaign) -> None:
     print(f"  bytes inspected      {perf.get('bytes_inspected', 0):,}")
 
 
+def print_telemetry(campaign) -> None:
+    """The campaign-wide telemetry aggregate, human-readable."""
+    agg = campaign.telemetry_stats()
+    print("campaign telemetry")
+    print(f"  snapshots merged     {agg['samples']}")
+    print(f"  events emitted       {agg['bus']['emitted']} "
+          f"({agg['bus']['dropped']} dropped)")
+    for kind in sorted(agg["counts_by_kind"]):
+        print(f"    {kind:<20} {agg['counts_by_kind'][kind]}")
+    metrics = agg["metrics"]
+    for name in ("cryptodrop_indicator_hits_total",
+                 "cryptodrop_union_boosts_total",
+                 "cryptodrop_suspensions_total"):
+        metric = metrics.get(name)
+        if not metric:
+            continue
+        total = sum(value for _labels, value in metric["state"])
+        print(f"  {name:<38} {total:g}")
+    lost = metrics.get("cryptodrop_detection_files_lost")
+    if lost:
+        for _labels, series in lost["state"]:
+            if series["count"]:
+                print(f"  files lost at suspension: {series['count']:g} "
+                      f"detections, mean "
+                      f"{series['sum'] / series['count']:.1f}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--full", action="store_true",
                         help="run the complete 492-sample cohort")
     parser.add_argument("--perf", action="store_true",
                         help="also print aggregated engine perf counters")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="enable per-sample telemetry and print the "
+                             "campaign-wide aggregate")
     args = parser.parse_args()
     scale = FULL if args.full else SMALL
 
+    config = CryptoDropConfig(telemetry_enabled=True) \
+        if args.telemetry else None
     print(f"running campaign at scale: {scale.describe()}")
-    campaign = campaign_at_scale(scale)
+    campaign = campaign_at_scale(scale, config=config)
 
     print()
     print(run_table1(scale, campaign=campaign).render())
@@ -68,6 +104,9 @@ def main() -> None:
     if args.perf:
         print()
         print_perf(campaign)
+    if args.telemetry:
+        print()
+        print_telemetry(campaign)
 
 
 if __name__ == "__main__":

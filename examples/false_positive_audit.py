@@ -12,6 +12,8 @@ Run:  python examples/false_positive_audit.py
 
 from repro.experiments import SMALL, run_fig6
 from repro.experiments.reporting import ascii_table, header
+from repro.telemetry.timeline import (indicator_totals,
+                                      merge_indicator_totals)
 
 
 def main() -> None:
@@ -20,11 +22,22 @@ def main() -> None:
 
     rows = []
     for r in sorted(result.results, key=lambda r: -r.final_score):
-        rows.append((r.app_name, f"{r.final_score:g}",
-                     ", ".join(sorted(r.flags)) or "-",
+        points = indicator_totals(r.trajectory)
+        attribution = ", ".join(
+            f"{ind}={pts:g}" for ind, pts in
+            sorted(points.items(), key=lambda kv: -kv[1])) or "-"
+        rows.append((r.app_name, f"{r.final_score:g}", attribution,
                      "FLAGGED" if r.detected else ""))
-    print(ascii_table(("application", "final score", "indicators tripped",
+    print(ascii_table(("application", "final score", "points by indicator",
                        "at 200"), rows))
+
+    combined = merge_indicator_totals(
+        indicator_totals(r.trajectory) for r in result.results)
+    if combined:
+        ranked = sorted(combined.items(), key=lambda kv: -kv[1])
+        print()
+        print("benign score mass by indicator (all 30 apps): "
+              + ", ".join(f"{ind}={pts:g}" for ind, pts in ranked))
 
     print()
     print("threshold sweep (apps that would cross):")

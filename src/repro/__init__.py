@@ -25,8 +25,9 @@ Quickstart::
 
 from . import (analysis, baselines, benign, core, corpus, crypto,
                experiments, fs, magic, perfstats, ransomware, sandbox,
-               simhash)
+               simhash, telemetry)
 from .core import CryptoDropConfig, CryptoDropMonitor, Detection
+from .telemetry import DetectionTimeline, TelemetrySession
 from .entropy import (WeightedEntropyMean, corrected_entropy,
                       entropy_weight, shannon_entropy, windowed_entropy)
 from .fs import DOCUMENTS, VirtualFileSystem, WinPath
@@ -38,11 +39,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CryptoDropConfig", "CryptoDropMonitor", "DOCUMENTS", "Detection",
+    "DetectionTimeline", "TelemetrySession",
     "VirtualFileSystem", "VirtualMachine", "WeightedEntropyMean",
     "WinPath", "__version__", "analysis", "baselines", "benign", "core",
     "corrected_entropy", "corpus", "crypto", "entropy_weight",
     "experiments", "fs", "magic", "perfstats", "ransomware", "run_benign",
     "RecoveryReport", "TraceRecord", "TraceRecorder", "recover_from_shadow", "replay_trace",
     "run_campaign", "run_sample", "sandbox", "shannon_entropy", "simhash",
-    "windowed_entropy",
+    "telemetry", "windowed_entropy",
 ]

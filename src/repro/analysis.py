@@ -15,6 +15,7 @@ from typing import Dict, List
 
 from .experiments.reporting import ascii_table, header
 from .sandbox import CampaignResult, SampleResult
+from .telemetry.timeline import merge_indicator_totals
 
 __all__ = ["IndicatorAttribution", "ClassStats", "attribute_indicators",
            "class_statistics", "detection_latency_summary"]
@@ -56,14 +57,20 @@ class IndicatorAttribution:
 
 
 def attribute_indicators(results: List[SampleResult]) -> IndicatorAttribution:
-    """Aggregate per-indicator points over a selection of sample results."""
+    """Aggregate per-indicator points over a selection of sample results.
+
+    The point arithmetic lives in :mod:`repro.telemetry.timeline`; this
+    wrapper adds the prevalence view (how many samples an indicator
+    scored in at all) on top of the merged totals.
+    """
     out = IndicatorAttribution(samples=len(results))
-    hits: Dict[str, int] = {}
-    for result in results:
-        for indicator, points in result.indicator_points.items():
-            out.totals[indicator] = out.totals.get(indicator, 0.0) + points
-            hits[indicator] = hits.get(indicator, 0) + 1
+    out.totals = merge_indicator_totals(
+        r.indicator_points for r in results)
     if results:
+        hits: Dict[str, int] = {}
+        for result in results:
+            for indicator in result.indicator_points:
+                hits[indicator] = hits.get(indicator, 0) + 1
         out.prevalence = {ind: n / len(results) for ind, n in hits.items()}
     return out
 

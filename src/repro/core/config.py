@@ -113,6 +113,15 @@ class CryptoDropConfig:
     #: turn off to bound per-record memory on very long-lived monitors.
     lazy_close_digests: bool = True
 
+    # -- telemetry (repro.telemetry) -------------------------------------------
+    #: structured detection telemetry: event bus + metrics registry.
+    #: Off by default — the disabled path is a single ``is None`` check at
+    #: every emit point (bench-gated at <2% on the close-heavy workload).
+    telemetry_enabled: bool = False
+    #: ring-buffer capacity of the event bus (oldest events evicted;
+    #: subscribers such as the JSONL exporter still see the full stream)
+    telemetry_events: int = 4096
+
     # -- campaign execution ----------------------------------------------------
     #: worker processes for parallel campaigns; 0 means one per CPU.
     #: (The old hard cap of 8 existed because each worker held its own

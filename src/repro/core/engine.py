@@ -31,6 +31,7 @@ from ..fs.events import Decision, FsOperation, OpKind
 from ..fs.filters import FilterDriver, PostVerdict
 from ..fs.vfs import SYSTEM_PID, VirtualFileSystem
 from ..magic import identify
+from ..telemetry.events import IndicatorFired, ProcessSuspended
 from .config import CryptoDropConfig
 from .detection import AlertPolicy, Detection, SuspendPolicy
 from .filestate import FileStateCache, TrackedFile
@@ -62,17 +63,22 @@ class AnalysisEngine(FilterDriver):
     def __init__(self, vfs: VirtualFileSystem,
                  config: Optional[CryptoDropConfig] = None,
                  policy: Optional[AlertPolicy] = None,
-                 baseline_store=None) -> None:
+                 baseline_store=None, telemetry=None) -> None:
         self.vfs = vfs
         self.config = config or CryptoDropConfig()
         self.policy = policy or SuspendPolicy()
-        self.scoreboard = Scoreboard(self.config)
+        #: a ``repro.telemetry.TelemetrySession`` or None; every emit
+        #: point below is guarded by one ``is None`` check so the
+        #: disabled path constructs nothing
+        self.telemetry = telemetry
+        self.scoreboard = Scoreboard(self.config, telemetry=telemetry)
         self.cache = FileStateCache(self.config.similarity_backend,
                                     self.config.max_inspect_bytes,
                                     digests_enabled=self.config.enable_similarity,
                                     digest_cache_entries=self.config.digest_cache_entries,
                                     baseline_store=baseline_store,
-                                    defer_digests=self.config.lazy_close_digests)
+                                    defer_digests=self.config.lazy_close_digests,
+                                    telemetry=telemetry)
         self.detections: List[Detection] = []
         self._proc: Dict[int, _ProcessState] = {}
         self._whitelist: set = set()
@@ -136,6 +142,11 @@ class AnalysisEngine(FilterDriver):
         started = time.perf_counter_ns()
         kind = op.kind.value
         self.op_counts[kind] = self.op_counts.get(kind, 0) + 1
+        if self.telemetry is not None:
+            # keep the bus clock on the simulated timebase so emitters
+            # without operation context (digest cache, baseline store)
+            # stamp events consistently
+            self.telemetry.bus.clock_us = op.timestamp_us
         handler = self._DISPATCH.get(op.kind)
         hits_before = self._hits_applied
         if handler is not None:
@@ -149,8 +160,10 @@ class AnalysisEngine(FilterDriver):
             verdict = PostVerdict.ALLOW
         else:
             verdict = self._verdict(op)
-        self.op_wall_us[kind] = (self.op_wall_us.get(kind, 0.0)
-                                 + (time.perf_counter_ns() - started) / 1000.0)
+        elapsed_us = (time.perf_counter_ns() - started) / 1000.0
+        self.op_wall_us[kind] = self.op_wall_us.get(kind, 0.0) + elapsed_us
+        if self.telemetry is not None:
+            self.telemetry.op_wall_us.observe(elapsed_us, kind=kind)
         return verdict
 
     # ------------------------------------------------------------------
@@ -387,8 +400,13 @@ class AnalysisEngine(FilterDriver):
         self._hits_applied += 1
         root = self._root_pid(op.pid)
         name = self._proc_name(root)
-        self.scoreboard.apply(root, hit, op.timestamp_us,
-                              str(op.dest_path or op.path), name)
+        path = str(op.dest_path or op.path)
+        if self.telemetry is not None:
+            self.telemetry.indicator_hits.inc(indicator=hit.indicator)
+            self.telemetry.bus.emit(IndicatorFired(
+                op.timestamp_us, root_pid=root, indicator=hit.indicator,
+                points=hit.points, path=path, detail=hit.detail))
+        self.scoreboard.apply(root, hit, op.timestamp_us, path, name)
 
     def _verdict(self, op: FsOperation) -> PostVerdict:
         root = self._root_pid(op.pid)
@@ -408,6 +426,16 @@ class AnalysisEngine(FilterDriver):
         suspend = self.policy.decide(detection)
         detection.suspended = suspend
         self.detections.append(detection)
+        if self.telemetry is not None:
+            self.telemetry.suspensions.inc(
+                action="suspend" if suspend else "alert_only")
+            self.telemetry.score_at_suspension.observe(row.score)
+            self.telemetry.bus.emit(ProcessSuspended(
+                op.timestamp_us, root_pid=root, process_name=row.name,
+                score=row.score, threshold=row.threshold,
+                union_fired=row.union_fired, suspended=suspend,
+                trigger_op=detection.trigger_op,
+                trigger_path=detection.trigger_path))
         if not suspend:
             self._whitelist.add(root)
             return PostVerdict.ALLOW
@@ -479,6 +507,10 @@ class AnalysisEngine(FilterDriver):
             "bytes_inspected": self.bytes_inspected,
             "bytes_closed": self.bytes_closed,
             "op_wall_us": dict(self.op_wall_us),
+            # metrics-registry lifetime counters travel (like the digest
+            # cache's counters do); buffered ring events never checkpoint
+            "telemetry": (self.telemetry.registry.checkpoint()
+                          if self.telemetry is not None else None),
         }
 
     def restore(self, state: dict) -> None:
@@ -513,6 +545,9 @@ class AnalysisEngine(FilterDriver):
         # rejecting the snapshot.
         self.bytes_closed = int(state.get("bytes_closed", 0))
         self.op_wall_us = dict(state.get("op_wall_us", {}))
+        metric_state = state.get("telemetry")
+        if metric_state and self.telemetry is not None:
+            self.telemetry.registry.restore(metric_state)
 
     # -- introspection helpers (examples, tests, experiments) ----------------
 

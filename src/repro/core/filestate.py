@@ -36,6 +36,7 @@ from typing import Dict, Optional
 
 from ..fs.paths import WinPath
 from ..magic import FileType, identify
+from ..telemetry.events import BaselineResolved, CacheEvicted
 from ..simhash import sdhash as _sdhash
 from ..simhash.sdhash import SdDigest
 from ..simhash.ssdeep import CtphSignature, ctph
@@ -100,10 +101,14 @@ class DigestCache:
 
     __slots__ = ("capacity", "hits", "misses", "evictions",
                  "bytes_digested", "store_hits", "store_misses", "deferred",
-                 "_entries")
+                 "telemetry", "_entries")
 
     def __init__(self, capacity: int = 256) -> None:
         self.capacity = max(0, int(capacity))
+        #: TelemetrySession or None, wired by the owning FileStateCache;
+        #: eviction events are stamped with the bus clock (the cache has
+        #: no operation context of its own)
+        self.telemetry = None
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -140,6 +145,11 @@ class DigestCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
+            if self.telemetry is not None:
+                self.telemetry.cache_evictions.inc()
+                self.telemetry.bus.emit(CacheEvicted(
+                    self.telemetry.bus.clock_us,
+                    entries=len(self._entries), capacity=self.capacity))
 
     def clear_entries(self) -> None:
         """Drop cached results; counters survive."""
@@ -190,7 +200,8 @@ class FileStateCache:
                  digests_enabled: bool = True,
                  digest_cache_entries: int = 256,
                  baseline_store=None,
-                 defer_digests: bool = False) -> None:
+                 defer_digests: bool = False,
+                 telemetry=None) -> None:
         if backend not in ("sdhash", "ctph"):
             raise ValueError(f"unknown similarity backend {backend!r}")
         self.backend = backend
@@ -198,7 +209,9 @@ class FileStateCache:
         #: ablation runs with the similarity indicator off skip digesting
         #: entirely (type identification is kept — it is cheap)
         self.digests_enabled = digests_enabled
+        self.telemetry = telemetry
         self.digest_cache = DigestCache(digest_cache_entries)
+        self.digest_cache.telemetry = telemetry
         #: read-only corpus BaselineStore consulted before digesting; must
         #: have been built under the same parameters, or its results would
         #: differ from live inspection (bit-identical scoring contract)
@@ -251,6 +264,8 @@ class FileStateCache:
             if found is not None:
                 # cached results are always final (digested, or
                 # permanently undigestable) — valid for any want_digest
+                if self.telemetry is not None:
+                    self._resolved("lru", found.size)
                 return found
         else:
             dc.misses += 1
@@ -258,6 +273,8 @@ class FileStateCache:
             entry = self.baseline_store.get(key)
             if entry is not None:
                 dc.store_hits += 1
+                if self.telemetry is not None:
+                    self._resolved("store", entry.size)
                 return entry
             dc.store_misses += 1
         file_type = identify(content)
@@ -265,6 +282,8 @@ class FileStateCache:
                       and len(content) <= self.max_inspect_bytes)
         if can_digest and not want_digest:
             dc.deferred += 1
+            if self.telemetry is not None:
+                self._resolved("deferred", len(content))
             return InspectionResult(file_type, None, None, len(content),
                                     digested=False, deferred=True)
         digest: Optional[SdDigest] = None
@@ -279,7 +298,17 @@ class FileStateCache:
                                   can_digest)
         if key is not None and dc.capacity > 0:
             dc.put(key, result)
+        if self.telemetry is not None:
+            self._resolved("live", len(content))
         return result
+
+    def _resolved(self, source: str, size: int) -> None:
+        # only called with telemetry attached; stamped off the bus clock
+        # (inspections have no operation context of their own)
+        t = self.telemetry
+        t.baseline_resolutions.inc(source=source)
+        t.bus.emit(BaselineResolved(t.bus.clock_us, source=source,
+                                    size=size))
 
     # -- lifecycle -----------------------------------------------------------
 

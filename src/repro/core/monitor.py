@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..fs.vfs import VirtualFileSystem
+from ..telemetry import TelemetrySession
 from .config import CryptoDropConfig
 from .detection import AlertPolicy, Detection, SuspendPolicy
 from .engine import AnalysisEngine
@@ -33,12 +34,19 @@ class CryptoDropMonitor:
     def __init__(self, vfs: VirtualFileSystem,
                  config: Optional[CryptoDropConfig] = None,
                  policy: Optional[AlertPolicy] = None,
-                 baseline_store=None) -> None:
+                 baseline_store=None, telemetry=None) -> None:
         self.vfs = vfs
         self.config = config or CryptoDropConfig()
+        #: pass an explicit :class:`~repro.telemetry.TelemetrySession` to
+        #: share one bus across monitors (e.g. trace replay into an
+        #: existing sink); otherwise the config decides — disabled means
+        #: ``None`` all the way down, the near-zero-cost path
+        self.telemetry = telemetry if telemetry is not None \
+            else TelemetrySession.from_config(self.config)
         self.engine = AnalysisEngine(vfs, self.config,
                                      policy or SuspendPolicy(),
-                                     baseline_store=baseline_store)
+                                     baseline_store=baseline_store,
+                                     telemetry=self.telemetry)
         self._attached = False
 
     # -- lifecycle -----------------------------------------------------------
@@ -75,7 +83,8 @@ class CryptoDropMonitor:
     def from_checkpoint(cls, vfs: VirtualFileSystem, state: dict,
                         config: Optional[CryptoDropConfig] = None,
                         policy: Optional[AlertPolicy] = None,
-                        baseline_store=None) -> "CryptoDropMonitor":
+                        baseline_store=None,
+                        telemetry=None) -> "CryptoDropMonitor":
         """A new (detached) monitor resumed from a :meth:`checkpoint`.
 
         The restored monitor scores exactly as the checkpointed one would
@@ -85,7 +94,8 @@ class CryptoDropMonitor:
         store's descriptor; restoring with a *different* store attached is
         rejected (the baselines would not match the referenced corpus).
         """
-        monitor = cls(vfs, config, policy, baseline_store=baseline_store)
+        monitor = cls(vfs, config, policy, baseline_store=baseline_store,
+                      telemetry=telemetry)
         monitor.engine.restore(state)
         return monitor
 
@@ -110,6 +120,24 @@ class CryptoDropMonitor:
 
     def union_count(self) -> int:
         return self.engine.scoreboard.union_count()
+
+    # -- telemetry -------------------------------------------------------------
+
+    def timeline(self, root_pid: Optional[int] = None):
+        """The per-process :class:`~repro.telemetry.DetectionTimeline`
+        rebuilt from this session's event stream (telemetry must be on)."""
+        if self.telemetry is None:
+            raise RuntimeError(
+                "telemetry is disabled for this monitor — construct with "
+                "CryptoDropConfig(telemetry_enabled=True) or pass a "
+                "TelemetrySession")
+        return self.telemetry.timeline(root_pid=root_pid)
+
+    def telemetry_export(self) -> Optional[dict]:
+        """The session's telemetry snapshot (events + metric state), or
+        None when disabled — the payload ``SampleResult.telemetry``
+        carries."""
+        return None if self.telemetry is None else self.telemetry.export()
 
     def export_report(self) -> dict:
         """JSON-serialisable forensic report of the session.

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from ..telemetry.events import ScoreDelta, UnionBoost
 from .config import CryptoDropConfig
 from .indicators import PRIMARY, IndicatorHit
 
@@ -79,8 +80,9 @@ class ProcessScore:
 class Scoreboard:
     """All process scores for one engine instance."""
 
-    def __init__(self, config: CryptoDropConfig) -> None:
+    def __init__(self, config: CryptoDropConfig, telemetry=None) -> None:
         self.config = config
+        self.telemetry = telemetry
         self._rows: Dict[int, ProcessScore] = {}
 
     def row(self, root_pid: int, name: str = "") -> ProcessScore:
@@ -104,6 +106,10 @@ class Scoreboard:
         row.history.append(ScoreEvent(timestamp_us, hit.indicator,
                                       hit.points, row.score, path,
                                       hit.detail))
+        if self.telemetry is not None:
+            self.telemetry.bus.emit(ScoreDelta(
+                timestamp_us, root_pid=root_pid, indicator=hit.indicator,
+                points=hit.points, score_after=row.score, path=path))
         if hit.primary_flag:
             row.flags.add(hit.primary_flag)
             self._maybe_union(row, timestamp_us, path)
@@ -129,6 +135,12 @@ class Scoreboard:
             row.history.append(ScoreEvent(
                 timestamp_us, "union", self.config.union_bonus, row.score,
                 path, "all three primary indicators present"))
+            if self.telemetry is not None:
+                self.telemetry.union_boosts.inc()
+                self.telemetry.bus.emit(UnionBoost(
+                    timestamp_us, root_pid=row.root_pid,
+                    bonus=self.config.union_bonus, score_after=row.score,
+                    threshold_after=row.threshold, path=path))
 
     def union_count(self) -> int:
         return sum(1 for row in self._rows.values() if row.union_fired)

@@ -185,3 +185,19 @@ class BaselineStore:
             "build_seconds": round(self.build_seconds, 6),
             "backend": self.backend,
         }
+
+    def emit_built(self, telemetry, timestamp_us: float = 0.0) -> None:
+        """Announce this store on a telemetry session's bus.
+
+        Builds happen once per campaign, usually before any monitor (and
+        so any bus clock) exists, hence the explicit timestamp.  Imported
+        lazily: the store itself has no telemetry dependency.
+        """
+        if telemetry is None:
+            return
+        from ..telemetry.events import StoreBuilt
+        telemetry.bus.emit(StoreBuilt(
+            timestamp_us, entries=len(self._entries),
+            total_bytes=self.total_bytes,
+            build_seconds=round(self.build_seconds, 6),
+            backend=self.backend))

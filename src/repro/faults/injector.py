@@ -25,6 +25,7 @@ from typing import Callable, Optional
 from ..fs.events import Decision, FsOperation, OpKind
 from ..fs.filters import FilterDriver, PostVerdict
 from ..fs.vfs import SYSTEM_PID
+from ..telemetry.events import FaultInjected
 from .plan import FaultPlan
 
 __all__ = ["FaultInjector"]
@@ -36,11 +37,22 @@ class FaultInjector(FilterDriver):
     name = "fault-injector"
 
     def __init__(self, plan: Optional[FaultPlan] = None,
-                 on_monitor_kill: Optional[Callable[[int], None]] = None) -> None:
+                 on_monitor_kill: Optional[Callable[[int], None]] = None,
+                 telemetry=None) -> None:
         #: called with the 1-based op index whenever a scheduled monitor
         #: kill fires (typically MonitorSupervisor.crash_and_restart)
         self.on_monitor_kill = on_monitor_kill
+        #: TelemetrySession (or anything with a ``bus``) to stream
+        #: FaultInjected events into; None keeps injection silent
+        self.telemetry = telemetry
         self.arm(plan)
+
+    def _emit(self, fault: str, op: FsOperation) -> None:
+        # only called with telemetry attached and a plan armed
+        self.telemetry.faults.inc(fault=fault)
+        self.telemetry.bus.emit(FaultInjected(
+            op.timestamp_us, fault=fault, op_index=self.op_index,
+            op_kind=op.kind.value, path=str(op.path)))
 
     def arm(self, plan: Optional[FaultPlan]) -> None:
         """Install ``plan`` (or disarm with None) and reset all state."""
@@ -80,15 +92,21 @@ class FaultInjector(FilterDriver):
         if plan.latency_spike_rate and rng.random() < plan.latency_spike_rate:
             self._pending_latency_us += plan.latency_spike_us
             self.latency_spikes += 1
+            if self.telemetry is not None:
+                self._emit("latency_spike", op)
         if (plan.short_read_rate and op.kind is OpKind.READ
                 and rng.random() < plan.short_read_rate):
             op.context["fault_read_factor"] = plan.short_read_factor
             self.short_reads += 1
+            if self.telemetry is not None:
+                self._emit("short_read", op)
         if (plan.deny_rate and op.kind in plan.deny_kinds
                 and (plan.max_denials is None
                      or self.denials < plan.max_denials)
                 and rng.random() < plan.deny_rate):
             self.denials += 1
+            if self.telemetry is not None:
+                self._emit("deny", op)
             return Decision.DENY
         return Decision.ALLOW
 
@@ -98,6 +116,8 @@ class FaultInjector(FilterDriver):
         while self._kills and self.op_index >= self._kills[0]:
             self._kills.popleft()
             self.kills_fired += 1
+            if self.telemetry is not None:
+                self._emit("monitor_kill", op)
             if self.on_monitor_kill is not None:
                 self.on_monitor_kill(self.op_index)
         return PostVerdict.ALLOW

@@ -100,26 +100,15 @@ def collect(engine) -> PerfStats:
     Accepts either an :class:`~repro.core.engine.AnalysisEngine` or a
     :class:`~repro.core.monitor.CryptoDropMonitor` (anything with an
     ``engine`` attribute is unwrapped first).
+
+    Compatibility shim: the collection logic now lives in
+    :func:`repro.telemetry.metrics.collect_perfstats` (the metrics
+    registry absorbed these counters); this entry point and the
+    :class:`PerfStats` schema are stable.  The import is deferred because
+    ``telemetry.metrics`` imports :class:`PerfStats` from here.
     """
-    engine = getattr(engine, "engine", engine)
-    cache_stats = engine.cache.digest_cache.stats()
-    return PerfStats(
-        digest_cache_hits=cache_stats["hits"],
-        digest_cache_misses=cache_stats["misses"],
-        digest_cache_evictions=cache_stats["evictions"],
-        digest_cache_entries=cache_stats["entries"],
-        digest_cache_capacity=cache_stats["capacity"],
-        store_hits=cache_stats["store_hits"],
-        store_misses=cache_stats["store_misses"],
-        deferred_digests=cache_stats["deferred"],
-        bytes_digested=cache_stats["bytes_digested"],
-        bytes_closed=engine.bytes_closed,
-        bytes_inspected=engine.bytes_inspected,
-        tracked_files=len(engine.cache),
-        detections=len(engine.detections),
-        op_counts=dict(engine.op_counts),
-        op_wall_us=dict(engine.op_wall_us),
-    )
+    from .telemetry.metrics import collect_perfstats
+    return collect_perfstats(engine)
 
 
 def merge_perf_dicts(dicts: Iterable[dict]) -> dict:

@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..core.config import CryptoDropConfig
 from ..corpus.builder import GeneratedCorpus, generate
 from ..perfstats import merge_perf_dicts
+from ..telemetry import TelemetrySession, merge_telemetry_dicts
 from .machine import VirtualMachine
 from .runner import SampleResult, run_sample
 
@@ -24,13 +25,22 @@ __all__ = ["CampaignResult", "run_campaign", "cull_haul",
 
 
 def store_for_config(corpus: GeneratedCorpus,
-                     config: Optional[CryptoDropConfig]):
-    """The corpus's (cached) BaselineStore matching a detector config."""
+                     config: Optional[CryptoDropConfig],
+                     telemetry=None):
+    """The corpus's (cached) BaselineStore matching a detector config.
+
+    With a telemetry session attached, the resolved store announces
+    itself (a ``StoreBuilt`` event) — once per campaign, from the parent
+    process, before any monitor exists.
+    """
     config = config or CryptoDropConfig()
-    return corpus.baseline_store(
+    store = corpus.baseline_store(
         backend=config.similarity_backend,
         max_inspect_bytes=config.max_inspect_bytes,
         digests_enabled=config.enable_similarity)
+    if telemetry is not None:
+        store.emit_built(telemetry)
+    return store
 
 ProgressFn = Callable[[int, int, SampleResult], None]
 
@@ -43,6 +53,10 @@ class CampaignResult:
     #: campaign-level execution counters (wall seconds, throughput,
     #: workers, baseline-store identity) filled by the runners
     perf: dict = field(default_factory=dict, compare=False)
+    #: campaign-level telemetry snapshot (``TelemetrySession.export()``
+    #: of the parent's session — store-build events and the like); None
+    #: when the campaign ran without telemetry
+    telemetry: Optional[dict] = field(default=None, compare=False)
 
     def perf_stats(self) -> dict:
         """``monitor.stats()``-style aggregate of per-sample engine
@@ -52,6 +66,16 @@ class CampaignResult:
                                    if r.perf is not None])
         merged.update(self.perf)
         return merged
+
+    def telemetry_stats(self) -> dict:
+        """Campaign-wide telemetry aggregate, the analogue of
+        :meth:`perf_stats`: every per-sample (or per-worker)
+        ``TelemetrySession.export()`` snapshot merged — metric states
+        add, per-kind event counts add — plus the campaign-level
+        snapshot in :attr:`telemetry` (store builds etc.)."""
+        return merge_telemetry_dicts(
+            [r.telemetry for r in self.results if r.telemetry is not None]
+            + ([self.telemetry] if self.telemetry is not None else []))
 
     # -- headline metrics -----------------------------------------------------
 
@@ -145,7 +169,11 @@ def run_campaign(samples: Sequence, corpus: Optional[GeneratedCorpus] = None,
     corpus = corpus or generate()
     journal = coerce_journal(journal)
     done = journal.load() if journal is not None else {}
-    store = store_for_config(corpus, config) if use_baseline_store else None
+    # the campaign's own session captures parent-side events (store
+    # builds); per-sample sessions live inside each run's monitor
+    session = TelemetrySession.from_config(config or CryptoDropConfig())
+    store = store_for_config(corpus, config, telemetry=session) \
+        if use_baseline_store else None
     machine = VirtualMachine(corpus, baseline_store=store)
     machine.snapshot()
     campaign = CampaignResult()
@@ -170,6 +198,8 @@ def run_campaign(samples: Sequence, corpus: Optional[GeneratedCorpus] = None,
         "workers": 1,
         "baseline_store": None if store is None else store.describe(),
     }
+    if session is not None:
+        campaign.telemetry = session.export()
     return campaign
 
 

@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.config import CryptoDropConfig
 from ..corpus.builder import GeneratedCorpus, generate
 from ..ransomware import instantiate
+from ..telemetry import TelemetrySession
 from .campaign import CampaignResult, store_for_config
 from .journal import CampaignJournal, coerce_journal
 from .machine import VirtualMachine
@@ -156,7 +157,12 @@ def run_campaign_parallel(samples: Sequence,
             "concurrent parallel campaigns would silently share the wrong "
             "corpus.  Run campaigns sequentially, or use workers=1 for the "
             "serial path.")
-    store = store_for_config(corpus, config) if use_baseline_store else None
+    # Parent-side session: captures the store build.  Per-sample
+    # telemetry snapshots are produced inside each worker's monitor and
+    # ride home on the pickled SampleResult like perf counters do.
+    session = TelemetrySession.from_config(config or CryptoDropConfig())
+    store = store_for_config(corpus, config, telemetry=session) \
+        if use_baseline_store else None
     _PARENT_CORPUS = corpus
     _PARENT_STORE = store
     started = time.perf_counter()
@@ -205,6 +211,8 @@ def run_campaign_parallel(samples: Sequence,
         "workers": workers,
         "baseline_store": None if store is None else store.describe(),
     }
+    if session is not None:
+        campaign.telemetry = session.export()
     return campaign
 
 

@@ -18,6 +18,7 @@ from ..fs.events import OpKind
 from ..fs.paths import WinPath
 from ..fs.recorder import OperationRecorder
 from ..perfstats import collect
+from ..telemetry.timeline import indicator_totals
 from .machine import RunOutcome, VirtualMachine
 
 __all__ = ["BenignResult", "SampleResult", "errored_result", "run_benign",
@@ -59,6 +60,12 @@ class SampleResult:
     #: not journalled, excluded from equality so journal round trips stay
     #: exact
     perf: Optional[dict] = field(default=None, repr=False, compare=False)
+    #: per-sample telemetry snapshot (``TelemetrySession.export()``:
+    #: ring events + metric state); None unless the run's config enabled
+    #: telemetry.  Transient like :attr:`perf` — not journalled, excluded
+    #: from equality.
+    telemetry: Optional[dict] = field(default=None, repr=False,
+                                      compare=False)
 
     @property
     def is_working_detection(self) -> bool:
@@ -167,14 +174,17 @@ def _run_sample_attached(machine: VirtualMachine, sample,
         disposal=profile.class_c_disposal,
         traversal=profile.traversal,
         cipher=profile.cipher_kind,
-        indicator_points={
-            indicator: sum(e.points for e in row.history
-                           if e.indicator == indicator)
-            for indicator in {e.indicator for e in row.history}},
+        indicator_points=indicator_totals(row.history),
     )
     result.perf = collect(monitor).as_dict()
     if detection is not None:
         detection.files_lost = damage.files_lost
+    if monitor.telemetry is not None:
+        # damage is only measurable post-assessment, so the detection
+        # latency histogram is fed here, not at the suspension emit point
+        if detection is not None:
+            monitor.telemetry.observe_files_lost(damage.files_lost)
+        result.telemetry = monitor.telemetry_export()
     return result
 
 

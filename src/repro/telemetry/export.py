@@ -1,0 +1,242 @@
+"""Telemetry exporters: JSONL event logs and Prometheus text format.
+
+Two consumers, two formats:
+
+* **JSONL** for the event stream — one event per line, append-friendly,
+  replayable through :func:`read_jsonl` / ``event_from_dict`` so an
+  archived incident feeds the timeline builder exactly like a live bus.
+  :class:`JsonlWriter` doubles as a bus subscriber, which is how streams
+  larger than the ring buffer are archived without loss.
+* **Prometheus text exposition** for the metrics registry — the format
+  every scraping stack speaks.  :func:`render_prometheus` emits the
+  0.0.4 text format (HELP/TYPE headers, cumulative ``_bucket`` series
+  with ``le`` labels, ``_sum``/``_count``); :func:`validate_exposition`
+  is a small structural parser used by the tests so "parses as valid
+  exposition" is checked in-repo, without a prometheus client dep.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import IO, Iterable, List, Optional, Union
+
+from .events import TelemetryEvent, event_from_dict
+from .metrics import Counter, Histogram, MetricsRegistry
+
+__all__ = [
+    "JsonlWriter", "write_jsonl", "read_jsonl",
+    "render_prometheus", "validate_exposition",
+]
+
+
+# ---------------------------------------------------------------------------
+# JSONL event log
+# ---------------------------------------------------------------------------
+
+class JsonlWriter:
+    """Append events to a JSONL file; usable as an ``EventBus`` subscriber.
+
+    The file handle opens lazily on the first event and is line-buffered
+    flushed per event, so a crashed run still leaves a readable log (the
+    same durability posture as ``sandbox.journal``).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.written = 0
+        self._fh: Optional[IO[str]] = None
+
+    def __call__(self, event: TelemetryEvent) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
+        self._fh.write(json.dumps(event.as_dict(), sort_keys=True) + "\n")
+        self._fh.flush()
+        self.written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def write_jsonl(events: Iterable[TelemetryEvent],
+                path: Union[str, Path]) -> int:
+    """Write a finished event sequence in one pass; returns lines written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    n = 0
+    with path.open("w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event.as_dict(), sort_keys=True) + "\n")
+            n += 1
+    return n
+
+
+def read_jsonl(path: Union[str, Path]) -> List[TelemetryEvent]:
+    """Load an archived event log back into typed events."""
+    events: List[TelemetryEvent] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(event_from_dict(json.loads(line)))
+    return events
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition (version 0.0.4)
+# ---------------------------------------------------------------------------
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _labels_text(pairs) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every registry instrument as text exposition format."""
+    lines: List[str] = []
+    for metric in registry.metrics():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.metric_type}")
+        if isinstance(metric, Histogram):
+            for key, series in metric.series():
+                cumulative = 0
+                for bound, n in zip(metric.bounds + (math.inf,),
+                                    series.bucket_counts):
+                    cumulative += n
+                    pairs = key + (("le", _format_value(bound)),)
+                    lines.append(f"{metric.name}_bucket"
+                                 f"{_labels_text(pairs)} {cumulative}")
+                lines.append(f"{metric.name}_sum{_labels_text(key)} "
+                             f"{_format_value(series.sum)}")
+                lines.append(f"{metric.name}_count{_labels_text(key)} "
+                             f"{series.count}")
+        elif isinstance(metric, Counter):   # Gauge subclasses Counter
+            for key, value in metric.series():
+                lines.append(f"{metric.name}{_labels_text(key)} "
+                             f"{_format_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Structurally check Prometheus text format; returns problems found.
+
+    Covers what the tests (and a scraper) care about: declared TYPEs,
+    samples only for declared metrics, parseable label blocks and float
+    values, histogram ``le`` buckets cumulative and ``_count`` equal to
+    the ``+Inf`` bucket.
+    """
+    problems: List[str] = []
+    declared: dict = {}
+    bucket_state: dict = {}
+    counts: dict = {}
+
+    def base_name(sample: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample.endswith(suffix) and sample[:-len(suffix)] in declared \
+                    and declared[sample[:-len(suffix)]] == "histogram":
+                return sample[:-len(suffix)]
+        return sample
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge",
+                                                   "histogram", "summary",
+                                                   "untyped"):
+                problems.append(f"line {lineno}: malformed TYPE line")
+            else:
+                declared[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            problems.append(f"line {lineno}: unknown comment form")
+            continue
+        # sample line: name{labels} value
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            problems.append(f"line {lineno}: no value")
+            continue
+        if value_part not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value_part)
+            except ValueError:
+                problems.append(f"line {lineno}: bad value {value_part!r}")
+                continue
+        labels = {}
+        if "{" in name_part:
+            if not name_part.endswith("}"):
+                problems.append(f"line {lineno}: unterminated label block")
+                continue
+            name, _, label_body = name_part.partition("{")
+            for chunk in label_body[:-1].split(","):
+                if not chunk:
+                    continue
+                lname, eq, lvalue = chunk.partition("=")
+                if eq != "=" or not (lvalue.startswith('"')
+                                     and lvalue.endswith('"')):
+                    problems.append(f"line {lineno}: bad label {chunk!r}")
+                    break
+                labels[lname] = lvalue[1:-1]
+        else:
+            name = name_part
+        base = base_name(name)
+        if base not in declared:
+            problems.append(f"line {lineno}: sample {name!r} has no TYPE")
+            continue
+        if declared[base] == "histogram":
+            series_key = (base, tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le")))
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    problems.append(f"line {lineno}: bucket without le")
+                    continue
+                cumulative = float("inf") if labels["le"] == "+Inf" \
+                    else float(value_part)
+                prev = bucket_state.get(series_key)
+                observed = float(value_part)
+                if prev is not None and observed < prev:
+                    problems.append(
+                        f"line {lineno}: non-cumulative histogram buckets")
+                bucket_state[series_key] = observed
+                if labels["le"] == "+Inf":
+                    counts.setdefault(series_key, {})["inf"] = observed
+            elif name.endswith("_count"):
+                counts.setdefault(series_key, {})["count"] = \
+                    float(value_part)
+    for series_key, seen in counts.items():
+        if "inf" in seen and "count" in seen and seen["inf"] != seen["count"]:
+            problems.append(
+                f"{series_key[0]}: _count != +Inf bucket")
+    return problems

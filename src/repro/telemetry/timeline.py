@@ -1,0 +1,219 @@
+"""Per-process detection narratives rebuilt from the telemetry stream.
+
+The event bus records *everything that happened*; this module answers the
+analyst's question — *how did this process get caught?* — by folding the
+stream into a :class:`DetectionTimeline`: the ordered indicator hits with
+their score contributions, the union transition, and the suspension
+verdict, for one process family.
+
+It is also the one home for indicator attribution arithmetic.  Three
+shapes of score journal exist in the repo (``ScoreEvent`` rows on the
+scoreboard, ``(timestamp, score, indicator)`` trajectory tuples on
+``BenignResult``, and ``ScoreDelta`` telemetry events) and the examples
+used to re-derive per-indicator totals from each shape independently;
+:func:`indicator_totals` accepts all three so that bookkeeping lives in
+exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from .events import (ProcessSuspended, ScoreDelta, TelemetryEvent,
+                     UnionBoost)
+
+__all__ = ["TimelineEntry", "DetectionTimeline", "build_timeline",
+           "timelines_by_process", "indicator_totals",
+           "merge_indicator_totals"]
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One step of a process's score trajectory."""
+
+    timestamp_us: float
+    indicator: str
+    points: float
+    score_after: float
+    path: str = ""
+
+    @property
+    def is_union(self) -> bool:
+        return self.indicator == "union"
+
+
+@dataclass
+class DetectionTimeline:
+    """The detection narrative for one process family."""
+
+    root_pid: int
+    process_name: str = ""
+    entries: List[TimelineEntry] = field(default_factory=list)
+    union: Optional[UnionBoost] = None
+    suspension: Optional[ProcessSuspended] = None
+    #: filled in post-assessment by the caller (damage is only known
+    #: after the run); None until then
+    files_lost: Optional[int] = None
+
+    @property
+    def detected(self) -> bool:
+        return self.suspension is not None
+
+    @property
+    def final_score(self) -> float:
+        if self.suspension is not None:
+            return self.suspension.score
+        return self.entries[-1].score_after if self.entries else 0.0
+
+    @property
+    def union_fired(self) -> bool:
+        return self.union is not None
+
+    def files_touched(self) -> List[str]:
+        """Unique scoring paths in first-hit order."""
+        seen: Dict[str, None] = {}
+        for entry in self.entries:
+            if entry.path and entry.path not in seen:
+                seen[entry.path] = None
+        return list(seen)
+
+    def score_trajectory(self) -> List[tuple]:
+        """``(timestamp_us, cumulative_score)`` pairs, emit order."""
+        return [(e.timestamp_us, e.score_after) for e in self.entries]
+
+    def indicator_totals(self) -> Dict[str, float]:
+        return indicator_totals(self.entries)
+
+    def render(self, max_rows: int = 0) -> str:
+        """Human-readable narrative (the ``detection_timeline`` example)."""
+        name = self.process_name or f"pid {self.root_pid}"
+        lines = [f"detection timeline — {name} (root pid {self.root_pid})"]
+        entries = self.entries
+        elided = 0
+        if max_rows and len(entries) > max_rows:
+            head = max_rows // 2
+            tail = max_rows - head
+            elided = len(entries) - max_rows
+            entries = entries[:head] + entries[-tail:]
+        cut = len(entries) - (max_rows - max_rows // 2) if elided else -1
+        for i, e in enumerate(entries):
+            if elided and i == cut:
+                lines.append(f"  ... {elided} events elided ...")
+            marker = "*" if e.is_union else " "
+            lines.append(
+                f" {marker}t={e.timestamp_us/1e6:10.3f}s "
+                f"{e.indicator:<12} {e.points:+7.1f} -> {e.score_after:7.1f}"
+                f"  {e.path}")
+        if self.union is not None:
+            lines.append(
+                f"  union indication: +{self.union.bonus:.0f} bonus, "
+                f"threshold lowered to {self.union.threshold_after:.0f}")
+        if self.suspension is not None:
+            s = self.suspension
+            verb = "suspended" if s.suspended else "flagged (alert-only)"
+            lines.append(
+                f"  {verb} at score {s.score:.1f} >= "
+                f"threshold {s.threshold:.0f} on {s.trigger_op} "
+                f"{s.trigger_path}")
+            if self.files_lost is not None:
+                lines.append(f"  files lost before suspension: "
+                             f"{self.files_lost}")
+        else:
+            lines.append(f"  no detection (final score "
+                         f"{self.final_score:.1f})")
+        totals = self.indicator_totals()
+        if totals:
+            ranked = sorted(totals.items(), key=lambda kv: -kv[1])
+            lines.append("  attribution: " + ", ".join(
+                f"{ind}={pts:.0f}" for ind, pts in ranked))
+        return "\n".join(lines)
+
+
+def build_timeline(events: Iterable[TelemetryEvent],
+                   root_pid: Optional[int] = None) -> DetectionTimeline:
+    """Fold an event stream into one process's timeline.
+
+    With ``root_pid=None`` the subject is picked automatically: the first
+    suspended process, else the process with the highest final score —
+    which in a single-sample run is the sample itself.
+    """
+    per_pid = timelines_by_process(events)
+    if not per_pid:
+        return DetectionTimeline(root_pid=root_pid or 0)
+    if root_pid is not None:
+        return per_pid.get(root_pid, DetectionTimeline(root_pid=root_pid))
+    for timeline in per_pid.values():
+        if timeline.detected:
+            return timeline
+    return max(per_pid.values(), key=lambda t: t.final_score)
+
+
+def timelines_by_process(events: Iterable[TelemetryEvent]
+                         ) -> Dict[int, DetectionTimeline]:
+    """All per-process timelines present in an event stream."""
+    out: Dict[int, DetectionTimeline] = {}
+
+    def timeline(pid: int) -> DetectionTimeline:
+        t = out.get(pid)
+        if t is None:
+            t = out[pid] = DetectionTimeline(root_pid=pid)
+        return t
+
+    for event in events:
+        if isinstance(event, ScoreDelta):
+            timeline(event.root_pid).entries.append(TimelineEntry(
+                event.timestamp_us, event.indicator, event.points,
+                event.score_after, event.path))
+        elif isinstance(event, UnionBoost):
+            t = timeline(event.root_pid)
+            t.union = event
+            t.entries.append(TimelineEntry(
+                event.timestamp_us, "union", event.bonus,
+                event.score_after, event.path))
+        elif isinstance(event, ProcessSuspended):
+            t = timeline(event.root_pid)
+            if t.suspension is None:
+                t.suspension = event
+            if event.process_name and not t.process_name:
+                t.process_name = event.process_name
+    return out
+
+
+def indicator_totals(history) -> Dict[str, float]:
+    """Total reputation points per indicator, from any journal shape.
+
+    Accepts ``ScoreEvent`` rows / :class:`TimelineEntry` / ``ScoreDelta``
+    events (anything with ``indicator`` and ``points``), or the
+    ``BenignResult.trajectory`` tuple shape ``(timestamp_us, score_after,
+    indicator)`` where per-event points are recovered from consecutive
+    cumulative scores (legacy 2-tuples lack the indicator and are
+    skipped).
+    """
+    totals: Dict[str, float] = {}
+    previous_score = 0.0
+    for entry in history:
+        if isinstance(entry, tuple):
+            if len(entry) < 3:
+                previous_score = entry[1] if len(entry) > 1 else 0.0
+                continue
+            indicator = entry[2]
+            points = entry[1] - previous_score
+            previous_score = entry[1]
+        else:
+            indicator = entry.indicator
+            points = entry.points
+        if not indicator:
+            continue
+        totals[indicator] = totals.get(indicator, 0.0) + points
+    return totals
+
+
+def merge_indicator_totals(totals: Iterable[Dict[str, float]]
+                           ) -> Dict[str, float]:
+    """Fold many per-sample attribution dicts into one (campaign view)."""
+    merged: Dict[str, float] = {}
+    for one in totals:
+        for indicator, points in one.items():
+            merged[indicator] = merged.get(indicator, 0.0) + points
+    return merged

@@ -83,7 +83,8 @@ class TraceRecorder(FilterDriver):
 
 
 def replay_trace(records: List[TraceRecord], corpus: GeneratedCorpus,
-                 config: Optional[CryptoDropConfig] = None
+                 config: Optional[CryptoDropConfig] = None,
+                 telemetry=None
                  ) -> Tuple[CryptoDropMonitor, VirtualMachine]:
     """Re-execute a trace on a fresh machine under a fresh detector.
 
@@ -92,11 +93,18 @@ def replay_trace(records: List[TraceRecord], corpus: GeneratedCorpus,
     and replay stops early if the detector suspends the offending process
     — returning the monitor so the caller can compare detections across
     configurations.
+
+    ``telemetry`` accepts a :class:`~repro.telemetry.TelemetrySession`
+    to stream the replayed detection into — an archived incident then
+    yields the same event sequence (modulo timestamps and replay pids) a
+    live capture did, feeding the timeline builder or a JSONL sink.
+    Omitted, the replay monitor still honours
+    ``config.telemetry_enabled``.
     """
     machine = VirtualMachine(corpus)
     machine.snapshot()
     vfs = machine.vfs
-    monitor = CryptoDropMonitor(vfs, config).attach()
+    monitor = CryptoDropMonitor(vfs, config, telemetry=telemetry).attach()
     pid_map: Dict[int, int] = {}
     open_handles: Dict[Tuple[int, str], object] = {}
 

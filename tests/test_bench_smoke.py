@@ -1,9 +1,10 @@
-"""Structural smoke pass over the ``make bench`` harness (ISSUEs 2–3).
+"""Structural smoke pass over the ``make bench`` harness (ISSUEs 2–4).
 
 Runs the benchmark harness at smoke scale — seconds, not minutes — and
 checks the report's shape (via the harness's own schema validator), the
 single-digest invariant, the headline speedups, the campaign-throughput
-section, and the regression comparator's accept/reject logic.  Full
+section, the telemetry-overhead guardrail, and the regression
+comparator's accept/reject logic.  Full
 numbers live in the newest committed ``BENCH_<N>.json`` (regenerate with
 ``make bench``, gate with ``make bench-check``).
 """
@@ -101,6 +102,35 @@ class TestInvariantsAndSpeedups:
         assert sweep["store_build_seconds"] > 0
 
 
+class TestTelemetryOverhead:
+    def test_disabled_path_costs_under_two_percent(self, report):
+        # the ISSUE-4 bar: with telemetry disabled every emit point is a
+        # single None check, so the close-heavy workload must run within
+        # 2% of the (equally telemetry-free) regression-gated hot path
+        assert report["telemetry_overhead"]["disabled_vs_baseline"] < 1.02
+
+    def test_enabled_path_captures_events(self, report):
+        assert report["telemetry_overhead"]["events_captured"] > 0
+
+    def test_counters_identical_either_way(self, report):
+        # telemetry observes the engine; it must never perturb what the
+        # engine counts
+        assert report["telemetry_overhead"]["counters_identical"]
+        assert report["invariants"]["telemetry_counters_identical"]
+
+    def test_detection_results_identical_either_way(self, report):
+        assert report["telemetry_overhead"]["campaign_results_identical"]
+        assert report["invariants"]["telemetry_results_identical"]
+
+    def test_schema_validator_requires_section(self, report):
+        broken = copy.deepcopy(report)
+        del broken["telemetry_overhead"]["disabled_vs_baseline"]
+        broken["invariants"].pop("telemetry_counters_identical")
+        problems = validate_report(broken)
+        assert any("disabled_vs_baseline" in p for p in problems)
+        assert any("telemetry_counters_identical" in p for p in problems)
+
+
 class TestComparator:
     def test_no_regression_against_self(self, report):
         assert compare_reports(report, report) == []
@@ -144,7 +174,7 @@ class TestCli:
 
     def test_committed_baseline_matches_schema(self, report):
         baseline_path = newest_baseline()
-        assert baseline_path.name == "BENCH_3.json"
+        assert baseline_path.name == "BENCH_4.json"
         baseline = json.loads(baseline_path.read_text())
         assert baseline["schema"] == report["schema"]
         assert baseline["scale"] == "full"

@@ -5,7 +5,7 @@
 
 PYTEST = PYTHONPATH=src python -m pytest -x -q
 
-.PHONY: verify test unit chaos bench bench-check telemetry-demo
+.PHONY: verify test unit chaos bench bench-smoke bench-check telemetry-demo
 
 # the default pre-merge gate: tier-1 tests, then the hot-path regression
 # check against the newest committed BENCH_<N>.json
@@ -22,12 +22,18 @@ unit:
 chaos:
 	$(PYTEST) -m chaos tests/test_chaos.py tests/test_faults.py
 
-# full hot-path benchmark harness → BENCH_4.json (see docs/performance.md)
+# full hot-path benchmark harness → BENCH_5.json (see docs/performance.md)
 bench:
 	PYTHONPATH=src python benchmarks/run_bench.py
 	PYTHONPATH=src:benchmarks python -m pytest -q \
 		benchmarks/bench_performance.py benchmarks/bench_close_path.py \
 		benchmarks/bench_compare_batch.py
+
+# seconds-scale harness pass: validates every bench section end-to-end
+# without the full-scale timings (CI runs this on every push)
+bench-smoke:
+	PYTHONPATH=src python benchmarks/run_bench.py --smoke \
+		--output /tmp/BENCH.smoke.json
 
 # regression gate: rerun the harness and fail on >25% hot-path slowdown
 # against the newest committed BENCH_<N>.json baseline

@@ -78,6 +78,13 @@ def main(argv=None) -> int:
     baseline_path = args.baseline or newest_baseline()
     baseline = json.loads(baseline_path.read_text())
     current = json.loads(args.current.read_text())
+    if not isinstance(baseline.get("speedups"), dict):
+        # A baseline without its speedups section is corrupt or truncated;
+        # silently passing against it would hide real regressions.
+        print(f"error: baseline {baseline_path.name} has no 'speedups' "
+              f"section — regenerate it with benchmarks/run_bench.py",
+              file=sys.stderr)
+        return 2
     try:
         regressions = compare_reports(baseline, current, args.threshold)
     except ValueError as exc:

@@ -1,4 +1,4 @@
-"""Hot-path benchmark harness → ``BENCH_4.json``.
+"""Hot-path benchmark harness → ``BENCH_5.json``.
 
 Times the engine's performance-critical paths directly (no pytest
 overhead) and writes a machine-comparable JSON report:
@@ -9,9 +9,12 @@ overhead) and writes a machine-comparable JSON report:
   baseline.
 * ``speedups`` — vectorised-vs-scalar ratios for the sdhash digest and
   the batched all-pairs compare, cached-vs-uncached for the close-heavy
-  engine campaign, and store-vs-BENCH_2-era-path for the campaign
+  engine campaign, store-vs-BENCH_2-era-path for the campaign
   throughput sweep (the ISSUE-3 headline: shared BaselineStore + lazy
-  close digests versus per-sample eager digesting).
+  close digests versus per-sample eager digesting), and the ISSUE-5
+  batch-kernel ratios: ``digest_many`` versus a per-file digest loop on
+  a small-document batch, and the batched store build versus the serial
+  reference loop.
 * ``counters`` — the perfstats snapshot of the close-heavy campaign,
   including the single-digest invariant (bytes digested ≤ bytes closed).
 * ``campaign`` — throughput and merged engine counters for the
@@ -40,9 +43,11 @@ import random
 import sys
 import time
 from pathlib import Path
+from types import SimpleNamespace
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.corpus.baselines import BaselineStore
 from repro.corpus.builder import generate
 from repro.corpus.spec import default_spec
 from repro.corpus.wordlists import paragraphs
@@ -53,14 +58,18 @@ from repro.ransomware import instantiate
 from repro.ransomware.factory import working_cohort
 from repro.sandbox import (VirtualMachine, run_campaign,
                            run_campaign_parallel, store_for_config)
-from repro.simhash.sdhash import (compare, compare_scalar, sdhash,
-                                  sdhash_scalar)
+from repro.simhash.sdhash import (compare, compare_scalar, digest_many,
+                                  sdhash, sdhash_scalar)
 
-DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_4.json"
-SCHEMA_VERSION = 4
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_5.json"
+SCHEMA_VERSION = 5
 
 #: minimum store-vs-eager campaign speedup gated at full scale
 CAMPAIGN_SPEEDUP_FLOOR = 3.0
+#: minimum digest_many-vs-per-file speedup on a 32-document batch
+DIGEST_MANY_SPEEDUP_FLOOR = 2.0
+#: minimum batched-vs-serial store build speedup on a small-doc corpus
+STORE_BUILD_SPEEDUP_FLOOR = 3.0
 
 
 def _text(seed: int, approx_bytes: int) -> bytes:
@@ -370,6 +379,96 @@ def untouched_corpus_digest_bytes(n_files: int, n_dirs: int,
     return stats.bytes_digested
 
 
+# -- batched digest kernel + scheduler (ISSUE 5) ---------------------------
+
+
+def _small_docs(n_docs: int, seed_base: int) -> list:
+    """600–1200 byte text documents — the small-file tail of the paper's
+    corpus (§V-A measures a median document under 10 KB), which is where
+    per-file dispatch overhead dominates the digest arithmetic and the
+    batched kernel pays most."""
+    return [_text(seed_base + i, 600 + (i * 37) % 601)
+            for i in range(n_docs)]
+
+
+def digest_many_section(n_docs: int, repeats: int,
+                        scalar_repeats: int) -> tuple:
+    """``digest_many`` vs a per-file ``sdhash`` loop over one batch.
+
+    Returns ``(seconds, speedup, identical)`` — the identity leg checks
+    every batched digest against its per-file hexdigest before any
+    timing is trusted.
+    """
+    docs = _small_docs(n_docs, seed_base=100)
+    per_file = [sdhash(d) for d in docs]
+    batched = digest_many(docs)
+    identical = len(batched) == len(per_file) and all(
+        (a is None and b is None)
+        or (a is not None and b is not None
+            and a.hexdigest() == b.hexdigest())
+        for a, b in zip(batched, per_file))
+    seconds, speedup = _fast_vs_slow(
+        lambda: digest_many(docs),
+        lambda: [sdhash(d) for d in docs],
+        repeats, scalar_repeats)
+    return seconds, speedup, identical
+
+
+def store_build_section(n_docs: int, repeats: int,
+                        scalar_repeats: int) -> dict:
+    """Batched vs serial :meth:`BaselineStore.build` on small documents.
+
+    The serial reference loop pays identify + digest + entropy dispatch
+    per file; the batched build runs one ``digest_many`` pass and shared
+    histogram scatters.  Entries must be bit-identical (fingerprint,
+    digests, entropies) before the timing ratio counts.
+    """
+    contents = {f"docs/note{i}.txt": doc
+                for i, doc in enumerate(_small_docs(n_docs, seed_base=500))}
+    corpus = SimpleNamespace(contents=contents, seed=977)
+    serial = BaselineStore.build(corpus, batched=False)
+    batched = BaselineStore.build(corpus, batched=True)
+    identical = (serial.fingerprint == batched.fingerprint
+                 and serial.total_bytes == batched.total_bytes
+                 and all(
+                     a.entropy == b.entropy and a.file_type == b.file_type
+                     and (a.digest.hexdigest() if a.digest else None)
+                         == (b.digest.hexdigest() if b.digest else None)
+                     for a, b in ((serial._entries[k], batched._entries[k])
+                                  for k in serial._entries)))
+    seconds, speedup = _fast_vs_slow(
+        lambda: BaselineStore.build(corpus, batched=True),
+        lambda: BaselineStore.build(corpus, batched=False),
+        repeats, scalar_repeats)
+    return {
+        "documents": n_docs,
+        "entries": len(batched),
+        "seconds_batched": round(seconds, 6),
+        "speedup": speedup,
+        "entries_identical": identical,
+    }
+
+
+def batch_digests_identity(identity: dict) -> bool:
+    """Detection output must be independent of ``batch_digests``.
+
+    Storeless legs on purpose: with a corpus store attached, captures
+    resolve from the store and never defer, so the storeless
+    configuration is the one that actually routes deferred captures
+    through the scheduler's batched flushes.
+    """
+    corpus = _bench_corpus(identity["n_files"], identity["n_dirs"])
+    profiles = _bench_cohort(identity["cohort"])
+    runs = {}
+    for label, batching in (("on", True), ("off", False)):
+        config = CryptoDropConfig(batch_digests=batching)
+        runs[label] = run_campaign([instantiate(p) for p in profiles],
+                                   corpus, config,
+                                   use_baseline_store=False)
+    return (_result_fingerprint(runs["on"])
+            == _result_fingerprint(runs["off"]))
+
+
 def run(smoke: bool = False) -> dict:
     if smoke:
         digest_payload = 32 * 1024
@@ -379,14 +478,18 @@ def run(smoke: bool = False) -> dict:
         throughput = dict(n_files=8, n_dirs=4, cohort=6, rounds=1)
         overhead_rounds = 4
         identity = dict(n_files=6, n_dirs=3, cohort=4)
+        batch_docs, store_docs = 16, 128
+        batch_repeats, batch_scalar_repeats = 3, 2
     else:
         digest_payload = 128 * 1024
         repeats, scalar_repeats = 9, 3
         n_filters = 32
         campaign = dict(n_files=24, rewrites=6, payload=48 * 1024)
-        throughput = dict(n_files=36, n_dirs=10, cohort=50, rounds=2)
+        throughput = dict(n_files=36, n_dirs=10, cohort=50, rounds=3)
         overhead_rounds = 5
         identity = dict(n_files=12, n_dirs=6, cohort=10)
+        batch_docs, store_docs = 32, 1024
+        batch_repeats, batch_scalar_repeats = 9, 4
 
     payload = _text(3, digest_payload)
     hot_paths = {}
@@ -422,6 +525,16 @@ def run(smoke: bool = False) -> dict:
     speedups["close_path_cached_vs_uncached"] = max(
         max(cache_ratios), uncached_s / cached_s)
 
+    (hot_paths["digest_many_batch"],
+     speedups["digest_many_vs_per_file"],
+     digest_many_identical) = digest_many_section(
+        batch_docs, batch_repeats, batch_scalar_repeats)
+
+    store_build = store_build_section(store_docs, batch_repeats,
+                                      batch_scalar_repeats)
+    hot_paths["store_build_batched"] = store_build["seconds_batched"]
+    speedups["store_build_batched_vs_serial"] = store_build["speedup"]
+
     sweep = campaign_throughput(**throughput)
     hot_paths["campaign_throughput"] = sweep["seconds_store"]
     speedups["campaign_store_vs_bench2_path"] = sweep["speedup"]
@@ -429,6 +542,7 @@ def run(smoke: bool = False) -> dict:
         n_files=throughput["n_files"] // 2, n_dirs=throughput["n_dirs"])
 
     overhead = telemetry_overhead(campaign, overhead_rounds, identity)
+    batch_identical = batch_digests_identity(identity)
 
     counters = stats.as_dict()
     invariants = {
@@ -446,10 +560,23 @@ def run(smoke: bool = False) -> dict:
         "telemetry_counters_identical": overhead["counters_identical"],
         "telemetry_results_identical":
             overhead["campaign_results_identical"],
+        # ISSUE 5: the batched kernel and the deferred-inspection
+        # scheduler are pure plumbing — every digest bit-identical to the
+        # per-file path, every store entry bit-identical to the serial
+        # build, and detection output independent of batch_digests
+        "digest_many_identical": digest_many_identical,
+        "store_build_identical": store_build["entries_identical"],
+        "batch_results_identical": batch_identical,
     }
     if not smoke:
         invariants["campaign_speedup_ge_3"] = (
             sweep["speedup"] >= CAMPAIGN_SPEEDUP_FLOOR)
+        invariants["digest_many_speedup_ge_2"] = (
+            speedups["digest_many_vs_per_file"]
+            >= DIGEST_MANY_SPEEDUP_FLOOR)
+        invariants["store_build_speedup_ge_3"] = (
+            speedups["store_build_batched_vs_serial"]
+            >= STORE_BUILD_SPEEDUP_FLOOR)
     return {
         "schema": SCHEMA_VERSION,
         "scale": "smoke" if smoke else "full",
@@ -462,6 +589,9 @@ def run(smoke: bool = False) -> dict:
         "counters": counters,
         "campaign": {k: v for k, v in sweep.items()
                      if k not in ("seconds_store",)},
+        "store_build": {k: (round(v, 2) if k == "speedup" else v)
+                        for k, v in store_build.items()},
+        "digest_batch_documents": batch_docs,
         "telemetry_overhead": overhead,
         "invariants": invariants,
         "filters_compared": len(big_a),
@@ -485,18 +615,26 @@ def validate_report(report: dict) -> list:
     need(report.get("scale") in ("smoke", "full"), "bad scale")
     hot_paths = report.get("hot_paths", {})
     for name in ("sdhash_digest", "compare_batched", "close_heavy_campaign",
-                 "campaign_throughput"):
+                 "campaign_throughput", "digest_many_batch",
+                 "store_build_batched"):
         entry = hot_paths.get(name)
         need(isinstance(entry, dict)
              and isinstance(entry.get("seconds"), (int, float))
              and entry.get("seconds", -1) > 0,
              f"hot_paths[{name}] missing or non-positive")
+    need(isinstance(report.get("speedups"), dict), "speedups missing")
     speedups = report.get("speedups", {})
     for name in ("sdhash_vectorised_vs_scalar", "compare_batched_vs_scalar",
                  "close_path_cached_vs_uncached",
-                 "campaign_store_vs_bench2_path"):
+                 "campaign_store_vs_bench2_path",
+                 "digest_many_vs_per_file",
+                 "store_build_batched_vs_serial"):
         need(isinstance(speedups.get(name), (int, float)),
              f"speedups[{name}] missing")
+    store_build = report.get("store_build", {})
+    for name in ("documents", "entries", "seconds_batched", "speedup",
+                 "entries_identical"):
+        need(name in store_build, f"store_build[{name}] missing")
     campaign = report.get("campaign", {})
     for name in ("seconds_bench2_path", "speedup", "samples",
                  "corpus_files", "store_build_seconds", "store_entries",

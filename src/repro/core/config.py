@@ -112,6 +112,13 @@ class CryptoDropConfig:
     #: bit-identical either way (a digest is a pure function of content);
     #: turn off to bound per-record memory on very long-lived monitors.
     lazy_close_digests: bool = True
+    #: materialise deferred digests through the batched ``digest_many``
+    #: kernel via the InspectionScheduler (one numpy dispatch per pending
+    #: set instead of one per file).  Flushes happen synchronously before
+    #: any comparison, score read, or checkpoint, so detection output is
+    #: bit-identical with the knob on or off; turn off to force the
+    #: scalar reference path.
+    batch_digests: bool = True
 
     # -- telemetry (repro.telemetry) -------------------------------------------
     #: structured detection telemetry: event bus + metrics registry.

@@ -26,6 +26,9 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional
 
+import numpy as np
+
+from ..entropy import corrected_entropy_from_counts
 from ..fs.errors import FsError
 from ..fs.events import Decision, FsOperation, OpKind
 from ..fs.filters import FilterDriver, PostVerdict
@@ -35,6 +38,7 @@ from ..telemetry.events import IndicatorFired, ProcessSuspended
 from .config import CryptoDropConfig
 from .detection import AlertPolicy, Detection, SuspendPolicy
 from .filestate import FileStateCache, TrackedFile
+from .schedule import InspectionScheduler
 from .indicators import (IndicatorHit, ProcessDeletionState,
                          ProcessEntropyState, ProcessFunnelState,
                          similarity_collapsed, similarity_score,
@@ -79,12 +83,25 @@ class AnalysisEngine(FilterDriver):
                                     baseline_store=baseline_store,
                                     defer_digests=self.config.lazy_close_digests,
                                     telemetry=telemetry)
+        #: deferred-digest batching: pending captures materialise through
+        #: digest_many in one flush (bit-identical detection output — the
+        #: scalar per-record path remains the reference with the knob off)
+        self.scheduler: Optional[InspectionScheduler] = None
+        if self.config.batch_digests:
+            self.scheduler = InspectionScheduler(self.cache,
+                                                 telemetry=telemetry)
+            self.cache.scheduler = self.scheduler
         self.detections: List[Detection] = []
         self._proc: Dict[int, _ProcessState] = {}
         self._whitelist: set = set()
         #: funneling memo: node_id → identified type name for offset-0
         #: reads of untracked nodes (invalidated on write/delete)
         self._read_type_memo: Dict[int, str] = {}
+        #: per-handle running byte histogram: handle_id → [counts, total]
+        #: — each write payload is bincounted exactly once, feeding both
+        #: the per-op entropy mean and the handle's cumulative stream
+        #: entropy; dropped when the handle closes
+        self._write_hists: Dict[int, list] = {}
         self._pending_cost_us = 0.0
         self.op_counts: Dict[str, int] = {}
         self.bytes_inspected = 0
@@ -242,7 +259,20 @@ class AnalysisEngine(FilterDriver):
         state = self._state(op.pid)
         if not self.config.enable_entropy:
             return
-        delta = state.entropy.on_write(op.data)
+        # one bincount per payload: the chunk histogram feeds the per-op
+        # weighted mean (bit-identical to hashing the raw bytes) and
+        # accumulates into the handle's running stream histogram
+        counts = np.bincount(np.frombuffer(op.data, dtype=np.uint8),
+                             minlength=256)
+        if op.handle_id is not None:
+            hist = self._write_hists.get(op.handle_id)
+            if hist is None:
+                self._write_hists[op.handle_id] = [counts.copy(),
+                                                   len(op.data)]
+            else:
+                hist[0] += counts
+                hist[1] += len(op.data)
+        delta = state.entropy.on_write_counts(counts, len(op.data))
         if delta is not None:
             self._apply(op, IndicatorHit(
                 "entropy", self.config.entropy_points,
@@ -251,6 +281,8 @@ class AnalysisEngine(FilterDriver):
 
     def _on_close(self, op: FsOperation) -> None:
         lat = self.config.latency
+        if op.handle_id is not None and self._write_hists:
+            self._write_hists.pop(op.handle_id, None)
         if not op.wrote_since_open or op.node_id is None:
             self._pending_cost_us += lat.other_us
             return
@@ -485,6 +517,10 @@ class AnalysisEngine(FilterDriver):
         — everything a restarted engine needs to keep scoring as if the
         crash never happened.
         """
+        if self.scheduler is not None:
+            # pending bytes never serialise: drain them as one batch
+            # before the cache walks its records
+            self.scheduler.flush()
         return {
             "version": self.CHECKPOINT_VERSION,
             "scoreboard": self.scoreboard.checkpoint(),
@@ -552,11 +588,26 @@ class AnalysisEngine(FilterDriver):
     # -- introspection helpers (examples, tests, experiments) ----------------
 
     def score_of(self, pid: int) -> float:
+        # No flush: scores update only inside post_operation, where any
+        # comparison already materialised its digests synchronously
+        # (materialise_baseline flushes).  A pending digest is by
+        # construction one no comparison has demanded, so it cannot
+        # influence any row — draining the scheduler here would digest
+        # bytes the lazy reference path never touches.
         return self.scoreboard.row(self._root_pid(pid)).score
 
     def row_of(self, pid: int):
+        # Same reasoning as score_of: pending digests are score-neutral.
         return self.scoreboard.row(self._root_pid(pid),
                                    self._proc_name(self._root_pid(pid)))
+
+    def stream_entropy_of(self, handle_id: int) -> Optional[float]:
+        """Corrected entropy of everything written through a live handle,
+        served from its running histogram — no re-count of the stream."""
+        hist = self._write_hists.get(handle_id)
+        if hist is None:
+            return None
+        return corrected_entropy_from_counts(hist[0], hist[1])
 
     def entropy_state_of(self, pid: int) -> ProcessEntropyState:
         return self._state(pid).entropy

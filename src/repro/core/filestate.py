@@ -64,6 +64,9 @@ class TrackedFile:
     #: first time a comparison actually needs it (and never, for the
     #: common delete/overwrite-without-compare flows)
     pending_content: Optional[bytes] = None
+    #: content key computed at capture time, carried alongside the
+    #: pending bytes so materialisation never re-hashes the same content
+    pending_key: Optional[bytes] = None
 
 
 @dataclass
@@ -86,6 +89,9 @@ class InspectionResult:
     size: int
     digested: bool
     deferred: bool = False
+    #: the content's 16-byte BLAKE2b cache key when one was computed —
+    #: threaded through so one close hashes its content exactly once
+    key: Optional[bytes] = None
 
 
 class DigestCache:
@@ -228,6 +234,9 @@ class FileStateCache:
         #: lazy close path: baseline captures keep the bytes and digest
         #: only when a comparison first needs them
         self.defer_digests = defer_digests
+        #: InspectionScheduler attached by the engine (``batch_digests``):
+        #: deferred captures enqueue here and materialise as one batch
+        self.scheduler = None
         self._by_node: Dict[int, TrackedFile] = {}
 
     def __len__(self) -> int:
@@ -241,8 +250,8 @@ class FileStateCache:
 
     # -- inspection ------------------------------------------------------------
 
-    def inspect(self, content: bytes,
-                want_digest: bool = True) -> InspectionResult:
+    def inspect(self, content: bytes, want_digest: bool = True,
+                key: Optional[bytes] = None) -> InspectionResult:
         """Identify and digest ``content`` once, through store + LRU.
 
         Resolution order: digest LRU (content already inspected by this
@@ -251,13 +260,14 @@ class FileStateCache:
         inspection.  With ``want_digest=False`` a live inspection defers
         the digest: the result is type-and-size only, flagged
         ``deferred``, and never cached — callers retain the bytes and
-        re-inspect when a comparison actually needs the digest.
+        re-inspect when a comparison actually needs the digest, passing
+        back the capture-time ``key`` so the content is hashed once.
         """
         if not isinstance(content, bytes):
             content = bytes(content)
         dc = self.digest_cache
-        key = None
-        if dc.capacity > 0 or self.baseline_store is not None:
+        if key is None and (dc.capacity > 0
+                            or self.baseline_store is not None):
             key = dc.key(content)
         if dc.capacity > 0:
             found = dc.get(key)
@@ -285,7 +295,7 @@ class FileStateCache:
             if self.telemetry is not None:
                 self._resolved("deferred", len(content))
             return InspectionResult(file_type, None, None, len(content),
-                                    digested=False, deferred=True)
+                                    digested=False, deferred=True, key=key)
         digest: Optional[SdDigest] = None
         sig: Optional[CtphSignature] = None
         if can_digest:
@@ -295,7 +305,7 @@ class FileStateCache:
             else:
                 sig = ctph(content)
         result = InspectionResult(file_type, digest, sig, len(content),
-                                  can_digest)
+                                  can_digest, key=key)
         if key is not None and dc.capacity > 0:
             dc.put(key, result)
         if self.telemetry is not None:
@@ -347,8 +357,12 @@ class FileStateCache:
             record.base_digest = None
             record.base_ctph = None
             record.pending_content = content
+            record.pending_key = inspection.key
+            if self.scheduler is not None:
+                self.scheduler.enqueue(record)
         else:
             record.pending_content = None
+            record.pending_key = None
             if self.backend == "sdhash":
                 record.base_digest = inspection.digest
                 record.base_ctph = None
@@ -358,12 +372,23 @@ class FileStateCache:
         record.has_baseline = True
 
     def materialise_baseline(self, record: TrackedFile) -> None:
-        """Digest a deferred baseline now (first comparison needs it)."""
-        content = record.pending_content
-        if content is None:
+        """Digest a deferred baseline now (first comparison needs it).
+
+        With an attached scheduler the demand flushes the *whole* pending
+        set through the batched kernel; otherwise the record materialises
+        alone, reusing its capture-time content key (one hash per close).
+        """
+        if record.pending_content is None:
             return
+        if self.scheduler is not None:
+            self.scheduler.flush()
+            if record.pending_content is None:
+                return
+        content = record.pending_content
         record.pending_content = None
-        inspection = self.inspect(content, want_digest=True)
+        key = record.pending_key
+        record.pending_key = None
+        inspection = self.inspect(content, want_digest=True, key=key)
         if self.backend == "sdhash":
             record.base_digest = inspection.digest
         else:
@@ -402,6 +427,10 @@ class FileStateCache:
         moved = self._by_node.get(node_id)
         clobbered = (self._by_node.pop(clobbered_node_id, None)
                      if clobbered_node_id is not None else None)
+        if clobbered is not None and self.scheduler is not None:
+            # the clobbered record is gone; its pending bytes travel on
+            # the inherited record below (or die with it)
+            self.scheduler.discard(clobbered_node_id)
         if clobbered is not None and clobbered.has_baseline and not clobbered.born_empty:
             # Link: the incoming node inherits the overwritten baseline
             # (including a not-yet-materialised deferred one).
@@ -412,8 +441,12 @@ class FileStateCache:
                 base_ctph=clobbered.base_ctph,
                 base_size=clobbered.base_size,
                 has_baseline=True, born_empty=False,
-                pending_content=clobbered.pending_content)
+                pending_content=clobbered.pending_content,
+                pending_key=clobbered.pending_key)
             self._by_node[node_id] = inherited
+            if (inherited.pending_content is not None
+                    and self.scheduler is not None):
+                self.scheduler.enqueue(inherited)
             return inherited
         if moved is not None:
             moved.path = dest
@@ -423,6 +456,8 @@ class FileStateCache:
     def on_delete(self, node_id: Optional[int]) -> Optional[TrackedFile]:
         if node_id is None:
             return None
+        if self.scheduler is not None:
+            self.scheduler.discard(node_id)
         return self._by_node.pop(node_id, None)
 
     def is_tracked(self, node_id: Optional[int]) -> bool:
@@ -482,6 +517,8 @@ class FileStateCache:
                 f"{descriptor.get('seed')!r}) but this cache has store "
                 f"{self.baseline_store.fingerprint!r} attached")
         self._by_node.clear()
+        if self.scheduler is not None:
+            self.scheduler.clear()
         self.digest_cache.clear_entries()
         self.digest_cache.load_stats(state.get("digest_cache", {}))
         for entry in state["entries"]:

@@ -41,6 +41,14 @@ class ProcessEntropyState:
         self.p_write.update(data)
         return self.current_trigger()
 
+    def on_write_counts(self, counts, n: int) -> Optional[float]:
+        """:meth:`on_write` from a precomputed byte histogram of the
+        payload — bit-identical fold, no second ``bincount``."""
+        if n == 0:
+            return None
+        self.p_write.update_from_counts(counts, n)
+        return self.current_trigger()
+
     def current_trigger(self) -> Optional[float]:
         delta = self.delta()
         if delta is not None and delta >= self.delta_threshold:

@@ -195,6 +195,14 @@ class CryptoDropMonitor:
             "stats": self.stats(),
         }
 
+    def flush_inspections(self) -> int:
+        """Force the deferred-digest scheduler to materialise its pending
+        set now; returns how many records were drained (0 when batching
+        is off or nothing is pending)."""
+        if self.engine.scheduler is None:
+            return 0
+        return self.engine.scheduler.flush()
+
     def stats(self) -> dict:
         return {
             "ops_seen": dict(self.engine.op_counts),
@@ -204,5 +212,7 @@ class CryptoDropMonitor:
             "detections": len(self.engine.detections),
             "processes_scored": len(self.engine.scoreboard.rows()),
             "digest_cache": self.engine.cache.digest_cache.stats(),
+            "scheduler": (None if self.engine.scheduler is None
+                          else self.engine.scheduler.stats()),
             "op_wall_us": dict(self.engine.op_wall_us),
         }

@@ -33,10 +33,11 @@ from dataclasses import dataclass
 from hashlib import blake2b
 from typing import Dict, Optional
 
-from ..entropy import corrected_entropy
+from ..entropy import (corrected_entropies_from_histograms, corrected_entropy,
+                       histograms_many)
 from ..magic import FileType, identify
 from ..simhash import sdhash as _sdhash
-from ..simhash.sdhash import SdDigest
+from ..simhash.sdhash import SdDigest, digest_many
 from ..simhash.ssdeep import CtphSignature, ctph
 
 __all__ = ["BaselineEntry", "BaselineStore", "content_key"]
@@ -99,17 +100,47 @@ class BaselineStore:
     @classmethod
     def build(cls, corpus, backend: str = "sdhash",
               max_inspect_bytes: int = 4 * 1024 * 1024,
-              digests_enabled: bool = True) -> "BaselineStore":
-        """Digest every distinct content blob of ``corpus`` once."""
+              digests_enabled: bool = True,
+              batched: bool = True) -> "BaselineStore":
+        """Digest every distinct content blob of ``corpus`` once.
+
+        With ``batched`` (sdhash backend only) the whole corpus goes
+        through the batched :func:`~repro.simhash.sdhash.digest_many`
+        kernel and shared byte-histogram scatters — every entry
+        bit-identical to the serial per-file loop, which remains the
+        reference path (``batched=False``).
+        """
         if backend not in ("sdhash", "ctph"):
             raise ValueError(f"unknown similarity backend {backend!r}")
         started = time.perf_counter()
-        entries: Dict[bytes, BaselineEntry] = {}
-        total = 0
+        keys = []
+        blobs = []
+        seen = set()
         for content in corpus.contents.values():
             key = content_key(content)
-            if key in entries:
+            if key in seen:
                 continue
+            seen.add(key)
+            keys.append(key)
+            blobs.append(content)
+        if batched and backend == "sdhash":
+            entries, total = cls._build_entries_batched(
+                keys, blobs, max_inspect_bytes, digests_enabled)
+        else:
+            entries, total = cls._build_entries_serial(
+                keys, blobs, backend, max_inspect_bytes, digests_enabled)
+        return cls(corpus.seed, backend, max_inspect_bytes, digests_enabled,
+                   entries, total_bytes=total,
+                   build_seconds=time.perf_counter() - started)
+
+    @staticmethod
+    def _build_entries_serial(keys, blobs, backend: str,
+                              max_inspect_bytes: int, digests_enabled: bool
+                              ) -> tuple:
+        """Per-file reference build loop (also the ctph path)."""
+        entries: Dict[bytes, BaselineEntry] = {}
+        total = 0
+        for key, content in zip(keys, blobs):
             file_type = identify(content)
             digest: Optional[SdDigest] = None
             sig: Optional[CtphSignature] = None
@@ -124,9 +155,30 @@ class BaselineStore:
             entries[key] = BaselineEntry(
                 file_type, digest, sig, len(content),
                 corrected_entropy(content), digested)
-        return cls(corpus.seed, backend, max_inspect_bytes, digests_enabled,
-                   entries, total_bytes=total,
-                   build_seconds=time.perf_counter() - started)
+        return entries, total
+
+    @staticmethod
+    def _build_entries_batched(keys, blobs, max_inspect_bytes: int,
+                               digests_enabled: bool) -> tuple:
+        """Batched sdhash build: one digest_many pass over the digestable
+        blobs, shared histogram scatters for the entropies."""
+        entries: Dict[bytes, BaselineEntry] = {}
+        total = 0
+        flags = [digests_enabled and len(c) <= max_inspect_bytes
+                 for c in blobs]
+        digests = iter(digest_many(
+            [c for c, flag in zip(blobs, flags) if flag]))
+        entropies = corrected_entropies_from_histograms(
+            histograms_many(blobs), [len(c) for c in blobs])
+        for i, (key, content) in enumerate(zip(keys, blobs)):
+            digested = flags[i]
+            digest = next(digests) if digested else None
+            if digested:
+                total += len(content)
+            entries[key] = BaselineEntry(
+                identify(content), digest, None, len(content),
+                float(entropies[i]), digested)
+        return entries, total
 
     # -- lookup --------------------------------------------------------------
 

@@ -19,8 +19,11 @@ import numpy as np
 __all__ = [
     "shannon_entropy",
     "corrected_entropy",
-    "windowed_entropy",
+    "corrected_entropy_from_counts",
+    "corrected_entropies_from_histograms",
+    "histograms_many",
     "entropy_weight",
+    "windowed_entropy",
     "WeightedEntropyMean",
 ]
 
@@ -61,6 +64,75 @@ def corrected_entropy(data: bytes) -> float:
     plug_in = float(-(probs * np.log2(probs)).sum())
     correction = (len(nonzero) - 1) / (2.0 * len(buf) * np.log(2.0))
     return min(8.0, plug_in + correction)
+
+
+def corrected_entropy_from_counts(counts: np.ndarray, n: int) -> float:
+    """:func:`corrected_entropy` from a precomputed byte histogram.
+
+    ``counts`` is a 256-bin integer histogram summing to ``n``.  Because
+    the histogram is exact integers however it was accumulated, the value
+    is bit-identical to ``corrected_entropy(data)`` over the same bytes —
+    which is what lets the engine keep a *running* per-handle histogram
+    across writes instead of re-counting the full payload every time.
+    """
+    if n == 0:
+        return 0.0
+    nonzero = counts[counts > 0]
+    probs = nonzero / n
+    plug_in = float(-(probs * np.log2(probs)).sum())
+    correction = (len(nonzero) - 1) / (2.0 * n * np.log(2.0))
+    return min(8.0, plug_in + correction)
+
+
+def histograms_many(blobs) -> np.ndarray:
+    """Per-blob 256-bin byte histograms as an ``(n, 256)`` int64 array.
+
+    Each row equals ``np.bincount(np.frombuffer(blob, np.uint8),
+    minlength=256)`` — one contiguous counting pass per blob, which beats
+    any concatenated scatter: a shared ``(n × 256)``-bin bincount touches
+    a multi-megabyte output randomly per chunk, while per-blob counts stay
+    in cache.  Integer counts are exact regardless of accumulation route.
+    """
+    F = len(blobs)
+    hists = np.zeros((F, 256), dtype=np.int64)
+    for i, blob in enumerate(blobs):
+        if len(blob):
+            hists[i] = np.bincount(
+                np.frombuffer(_as_bytes(blob), dtype=np.uint8),
+                minlength=256)
+    return hists
+
+
+def corrected_entropies_from_histograms(hists: np.ndarray,
+                                        lens) -> np.ndarray:
+    """Batched :func:`corrected_entropy_from_counts` over histogram rows.
+
+    The plug-in term for each row is a ``np.sum`` over that row's nonzero
+    probability terms — elementwise ops plus a contiguous pairwise slice
+    sum, the same reduction the scalar path performs — so every value is
+    bit-identical to calling the scalar function row by row.
+    """
+    F = hists.shape[0]
+    out = np.zeros(F, dtype=np.float64)
+    if F == 0:
+        return out
+    lens = np.asarray(lens, dtype=np.int64)
+    mask = hists > 0
+    k_per_file = mask.sum(axis=1)
+    nonzero = hists[mask].astype(np.float64)
+    probs = nonzero / lens.repeat(k_per_file)
+    prod = probs * np.log2(probs)
+    bounds = np.zeros(F + 1, dtype=np.int64)
+    np.cumsum(k_per_file, out=bounds[1:])
+    ln2 = np.log(2.0)
+    for i in range(F):
+        n = int(lens[i])
+        if n == 0:
+            continue
+        plug_in = float(-prod[bounds[i]:bounds[i + 1]].sum())
+        correction = (int(k_per_file[i]) - 1) / (2.0 * n * ln2)
+        out[i] = min(8.0, plug_in + correction)
+    return out
 
 
 def windowed_entropy(data: bytes, window: int = 64, step: int = 16) -> np.ndarray:
@@ -115,7 +187,27 @@ class WeightedEntropyMean:
     def update(self, data: bytes) -> float:
         """Fold one atomic read/write; returns that op's entropy."""
         e = corrected_entropy(data) if self.corrected else shannon_entropy(data)
-        w = entropy_weight(e, len(data))
+        return self._fold(e, len(data))
+
+    def update_from_counts(self, counts: np.ndarray, n: int) -> float:
+        """Fold one op from its precomputed 256-bin byte histogram.
+
+        Lets a caller that already counted the payload's bytes (e.g. to
+        maintain a per-handle running histogram) feed the mean without a
+        second ``bincount`` over the same buffer; the folded entropy is
+        bit-identical to :meth:`update` on the counted bytes.
+        """
+        if self.corrected:
+            e = corrected_entropy_from_counts(counts, n)
+        elif n == 0:
+            e = 0.0
+        else:
+            probs = counts[counts > 0] / n
+            e = float(-(probs * np.log2(probs)).sum())
+        return self._fold(e, n)
+
+    def _fold(self, e: float, n_bytes: int) -> float:
+        w = entropy_weight(e, n_bytes)
         self._weighted_sum += w * e
         self._weight_total += w
         self.ops += 1

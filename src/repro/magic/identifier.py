@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from .signatures import FILE_TYPES, SIGNATURES
 from .types import DATA, EMPTY, FileType
 
@@ -28,11 +30,16 @@ PREFIX_BYTES = 8192
 
 _TEXT_BYTES = frozenset(range(0x20, 0x7F)) | {0x09, 0x0A, 0x0D}
 
+#: boolean membership table for ``_TEXT_BYTES`` — one gather + count
+#: instead of a per-byte Python loop over an 8 KiB prefix on every close
+_TEXT_LUT = np.zeros(256, dtype=bool)
+_TEXT_LUT[list(_TEXT_BYTES)] = True
+
 
 def _printable_ratio(prefix: bytes) -> float:
     if not prefix:
         return 0.0
-    good = sum(1 for b in prefix if b in _TEXT_BYTES)
+    good = int(np.count_nonzero(_TEXT_LUT[np.frombuffer(prefix, np.uint8)]))
     return good / len(prefix)
 
 

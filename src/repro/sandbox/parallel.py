@@ -45,6 +45,7 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import CryptoDropConfig
+from ..corpus.baselines import BaselineStore, content_key
 from ..corpus.builder import GeneratedCorpus, generate
 from ..ransomware import instantiate
 from ..telemetry import TelemetrySession
@@ -53,7 +54,7 @@ from .journal import CampaignJournal, coerce_journal
 from .machine import VirtualMachine
 from .runner import SampleResult, errored_result, run_sample
 
-__all__ = ["run_campaign_parallel"]
+__all__ = ["build_store_parallel", "run_campaign_parallel"]
 
 #: host-seconds a sample may spend queued+running before it is requeued
 DEFAULT_SAMPLE_TIMEOUT = 300.0
@@ -67,6 +68,82 @@ _CHUNKS_PER_WORKER = 4
 _PARENT_CORPUS: Optional[GeneratedCorpus] = None
 _PARENT_STORE = None
 _WORKER_MACHINE: Optional[VirtualMachine] = None
+# Fork handoff for the sharded store build (keys + blobs, read-only).
+_SHARD_KEYS: Optional[List[bytes]] = None
+_SHARD_BLOBS: Optional[List[bytes]] = None
+
+
+def _build_shard(args) -> Tuple[Dict[bytes, object], int]:
+    """One worker's slice of a sharded store build (batched kernel)."""
+    lo, hi, max_inspect_bytes, digests_enabled = args
+    return BaselineStore._build_entries_batched(
+        _SHARD_KEYS[lo:hi], _SHARD_BLOBS[lo:hi],
+        max_inspect_bytes, digests_enabled)
+
+
+def build_store_parallel(corpus, backend: str = "sdhash",
+                         max_inspect_bytes: int = 4 * 1024 * 1024,
+                         digests_enabled: bool = True,
+                         workers: Optional[int] = None,
+                         config: Optional[CryptoDropConfig] = None
+                         ) -> BaselineStore:
+    """:meth:`BaselineStore.build` sharded across worker processes.
+
+    The distinct content blobs are split into one contiguous shard per
+    worker; each forked worker runs the batched digest kernel over its
+    shard and pickles the finished entries back.  Entries are pure
+    functions of content, so the merged store is bit-identical to a
+    single-process build (same fingerprint, same digests).
+
+    Worker count resolves like the parallel campaign's (explicit argument
+    > ``config.campaign_workers`` > one per CPU).  With one worker, a
+    non-sdhash backend, or no ``fork`` support, this degrades to the
+    ordinary in-process build — on a single-CPU host the batching itself
+    carries the speedup and sharding would only add fork overhead.
+    """
+    global _SHARD_KEYS, _SHARD_BLOBS
+    workers = _resolve_workers(workers, config)
+    if (workers <= 1 or backend != "sdhash"
+            or "fork" not in multiprocessing.get_all_start_methods()):
+        return BaselineStore.build(corpus, backend, max_inspect_bytes,
+                                   digests_enabled)
+    started = time.perf_counter()
+    keys: List[bytes] = []
+    blobs: List[bytes] = []
+    seen = set()
+    for content in corpus.contents.values():
+        key = content_key(content)
+        if key in seen:
+            continue
+        seen.add(key)
+        keys.append(key)
+        blobs.append(content)
+    if _SHARD_KEYS is not None:
+        raise RuntimeError(
+            "build_store_parallel is already active in this process (the "
+            "shard handoff uses module globals, like the parallel "
+            "campaign's corpus) — build stores sequentially.")
+    _SHARD_KEYS = keys
+    _SHARD_BLOBS = blobs
+    try:
+        bound = max(1, (len(blobs) + workers - 1) // workers)
+        shards = [(lo, min(len(blobs), lo + bound),
+                   max_inspect_bytes, digests_enabled)
+                  for lo in range(0, len(blobs), bound)]
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=min(workers, len(shards))) as pool:
+            parts = pool.map(_build_shard, shards)
+    finally:
+        _SHARD_KEYS = None
+        _SHARD_BLOBS = None
+    entries: Dict[bytes, object] = {}
+    total = 0
+    for part_entries, part_total in parts:
+        entries.update(part_entries)
+        total += part_total
+    return BaselineStore(corpus.seed, backend, max_inspect_bytes,
+                         digests_enabled, entries, total_bytes=total,
+                         build_seconds=time.perf_counter() - started)
 
 
 def _init_worker() -> None:

@@ -49,8 +49,9 @@ import numpy as np
 from .bloom import (FILTER_BITS, MAX_FEATURES, BloomFilter,
                     feature_positions, packed_popcount)
 
-__all__ = ["SdDigest", "sdhash", "compare", "MIN_DIGEST_BYTES",
-           "WINDOW", "ANCHOR_MASK", "sdhash_scalar", "compare_scalar"]
+__all__ = ["SdDigest", "sdhash", "compare", "digest_many", "compare_many",
+           "MIN_DIGEST_BYTES", "WINDOW", "ANCHOR_MASK", "sdhash_scalar",
+           "compare_scalar"]
 
 WINDOW = 64
 #: anchor density: offsets where rolling-hash & ANCHOR_MASK == 0 (~1/16)
@@ -135,20 +136,48 @@ class SdDigest:
                    int(state["source_len"]))
 
 
+#: chunk length for the rolling-hash scan: bounds the int32 working set so
+#: multi-megabyte buffers (and batch concatenations) stay cache-resident
+#: instead of streaming eight full-length temporaries through DRAM
+_ANCHOR_CHUNK = 1 << 18
+
+
+def _anchor_starts(buf: np.ndarray) -> np.ndarray:
+    """Rolling-hash anchor offsets over ``buf``, unfiltered.
+
+    Every intermediate fits int32 exactly (max rolling value is
+    ``sum(weights) * 255 = 19380``), so the chunked 32-bit accumulation
+    is the same integer arithmetic as the original int64 formulation.
+    """
+    n = buf.size - 7
+    if n <= 0:
+        return np.zeros(0, dtype=np.int64)
+    parts = []
+    tmp = None
+    for lo in range(0, n, _ANCHOR_CHUNK):
+        m = min(n, lo + _ANCHOR_CHUNK) - lo
+        values = np.multiply(buf[lo:lo + m], np.int32(_ANCHOR_WEIGHTS[0]),
+                             dtype=np.int32)
+        if tmp is None or tmp.size < m:
+            tmp = np.empty(m, dtype=np.int32)
+        for k in range(1, 8):
+            np.multiply(buf[lo + k:lo + k + m], np.int32(_ANCHOR_WEIGHTS[k]),
+                        dtype=np.int32, out=tmp[:m])
+            values += tmp[:m]
+        part = np.nonzero((values & ANCHOR_MASK) == 0)[0]
+        if part.size:
+            parts.append(part + (lo + 8))
+    if not parts:
+        return np.zeros(0, dtype=np.int64)
+    return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+
 def _anchor_positions(buf: np.ndarray) -> np.ndarray:
     """Content-defined window start offsets (shift-invariant)."""
     if len(buf) < WINDOW + 8:
         return np.zeros(0, dtype=np.int64)
-    # rolling value over each 8-byte context: eight shifted integer adds
-    # instead of materialising an (n, 8) context matrix — exact integer
-    # arithmetic, so the anchors are unchanged
-    b64 = buf.astype(np.int64)
-    n = len(buf) - 7
-    values = np.zeros(n, dtype=np.int64)
-    for k, weight in enumerate(_ANCHOR_WEIGHTS):
-        values += int(weight) * b64[k:k + n]
     # a window starting at offset i is anchored by the context ending at i-1
-    starts = np.nonzero((values & ANCHOR_MASK) == 0)[0] + 8
+    starts = _anchor_starts(buf)
     return starts[starts + WINDOW <= len(buf)]
 
 
@@ -163,24 +192,35 @@ _ENTROPY_TERMS[1:] = (_counts / WINDOW) * np.log2(_counts / WINDOW)
 del _counts
 
 
-#: row-block size for the per-window histograms: keeps each scatter's
-#: working set (block × 256 int64 counts + the term gather) inside the
-#: CPU caches; rows are independent, so blocking cannot change a result.
-_ENTROPY_BLOCK = 512
+#: row-block size for the per-window histograms: a small block keeps each
+#: scatter's working set (block × 256 int64 counts + the term gather) in
+#: the L1/L2 caches and every temporary under the allocator's mmap
+#: threshold; rows are independent, so blocking cannot change a result.
+_ENTROPY_BLOCK = 128
 
 
 def _window_entropies(windows: np.ndarray) -> np.ndarray:
     """Shannon entropy of each row of an ``(n, WINDOW)`` uint8 array."""
     n = windows.shape[0]
     out = np.empty(n, dtype=np.float64)
-    block = _ENTROPY_BLOCK
-    base = np.repeat(np.arange(min(n, block), dtype=np.int64), WINDOW) * 256
+    if n == 0:
+        return out
+    block = min(n, _ENTROPY_BLOCK)
+    base = np.repeat(np.arange(block, dtype=np.int64), WINDOW) * 256
+    idx = np.empty(block * WINDOW, dtype=np.int64)
+    terms = np.empty((block, 256), dtype=np.float64)
     for lo in range(0, n, block):
         hi = min(n, lo + block)
         k = hi - lo
-        idx = base[:k * WINDOW] + windows[lo:hi].reshape(-1).astype(np.int64)
-        counts = np.bincount(idx, minlength=k * 256).reshape(k, 256)
-        out[lo:hi] = -_ENTROPY_TERMS[counts].sum(axis=1)
+        np.add(base[:k * WINDOW], windows[lo:hi].reshape(-1),
+               out=idx[:k * WINDOW])
+        counts = np.bincount(idx[:k * WINDOW],
+                             minlength=k * 256).reshape(k, 256)
+        np.take(_ENTROPY_TERMS, counts, mode="clip", out=terms[:k])
+        terms[:k].sum(axis=1, out=out[lo:hi])
+    # the per-row value is -(sum of terms); negating the finished sums is
+    # exact, so results match the direct -_ENTROPY_TERMS[counts].sum() form
+    np.negative(out, out=out)
     return out
 
 
@@ -281,6 +321,134 @@ def sdhash_scalar(data: bytes) -> Optional[SdDigest]:
     return SdDigest(filters, len(features), len(data))
 
 
+#: cap on the concatenated byte span one batched pass materialises; larger
+#: batches are split into groups so the gathered windows, entropies, and
+#: Bloom scatters stay within a bounded memory footprint at corpus scale
+_BATCH_SPAN_BYTES = 8 << 20
+
+
+def _digest_group(blobs: List[bytes]) -> List[Optional[SdDigest]]:
+    """One batched pass over blobs that all meet ``MIN_DIGEST_BYTES``.
+
+    The whole feature pipeline — anchor scan, window entropies, popularity
+    maxima, and the Bloom bit scatter — runs over the *concatenation* of
+    the batch, with per-file boundaries enforced by masking and by -inf
+    gaps, so every per-file result is bit-identical to :func:`sdhash`.
+    """
+    F = len(blobs)
+    out: List[Optional[SdDigest]] = [None] * F
+    lens = np.array([len(b) for b in blobs], dtype=np.int64)
+    offsets = np.zeros(F + 1, dtype=np.int64)
+    np.cumsum(lens, out=offsets[1:])
+    cat = np.frombuffer(b"".join(blobs), dtype=np.uint8)
+    starts = _anchor_starts(cat)
+    # drop anchors whose window would run past the concatenation before
+    # locating files: searchsorted on such a start can land out of range
+    starts = starts[starts + WINDOW <= offsets[-1]]
+    if starts.size == 0:
+        return out
+    file_of = np.searchsorted(offsets, starts, side="right") - 1
+    # an anchor only counts when its 8-byte context and 64-byte window both
+    # lie inside a single file — exactly the per-file anchor rule
+    ok = ((starts - 8 >= offsets[file_of])
+          & (starts + WINDOW <= offsets[file_of + 1]))
+    starts = starts[ok]
+    file_of = file_of[ok]
+    total = starts.size
+    if total == 0:
+        return out
+    windows = np.lib.stride_tricks.sliding_window_view(cat, WINDOW)[starts]
+    entropies = _window_entropies(windows)
+    # popularity maxima per file: lay every file's candidates on one line
+    # with a -inf gap of POPULARITY_SPAN between neighbouring files, so a
+    # sliding maximum never sees across a file boundary
+    span = POPULARITY_SPAN
+    counts_per_file = np.bincount(file_of, minlength=F)
+    first_index = np.zeros(F + 1, dtype=np.int64)
+    np.cumsum(counts_per_file, out=first_index[1:])
+    seg_starts = np.zeros(F, dtype=np.int64)
+    np.cumsum(counts_per_file[:-1] + span, out=seg_starts[1:])
+    seg_starts += span
+    pos = seg_starts[file_of] + (np.arange(total) - first_index[file_of])
+    padded = np.full(int(pos[-1]) + span + 1, -np.inf)
+    padded[pos] = entropies
+    # q[j] = max(padded[j:j+span]) via span-1 shifted maxima; max is
+    # order-insensitive, so this equals the neighbourhood max exactly
+    q = padded[:padded.size - (span - 1)].copy()
+    for shift in range(1, span):
+        np.maximum(q, padded[shift:padded.size - (span - 1) + shift], out=q)
+    # right_max in the per-file path includes the candidate itself, but
+    # e >= max(e, rest) reduces to e >= max(rest), so q[pos + 1] suffices
+    keep = ((entropies >= MIN_FEATURE_ENTROPY)
+            & (entropies > q[pos - span])
+            & (entropies >= q[pos + 1]))
+    sel = np.ascontiguousarray(windows[keep])
+    feat_counts = np.bincount(file_of[keep], minlength=F)
+    n_sel = sel.shape[0]
+    if n_sel == 0:
+        return out
+    sha1 = hashlib.sha1
+    raw = b"".join([sha1(w).digest() for w in sel])
+    hashes = np.frombuffer(raw, dtype=np.uint8).reshape(n_sel, 20)
+    positions = feature_positions(hashes)
+    bounds = np.zeros(F + 1, dtype=np.int64)
+    np.cumsum(feat_counts, out=bounds[1:])
+    # batched Bloom assembly: every filter of every file is one row of a
+    # single boolean matrix filled by one flat scatter
+    n_filters_per_file = (feat_counts + MAX_FEATURES - 1) // MAX_FEATURES
+    filt_base = np.zeros(F + 1, dtype=np.int64)
+    np.cumsum(n_filters_per_file, out=filt_base[1:])
+    local = np.arange(n_sel) - bounds[:-1].repeat(feat_counts)
+    filt_of_feature = (filt_base[:-1].repeat(feat_counts)
+                       + local // MAX_FEATURES)
+    nf = int(filt_base[-1])
+    bits = np.zeros((nf, FILTER_BITS), dtype=bool)
+    flat = (filt_of_feature[:, None] * FILTER_BITS + positions).reshape(-1)
+    bits.reshape(-1)[flat] = True
+    counts_per_filter = np.bincount(filt_of_feature, minlength=nf)
+    for k, blob in enumerate(blobs):
+        cnt = int(feat_counts[k])
+        if cnt < MIN_FEATURES:
+            continue
+        filters: List[BloomFilter] = []
+        for j in range(int(filt_base[k]), int(filt_base[k + 1])):
+            filt = BloomFilter.__new__(BloomFilter)
+            filt.bits = bits[j]
+            filt.count = int(counts_per_filter[j])
+            filters.append(filt)
+        out[k] = SdDigest(filters, cnt, len(blob))
+    return out
+
+
+def digest_many(contents) -> List[Optional[SdDigest]]:
+    """Digest a batch of buffers in one vectorised pass per size group.
+
+    Returns one entry per input, in order: ``None`` exactly where
+    :func:`sdhash` returns None (input under ``MIN_DIGEST_BYTES`` or too
+    few selected features), otherwise an :class:`SdDigest` bit-identical
+    to ``sdhash(content)`` — same filters, feature count, and hexdigest.
+    """
+    results: List[Optional[SdDigest]] = [None] * len(contents)
+    pending_idx: List[int] = []
+    pending: List[bytes] = []
+    pending_bytes = 0
+    for i, content in enumerate(contents):
+        blob = _as_bytes(content)
+        if len(blob) < MIN_DIGEST_BYTES:
+            continue
+        if pending and pending_bytes + len(blob) > _BATCH_SPAN_BYTES:
+            for j, dig in zip(pending_idx, _digest_group(pending)):
+                results[j] = dig
+            pending_idx, pending, pending_bytes = [], [], 0
+        pending_idx.append(i)
+        pending.append(blob)
+        pending_bytes += len(blob)
+    if pending:
+        for j, dig in zip(pending_idx, _digest_group(pending)):
+            results[j] = dig
+    return results
+
+
 def _ordered(a: SdDigest, b: SdDigest) -> tuple:
     """The (small, large) pair, independent of argument order.
 
@@ -320,6 +488,45 @@ def compare(a: Optional[SdDigest], b: Optional[SdDigest]) -> Optional[int]:
                        0.0, np.clip(raw, 0.0, 1.0))
     scores = sim.max(axis=1).tolist()
     return int(round(100 * sum(scores) / len(scores)))
+
+
+def compare_many(pairs) -> List[Optional[int]]:
+    """Score a batch of digest pairs, bit-identical to :func:`compare`.
+
+    ``pairs`` is a sequence of ``(a, b)`` digests; either element may be
+    None, which yields None for that pair.  Pairs whose ordered digests
+    share a (filters, filters) shape are stacked and scored in a single
+    popcount pass — one numpy dispatch amortised over the whole group
+    instead of one per pair.  The per-pair arithmetic, including the final
+    sequential Python sum over filter scores, mirrors :func:`compare`
+    operation for operation.
+    """
+    results: List[Optional[int]] = [None] * len(pairs)
+    groups: dict = {}
+    for p, (a, b) in enumerate(pairs):
+        if a is None or b is None:
+            continue
+        small, large = _ordered(a, b)
+        groups.setdefault((len(small), len(large)), []).append(
+            (p, small, large))
+    for members in groups.values():
+        smalls = np.stack([s.packed_matrix() for _, s, _ in members])
+        larges = np.stack([l.packed_matrix() for _, _, l in members])
+        inter = packed_popcount(smalls[:, :, None, :]
+                                & larges[:, None, :, :])
+        pa = np.stack([s.popcounts() for _, s, _ in members])[:, :, None]
+        pb = np.stack([l.popcounts() for _, _, l in members])[:, None, :]
+        expected = pa * pb / FILTER_BITS
+        max_overlap = np.minimum(pa, pb)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            raw = (inter - expected) / (max_overlap - expected)
+            sim = np.where((pa == 0) | (pb == 0) | (max_overlap <= expected),
+                           0.0, np.clip(raw, 0.0, 1.0))
+        best = sim.max(axis=2)
+        for row, (p, _, _) in enumerate(members):
+            scores = best[row].tolist()
+            results[p] = int(round(100 * sum(scores) / len(scores)))
+    return results
 
 
 def compare_scalar(a: Optional[SdDigest],

@@ -25,13 +25,15 @@ from __future__ import annotations
 
 from typing import Optional
 
-from .events import (EVENT_TYPES, BaselineResolved, CacheEvicted, EventBus,
-                     FaultInjected, IndicatorFired, ProcessSuspended,
-                     ScoreDelta, StoreBuilt, TelemetryEvent, UnionBoost,
+from .events import (EVENT_TYPES, BaselineResolved, CacheEvicted,
+                     DigestBatchFlushed, EventBus, FaultInjected,
+                     IndicatorFired, ProcessSuspended, ScoreDelta,
+                     StoreBuilt, TelemetryEvent, UnionBoost,
                      event_from_dict, events_as_dicts)
 from .export import (JsonlWriter, read_jsonl, render_prometheus,
                      validate_exposition, write_jsonl)
-from .metrics import (FILES_LOST_BUCKETS, OP_WALL_US_BUCKETS, SCORE_BUCKETS,
+from .metrics import (BATCH_SIZE_BUCKETS, FILES_LOST_BUCKETS,
+                      OP_WALL_US_BUCKETS, SCORE_BUCKETS,
                       Counter, Gauge, Histogram, MetricsRegistry,
                       collect_perfstats, engine_snapshot,
                       merge_metric_states)
@@ -43,12 +45,13 @@ __all__ = [
     "TelemetrySession",
     # events
     "TelemetryEvent", "IndicatorFired", "ScoreDelta", "UnionBoost",
-    "ProcessSuspended", "BaselineResolved", "CacheEvicted", "FaultInjected",
-    "StoreBuilt", "EventBus", "EVENT_TYPES", "event_from_dict",
-    "events_as_dicts",
+    "ProcessSuspended", "BaselineResolved", "CacheEvicted",
+    "DigestBatchFlushed", "FaultInjected", "StoreBuilt", "EventBus",
+    "EVENT_TYPES", "event_from_dict", "events_as_dicts",
     # metrics
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
-    "FILES_LOST_BUCKETS", "SCORE_BUCKETS", "OP_WALL_US_BUCKETS",
+    "BATCH_SIZE_BUCKETS", "FILES_LOST_BUCKETS", "SCORE_BUCKETS",
+    "OP_WALL_US_BUCKETS",
     "collect_perfstats", "engine_snapshot", "merge_metric_states",
     # export
     "JsonlWriter", "write_jsonl", "read_jsonl", "render_prometheus",
@@ -99,6 +102,12 @@ class TelemetrySession:
         self.cache_evictions = r.counter(
             "cryptodrop_cache_evictions_total",
             "digest-LRU evictions")
+        self.digest_batches = r.counter(
+            "cryptodrop_digest_batches_total",
+            "InspectionScheduler flushes that drained pending digests")
+        self.digest_batch_size = r.histogram(
+            "cryptodrop_digest_batch_size", BATCH_SIZE_BUCKETS,
+            "pending inspections drained per scheduler flush")
         self.faults = r.counter(
             "cryptodrop_faults_injected_total",
             "injected faults, per fault kind")

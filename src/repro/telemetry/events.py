@@ -37,9 +37,9 @@ from typing import Callable, ClassVar, Dict, Iterable, List, Optional, Type
 
 __all__ = [
     "TelemetryEvent", "IndicatorFired", "ScoreDelta", "UnionBoost",
-    "ProcessSuspended", "BaselineResolved", "CacheEvicted", "FaultInjected",
-    "StoreBuilt", "EventBus", "EVENT_TYPES", "event_from_dict",
-    "events_as_dicts",
+    "ProcessSuspended", "BaselineResolved", "CacheEvicted",
+    "DigestBatchFlushed", "FaultInjected", "StoreBuilt", "EventBus",
+    "EVENT_TYPES", "event_from_dict", "events_as_dicts",
 ]
 
 
@@ -142,6 +142,23 @@ class CacheEvicted(TelemetryEvent):
 
 
 @dataclass(frozen=True)
+class DigestBatchFlushed(TelemetryEvent):
+    """The InspectionScheduler materialised a pending-digest batch.
+
+    ``pending`` is how many deferred inspections the flush drained;
+    ``live`` how many actually reached the batched digest kernel (the
+    rest resolved from the LRU or the corpus store); ``bytes_live`` the
+    content bytes the kernel digested.
+    """
+
+    kind: ClassVar[str] = "digest_batch_flushed"
+
+    pending: int = 0
+    live: int = 0
+    bytes_live: int = 0
+
+
+@dataclass(frozen=True)
 class FaultInjected(TelemetryEvent):
     """The fault layer misbehaved on purpose (``repro.faults``)."""
 
@@ -168,7 +185,8 @@ class StoreBuilt(TelemetryEvent):
 EVENT_TYPES: Dict[str, Type[TelemetryEvent]] = {
     cls.kind: cls
     for cls in (IndicatorFired, ScoreDelta, UnionBoost, ProcessSuspended,
-                BaselineResolved, CacheEvicted, FaultInjected, StoreBuilt)
+                BaselineResolved, CacheEvicted, DigestBatchFlushed,
+                FaultInjected, StoreBuilt)
 }
 
 

@@ -46,6 +46,8 @@ SCORE_BUCKETS: Tuple[float, ...] = (150, 180, 200, 220, 250, 300, 400, 600)
 #: measured post_operation wall time per operation, microseconds
 OP_WALL_US_BUCKETS: Tuple[float, ...] = (5, 10, 25, 50, 100, 250, 1000,
                                          5000, 20000)
+#: pending inspections drained per InspectionScheduler flush
+BATCH_SIZE_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 
 LabelKey = Tuple[Tuple[str, str], ...]
 

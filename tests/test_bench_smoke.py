@@ -1,4 +1,4 @@
-"""Structural smoke pass over the ``make bench`` harness (ISSUEs 2–4).
+"""Structural smoke pass over the ``make bench`` harness (ISSUEs 2–5).
 
 Runs the benchmark harness at smoke scale — seconds, not minutes — and
 checks the report's shape (via the harness's own schema validator), the
@@ -34,7 +34,8 @@ def report():
 class TestReportShape:
     def test_hot_paths_named_and_positive(self, report):
         for name in ("sdhash_digest", "compare_batched",
-                     "close_heavy_campaign", "campaign_throughput"):
+                     "close_heavy_campaign", "campaign_throughput",
+                     "digest_many_batch", "store_build_batched"):
             assert report["hot_paths"][name]["seconds"] > 0
 
     def test_schema_validator_accepts_report(self, report):
@@ -86,6 +87,24 @@ class TestInvariantsAndSpeedups:
 
     def test_store_leaves_untouched_corpus_undigested(self, report):
         assert report["invariants"]["store_untouched_bytes_digested_zero"]
+
+    def test_digest_many_beats_per_file(self, report):
+        # the ISSUE-5 bar is ≥2x on a 32-doc batch at full scale; even the
+        # 16-doc smoke batch must already win
+        assert report["speedups"]["digest_many_vs_per_file"] > 1.0
+        assert report["invariants"]["digest_many_identical"]
+
+    def test_store_build_batched_beats_serial(self, report):
+        # full scale gates ≥3x (store_build_speedup_ge_3); smoke only pins
+        # a win plus entry-for-entry identity with the serial reference
+        assert report["speedups"]["store_build_batched_vs_serial"] > 1.0
+        assert report["invariants"]["store_build_identical"]
+        assert report["store_build"]["entries_identical"]
+        assert report["store_build"]["entries"] > 0
+
+    def test_batched_campaign_results_identical(self, report):
+        # scheduler-deferred digesting must not perturb a single verdict
+        assert report["invariants"]["batch_results_identical"]
 
     def test_campaign_section_counters(self, report):
         sweep = report["campaign"]
@@ -174,7 +193,7 @@ class TestCli:
 
     def test_committed_baseline_matches_schema(self, report):
         baseline_path = newest_baseline()
-        assert baseline_path.name == "BENCH_4.json"
+        assert baseline_path.name == "BENCH_5.json"
         baseline = json.loads(baseline_path.read_text())
         assert baseline["schema"] == report["schema"]
         assert baseline["scale"] == "full"

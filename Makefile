@@ -20,7 +20,8 @@ unit:
 
 # fault-injection + crash-resilience suite only
 chaos:
-	$(PYTEST) -m chaos tests/test_chaos.py tests/test_faults.py
+	$(PYTEST) -m chaos tests/test_chaos.py tests/test_faults.py \
+		tests/test_ingest.py
 
 # full hot-path benchmark harness → BENCH_5.json (see docs/performance.md)
 bench:

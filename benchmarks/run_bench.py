@@ -1,4 +1,4 @@
-"""Hot-path benchmark harness → ``BENCH_5.json``.
+"""Hot-path benchmark harness → ``BENCH_6.json``.
 
 Times the engine's performance-critical paths directly (no pytest
 overhead) and writes a machine-comparable JSON report:
@@ -26,6 +26,14 @@ overhead) and writes a machine-comparable JSON report:
   ``tests/test_bench_smoke.py``), engine counters must be identical
   either way, and a small detection campaign must produce bit-identical
   results with telemetry on.
+* ``ingest_resilience`` — the ISSUE-6 section: a multi-endpoint ingest
+  session (64 tenants at full scale) run fault-free, then again under a
+  combined fault storm (shard kills, poison events, queue stalls,
+  transient denials) with breaker + watchdog on, then under overload
+  with load shedding.  Gates: sustained throughput under faults ≥ 70%
+  of fault-free, post-restart verdicts bit-identical to the unfaulted
+  reference, zero cross-tenant event leakage, and every shed decision
+  observable as telemetry (with non-shed tenants unchanged).
 
 Run via ``make bench`` (full scale) or with ``--smoke`` for a seconds-long
 structural pass (used by the tier-1 smoke test; smoke numbers are not
@@ -52,7 +60,10 @@ from repro.corpus.builder import generate
 from repro.corpus.spec import default_spec
 from repro.corpus.wordlists import paragraphs
 from repro.core import CryptoDropConfig, CryptoDropMonitor
+from repro.faults import ingest_chaos, transient_faults
 from repro.fs import DOCUMENTS, VirtualFileSystem
+from repro.ingest import (EndpointSessionManager, ShedPolicy,
+                          record_endpoint_stream)
 from repro.perfstats import collect
 from repro.ransomware import instantiate
 from repro.ransomware.factory import working_cohort
@@ -61,8 +72,8 @@ from repro.sandbox import (VirtualMachine, run_campaign,
 from repro.simhash.sdhash import (compare, compare_scalar, digest_many,
                                   sdhash, sdhash_scalar)
 
-DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_5.json"
-SCHEMA_VERSION = 5
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_6.json"
+SCHEMA_VERSION = 6
 
 #: minimum store-vs-eager campaign speedup gated at full scale
 CAMPAIGN_SPEEDUP_FLOOR = 3.0
@@ -70,6 +81,8 @@ CAMPAIGN_SPEEDUP_FLOOR = 3.0
 DIGEST_MANY_SPEEDUP_FLOOR = 2.0
 #: minimum batched-vs-serial store build speedup on a small-doc corpus
 STORE_BUILD_SPEEDUP_FLOOR = 3.0
+#: minimum faulted-vs-fault-free ingest throughput gated at full scale
+INGEST_THROUGHPUT_FLOOR = 0.70
 
 
 def _text(seed: int, approx_bytes: int) -> bytes:
@@ -469,6 +482,150 @@ def batch_digests_identity(identity: dict) -> bool:
             == _result_fingerprint(runs["off"]))
 
 
+def _ingest_streams(corpus, endpoints: int, stream_events: int) -> dict:
+    """Record one endpoint event stream per tenant, cycling the cohort.
+
+    Recording is monitor-free (pure VFS tracing), so this is cheap even
+    at 64 endpoints; ``stream_events`` caps replayed work per tenant.
+    """
+    profiles = [s.profile for s in working_cohort(base_seed=0)]
+    streams = {}
+    for i in range(endpoints):
+        sample = instantiate(profiles[(i * 7) % len(profiles)])
+        streams[f"ep{i:03d}"] = record_endpoint_stream(
+            corpus, sample, seed=i, max_events=stream_events)
+    return streams
+
+
+def ingest_resilience(endpoints: int, stream_events: int,
+                      n_files: int, n_dirs: int, rounds: int) -> dict:
+    """ISSUE-6 section: multi-endpoint ingest under a fault storm.
+
+    Three legs over identical recorded streams:
+
+    * **fault-free** — the reference: its verdict fingerprints and wall
+      time are what the other legs are held to;
+    * **faulted** — tenants round-robin across shard kills, poison
+      events, queue stalls, and transient denials, with the breaker and
+      watchdog on.  Restart-and-replay must reproduce the reference
+      verdicts bit-for-bit, and sustained throughput (reference events /
+      faulted wall time) must stay ≥ 70% of fault-free at full scale;
+    * **overload** — tiny queues with a shed policy on every other
+      tenant.  Every shed decision must surface as a ``LoadShed`` bus
+      event, and tenants *without* a shed policy (pure backpressure)
+      must still match the reference verdicts exactly.
+
+    Cross-tenant isolation is asserted on every leg.
+    """
+    corpus = generate(seed=1721, n_files=n_files, n_dirs=n_dirs)
+    streams = _ingest_streams(corpus, endpoints, stream_events)
+    tenants = sorted(streams)
+    config = CryptoDropConfig(telemetry_enabled=True)
+
+    def session(fault_map=None, shed_tenants=(), **manager_kw):
+        manager = EndpointSessionManager(corpus, config=config,
+                                         **manager_kw)
+        shed_policy = ShedPolicy(watermark=8, sample_every=4)
+        for tenant in tenants:
+            plan = (fault_map or {}).get(tenant)
+            if tenant in shed_tenants:
+                manager.add_endpoint(tenant, streams[tenant],
+                                     fault_plan=plan,
+                                     shed_policy=shed_policy)
+            else:
+                manager.add_endpoint(tenant, streams[tenant],
+                                     fault_plan=plan)
+        started = time.perf_counter()
+        manager.run()
+        return manager, time.perf_counter() - started
+
+    def best_leg(**kw):
+        best, manager = None, None
+        for _ in range(rounds):
+            manager, seconds = session(**kw)
+            best = seconds if best is None else min(best, seconds)
+        return manager, best
+
+    reference, seconds_fault_free = best_leg()
+    ref_verdicts = reference.verdicts()
+    ref_leaks = reference.cross_tenant_events()
+    events_applied = sum(s["applied"]
+                         for s in reference.stats()["tenants"].values())
+    reference.close()
+
+    fault_map = {}
+    for i, tenant in enumerate(tenants):
+        kind = i % 4
+        if kind == 0:
+            fault_map[tenant] = ingest_chaos(
+                seed=31 + i, kill_shard_at_events=(25,))
+        elif kind == 1:
+            fault_map[tenant] = ingest_chaos(
+                seed=31 + i, poison_event_rate=0.04)
+        elif kind == 2:
+            fault_map[tenant] = ingest_chaos(
+                seed=31 + i, queue_stall_rate=0.02)
+        else:
+            fault_map[tenant] = transient_faults(
+                seed=31 + i, deny_rate=0.15, short_read_rate=0.0,
+                latency_spike_rate=0.0, max_denials=20)
+
+    faulted, seconds_faulted = best_leg(fault_map=fault_map)
+    faulted_stats = faulted.stats()
+    faulted_verdicts = faulted.verdicts()
+    faulted_leaks = faulted.cross_tenant_events()
+    watchdog_stats = faulted_stats["watchdog"] or {}
+    recovery_ticks = watchdog_stats.get("recovery_ticks", [])
+    shard_kills = sum(s["kills"]
+                      for s in faulted_stats["tenants"].values())
+    faulted.close()
+
+    shed_tenants = frozenset(tenants[::2])
+    overload, _ = best_leg(shed_tenants=shed_tenants,
+                           queue_capacity=16, pump_batch=16,
+                           tick_budget=2)
+    overload_stats = overload.stats()["tenants"]
+    sheds = sum(s["queue"]["shed"] for s in overload_stats.values())
+    shed_events = 0
+    shed_observable = sheds > 0
+    for tenant in tenants:
+        session = overload.sessions.get(tenant)
+        bus_sheds = (len(session.bus.events(kind="load_shed"))
+                     if session is not None else 0)
+        shed_events += bus_sheds
+        if bus_sheds != overload_stats[tenant]["queue"]["shed"]:
+            shed_observable = False
+    overload_verdicts = overload.verdicts()
+    nonshed_unchanged = all(
+        overload_verdicts[t] == ref_verdicts[t]
+        for t in tenants if t not in shed_tenants)
+    overload_leaks = overload.cross_tenant_events()
+    overload.close()
+
+    eps_fault_free = events_applied / seconds_fault_free
+    eps_faulted = events_applied / seconds_faulted
+    return {
+        "endpoints": endpoints,
+        "stream_events": stream_events,
+        "events_applied": events_applied,
+        "seconds_fault_free": round(seconds_fault_free, 6),
+        "seconds_faulted": round(seconds_faulted, 6),
+        "events_per_second_fault_free": round(eps_fault_free, 1),
+        "events_per_second_faulted": round(eps_faulted, 1),
+        "throughput_ratio": round(eps_faulted / eps_fault_free, 4),
+        "restarts": watchdog_stats.get("restarts", 0),
+        "recovery_ticks_max": max(recovery_ticks, default=0),
+        "shard_kills": shard_kills,
+        "sheds": sheds,
+        "shed_events_observed": shed_events,
+        "verdicts_identical": faulted_verdicts == ref_verdicts,
+        "no_cross_tenant_leaks": not (ref_leaks or faulted_leaks
+                                      or overload_leaks),
+        "shed_observable": shed_observable,
+        "nonshed_unchanged": nonshed_unchanged,
+    }
+
+
 def run(smoke: bool = False) -> dict:
     if smoke:
         digest_payload = 32 * 1024
@@ -480,6 +637,8 @@ def run(smoke: bool = False) -> dict:
         identity = dict(n_files=6, n_dirs=3, cohort=4)
         batch_docs, store_docs = 16, 128
         batch_repeats, batch_scalar_repeats = 3, 2
+        ingest = dict(endpoints=8, stream_events=200,
+                      n_files=24, n_dirs=5, rounds=1)
     else:
         digest_payload = 128 * 1024
         repeats, scalar_repeats = 9, 3
@@ -490,6 +649,8 @@ def run(smoke: bool = False) -> dict:
         identity = dict(n_files=12, n_dirs=6, cohort=10)
         batch_docs, store_docs = 32, 1024
         batch_repeats, batch_scalar_repeats = 9, 4
+        ingest = dict(endpoints=64, stream_events=600,
+                      n_files=40, n_dirs=8, rounds=2)
 
     payload = _text(3, digest_payload)
     hot_paths = {}
@@ -544,6 +705,11 @@ def run(smoke: bool = False) -> dict:
     overhead = telemetry_overhead(campaign, overhead_rounds, identity)
     batch_identical = batch_digests_identity(identity)
 
+    resilience = ingest_resilience(**ingest)
+    hot_paths["ingest_session"] = resilience["seconds_fault_free"]
+    speedups["ingest_faulted_vs_fault_free"] = \
+        resilience["throughput_ratio"]
+
     counters = stats.as_dict()
     invariants = {
         # single-digest close path: steady-state closes never digest
@@ -567,6 +733,14 @@ def run(smoke: bool = False) -> dict:
         "digest_many_identical": digest_many_identical,
         "store_build_identical": store_build["entries_identical"],
         "batch_results_identical": batch_identical,
+        # ISSUE 6: faults, restarts, and load shedding must never change
+        # what the detector decides for an unaffected tenant, leak events
+        # across tenants, or drop records invisibly
+        "ingest_verdicts_identical": resilience["verdicts_identical"],
+        "ingest_no_cross_tenant_events":
+            resilience["no_cross_tenant_leaks"],
+        "ingest_shed_observable": resilience["shed_observable"],
+        "ingest_nonshed_unchanged": resilience["nonshed_unchanged"],
     }
     if not smoke:
         invariants["campaign_speedup_ge_3"] = (
@@ -577,6 +751,8 @@ def run(smoke: bool = False) -> dict:
         invariants["store_build_speedup_ge_3"] = (
             speedups["store_build_batched_vs_serial"]
             >= STORE_BUILD_SPEEDUP_FLOOR)
+        invariants["ingest_throughput_ratio_ge_0p7"] = (
+            resilience["throughput_ratio"] >= INGEST_THROUGHPUT_FLOOR)
     return {
         "schema": SCHEMA_VERSION,
         "scale": "smoke" if smoke else "full",
@@ -593,6 +769,7 @@ def run(smoke: bool = False) -> dict:
                         for k, v in store_build.items()},
         "digest_batch_documents": batch_docs,
         "telemetry_overhead": overhead,
+        "ingest_resilience": resilience,
         "invariants": invariants,
         "filters_compared": len(big_a),
     }
@@ -616,7 +793,7 @@ def validate_report(report: dict) -> list:
     hot_paths = report.get("hot_paths", {})
     for name in ("sdhash_digest", "compare_batched", "close_heavy_campaign",
                  "campaign_throughput", "digest_many_batch",
-                 "store_build_batched"):
+                 "store_build_batched", "ingest_session"):
         entry = hot_paths.get(name)
         need(isinstance(entry, dict)
              and isinstance(entry.get("seconds"), (int, float))
@@ -650,18 +827,33 @@ def validate_report(report: dict) -> list:
     need(isinstance(overhead.get("events_captured"), int)
          and overhead.get("events_captured", 0) > 0,
          "telemetry_overhead[events_captured] missing or zero")
+    resilience = report.get("ingest_resilience", {})
+    for name in ("endpoints", "stream_events", "events_applied",
+                 "seconds_fault_free", "seconds_faulted",
+                 "throughput_ratio", "restarts", "recovery_ticks_max",
+                 "shard_kills", "sheds", "shed_events_observed"):
+        need(isinstance(resilience.get(name), (int, float)),
+             f"ingest_resilience[{name}] missing")
     invariants = report.get("invariants", {})
     for name in ("bytes_digested_le_bytes_closed",
                  "digest_cache_hits_positive",
                  "campaign_results_identical",
                  "store_untouched_bytes_digested_zero",
                  "telemetry_counters_identical",
-                 "telemetry_results_identical"):
+                 "telemetry_results_identical",
+                 "ingest_verdicts_identical",
+                 "ingest_no_cross_tenant_events",
+                 "ingest_shed_observable",
+                 "ingest_nonshed_unchanged"):
         need(isinstance(invariants.get(name), bool),
              f"invariants[{name}] missing")
     if report.get("scale") == "full":
         need(isinstance(invariants.get("campaign_speedup_ge_3"), bool),
              "invariants[campaign_speedup_ge_3] missing at full scale")
+        need(isinstance(invariants.get("ingest_throughput_ratio_ge_0p7"),
+                        bool),
+             "invariants[ingest_throughput_ratio_ge_0p7] missing at "
+             "full scale")
     need(isinstance(report.get("counters"), dict), "counters missing")
     return problems
 
@@ -691,6 +883,11 @@ def main(argv=None) -> int:
     print(f"  telemetry: disabled {overhead['disabled_vs_baseline']:.4f}x "
           f"baseline, enabled {overhead['enabled_vs_disabled']:.2f}x "
           f"disabled, {overhead['events_captured']} events")
+    resilience = report["ingest_resilience"]
+    print(f"  ingest: {resilience['endpoints']} endpoints, "
+          f"faulted/fault-free ratio {resilience['throughput_ratio']:.2f}, "
+          f"{resilience['restarts']} restarts, "
+          f"{resilience['sheds']} sheds observed")
     ok = all(report["invariants"].values()) and not problems
     for problem in problems:
         print(f"  schema problem: {problem}")

@@ -63,11 +63,25 @@ class CryptoDropMonitor:
             self.vfs.filters.detach(self.engine)
             self._attached = False
 
+    def close(self) -> None:
+        """Graceful shutdown: drain deferred digests, then detach.
+
+        The lazy close path may still hold verdict-relevant pending
+        inspections when the monitor goes away; :meth:`detach` alone
+        would silently drop them, so a checkpoint taken after a bare
+        detach could disagree with an eager run.  ``close()`` (and the
+        context-manager exit, which routes through it) flushes the
+        scheduler first so the final state is complete.  Idempotent.
+        """
+        if self.engine.scheduler is not None:
+            self.engine.scheduler.close()
+        self.detach()
+
     def __enter__(self) -> "CryptoDropMonitor":
         return self.attach()
 
     def __exit__(self, *exc) -> None:
-        self.detach()
+        self.close()
 
     @property
     def attached(self) -> bool:

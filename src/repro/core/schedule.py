@@ -50,7 +50,8 @@ class InspectionScheduler:
     """
 
     __slots__ = ("cache", "telemetry", "_pending", "flushes",
-                 "materialised", "live_digests", "bytes_live", "max_batch")
+                 "materialised", "live_digests", "bytes_live", "max_batch",
+                 "closes")
 
     def __init__(self, cache, telemetry=None) -> None:
         self.cache = cache
@@ -61,6 +62,7 @@ class InspectionScheduler:
         self.live_digests = 0
         self.bytes_live = 0
         self.max_batch = 0
+        self.closes = 0
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -77,6 +79,20 @@ class InspectionScheduler:
     def clear(self) -> None:
         """Drop the pending set without materialising (cache restore)."""
         self._pending.clear()
+
+    def close(self) -> int:
+        """Shutdown/restart flush: drain everything pending, count it.
+
+        The graceful-shutdown contract (``CryptoDropMonitor.close``,
+        ``MonitorSupervisor.stop``, shard restarts): a digest deferred
+        just before the monitor goes away must still be materialised —
+        silently dropping it would make the final checkpoint disagree
+        with an eager run.  Identical to :meth:`flush` except that the
+        drain is recorded as a close-time flush, so operators can tell
+        shutdown work from demand-driven batching in :meth:`stats`.
+        """
+        self.closes += 1
+        return self.flush()
 
     def flush(self) -> int:
         """Materialise every pending digest now; returns records drained.
@@ -181,4 +197,5 @@ class InspectionScheduler:
             "live_digests": self.live_digests,
             "bytes_live": self.bytes_live,
             "max_batch": self.max_batch,
+            "closes": self.closes,
         }

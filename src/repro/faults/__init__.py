@@ -2,12 +2,15 @@
 
 Deterministic environmental misbehaviour (transient denials, short reads,
 latency spikes, watchdog kills) plus the supervisor that restarts a
-killed monitor from checkpointed state.  See ``docs/robustness.md``.
+killed monitor from checkpointed state, and the event-stream fault
+schedule (poison events, queue stalls, shard kills) consumed by the
+``repro.ingest`` layer.  See ``docs/robustness.md``.
 """
 
-from .injector import FaultInjector
-from .plan import FaultPlan, monitor_crash, transient_faults
+from .injector import FaultInjector, IngestFaultSource, PoisonedEvent
+from .plan import FaultPlan, ingest_chaos, monitor_crash, transient_faults
 from .supervisor import MonitorSupervisor
 
-__all__ = ["FaultInjector", "FaultPlan", "MonitorSupervisor",
+__all__ = ["FaultInjector", "FaultPlan", "IngestFaultSource",
+           "MonitorSupervisor", "PoisonedEvent", "ingest_chaos",
            "monitor_crash", "transient_faults"]

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from ..fs.events import Decision, FsOperation, OpKind
 from ..fs.filters import FilterDriver, PostVerdict
@@ -28,7 +28,24 @@ from ..fs.vfs import SYSTEM_PID
 from ..telemetry.events import FaultInjected
 from .plan import FaultPlan
 
-__all__ = ["FaultInjector"]
+__all__ = ["FaultInjector", "IngestFaultSource", "PoisonedEvent"]
+
+
+class PoisonedEvent(Exception):
+    """An injected endpoint event that can never be processed.
+
+    Deliberately *permanent* (``transient`` False): the breaker/retry
+    machinery must discard it immediately rather than retry it forever.
+    Raised by a :class:`~repro.ingest.MonitorShard` when it dequeues an
+    event the :class:`IngestFaultSource` inserted as poison.
+    """
+
+    transient = False
+
+    def __init__(self, tenant: str, seq: int) -> None:
+        super().__init__(f"poison event {seq} on stream {tenant!r}")
+        self.tenant = tenant
+        self.seq = seq
 
 
 class FaultInjector(FilterDriver):
@@ -61,15 +78,30 @@ class FaultInjector(FilterDriver):
         self._kills = deque(sorted(self.plan.kill_monitor_at_ops)) \
             if self.plan else deque()
         self._pending_latency_us = 0.0
+        self._suspended = False
         self.op_index = 0
         self.denials = 0
         self.short_reads = 0
         self.latency_spikes = 0
         self.kills_fired = 0
 
+    def suspend(self) -> None:
+        """Pause injection without resetting RNG or counters.
+
+        Used by shard restarts while the journal tail is replayed: the
+        replayed operations already ran once against the live fault
+        stream, so re-faulting them would double-inject.  Unlike
+        :meth:`arm`, the RNG position and all counters are preserved, so
+        :meth:`resume` continues the original fault schedule exactly.
+        """
+        self._suspended = True
+
+    def resume(self) -> None:
+        self._suspended = False
+
     @property
     def armed(self) -> bool:
-        return self.plan is not None
+        return self.plan is not None and not self._suspended
 
     def stats(self) -> dict:
         return {"ops_seen": self.op_index, "denials": self.denials,
@@ -83,7 +115,7 @@ class FaultInjector(FilterDriver):
 
     def pre_operation(self, op: FsOperation) -> Decision:
         plan = self.plan
-        if plan is None or op.pid == SYSTEM_PID:
+        if plan is None or self._suspended or op.pid == SYSTEM_PID:
             return Decision.ALLOW
         self.op_index += 1
         rng = self._rng
@@ -111,7 +143,7 @@ class FaultInjector(FilterDriver):
         return Decision.ALLOW
 
     def post_operation(self, op: FsOperation) -> PostVerdict:
-        if self.plan is None or op.pid == SYSTEM_PID:
+        if self.plan is None or self._suspended or op.pid == SYSTEM_PID:
             return PostVerdict.ALLOW
         while self._kills and self.op_index >= self._kills[0]:
             self._kills.popleft()
@@ -125,3 +157,56 @@ class FaultInjector(FilterDriver):
     def added_latency_us(self, op: FsOperation) -> float:
         cost, self._pending_latency_us = self._pending_latency_us, 0.0
         return cost
+
+
+class IngestFaultSource:
+    """Deterministic event-stream fault schedule for one tenant.
+
+    Where :class:`FaultInjector` misbehaves at the *operation* level
+    (inside the filter stack), this precomputes misbehaviour at the
+    *event* level for an endpoint stream of ``n_events`` events:
+
+    * ``poison_before[i]`` — how many poison events to insert before
+      original event ``i`` (each raises :class:`PoisonedEvent` on apply;
+      the real events are untouched, so discarding poisons converges to
+      the unfaulted run);
+    * ``stall_before[i]`` — scheduler ticks the shard wedges for before
+      applying original event ``i`` (queue-stall: backpressure holds the
+      stream, nothing is lost);
+    * ``kills`` — 1-based applied-event indices at which the shard's
+      monitor is hard-killed.
+
+    Determinism contract mirrors the injector's: one
+    ``random.Random(f"{plan.seed}:{tenant}")`` consumed in a fixed
+    per-event draw order (poison, then stall), so a given
+    (plan, tenant, stream length) triple faults identically every run,
+    and distinct tenants under the same plan get independent —
+    but individually reproducible — schedules.
+    """
+
+    def __init__(self, plan: FaultPlan, tenant: str, n_events: int) -> None:
+        self.plan = plan
+        self.tenant = tenant
+        self.poison_before: Dict[int, int] = {}
+        self.stall_before: Dict[int, int] = {}
+        self.kills: Tuple[int, ...] = tuple(sorted(plan.kill_shard_at_events))
+        if not (plan.poison_event_rate or plan.queue_stall_rate):
+            return
+        rng = random.Random(f"{plan.seed}:{tenant}")
+        for index in range(n_events):
+            if (plan.poison_event_rate
+                    and rng.random() < plan.poison_event_rate):
+                self.poison_before[index] = \
+                    self.poison_before.get(index, 0) + 1
+            if (plan.queue_stall_rate
+                    and rng.random() < plan.queue_stall_rate):
+                self.stall_before[index] = plan.queue_stall_ticks
+
+    @property
+    def armed(self) -> bool:
+        return bool(self.poison_before or self.stall_before or self.kills)
+
+    def stats(self) -> dict:
+        return {"poisons": sum(self.poison_before.values()),
+                "stalls": len(self.stall_before),
+                "kills_scheduled": len(self.kills)}

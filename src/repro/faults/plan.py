@@ -21,7 +21,8 @@ from typing import Optional, Tuple
 
 from ..fs.events import OpKind
 
-__all__ = ["FaultPlan", "transient_faults", "monitor_crash"]
+__all__ = ["FaultPlan", "transient_faults", "monitor_crash",
+           "ingest_chaos"]
 
 #: operation kinds a transient denial may target by default — the ones a
 #: locked/oplocked file refuses on a real NTFS volume.
@@ -63,21 +64,54 @@ class FaultPlan:
     #: watchdog is killed; the injector fires its kill callback there
     kill_monitor_at_ops: Tuple[int, ...] = field(default_factory=tuple)
 
+    # -- ingest faults (repro.ingest event streams) -----------------------
+    #: probability that a poison event (permanently unprocessable) is
+    #: *inserted* before an endpoint event — the real event is untouched,
+    #: so a shard that discards the poison converges to the unfaulted run
+    poison_event_rate: float = 0.0
+    #: probability that the shard wedges (stops draining its queue)
+    #: before an endpoint event; backpressure holds the stream, so no
+    #: events are lost — only delayed
+    queue_stall_rate: float = 0.0
+    #: how many scheduler ticks a queue stall wedges the shard for
+    queue_stall_ticks: int = 8
+    #: applied-event indices (1-based, per tenant) at which the shard's
+    #: monitor is hard-killed (no final checkpoint) — the watchdog must
+    #: restart it from the last periodic checkpoint and replay the tail
+    kill_shard_at_events: Tuple[int, ...] = field(default_factory=tuple)
+
     def __post_init__(self) -> None:
-        for name in ("deny_rate", "short_read_rate", "latency_spike_rate"):
+        for name in ("deny_rate", "short_read_rate", "latency_spike_rate",
+                     "poison_event_rate", "queue_stall_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
         if not 0.0 < self.short_read_factor <= 1.0:
             raise ValueError("short_read_factor must be in (0, 1]")
+        if self.queue_stall_ticks <= 0:
+            raise ValueError("queue_stall_ticks must be positive")
         if any(n <= 0 for n in self.kill_monitor_at_ops):
             raise ValueError("kill_monitor_at_ops indices are 1-based")
+        if any(n <= 0 for n in self.kill_shard_at_events):
+            raise ValueError("kill_shard_at_events indices are 1-based")
 
     @property
     def armed(self) -> bool:
-        """True when the plan can inject anything at all."""
+        """True when the plan can inject at the *operation* level.
+
+        Ingest-level faults deliberately do not arm the
+        :class:`~repro.faults.injector.FaultInjector` — they are executed
+        by the :class:`~repro.faults.injector.IngestFaultSource` and the
+        shard, not by the filter stack.
+        """
         return bool(self.deny_rate or self.short_read_rate
                     or self.latency_spike_rate or self.kill_monitor_at_ops)
+
+    @property
+    def armed_ingest(self) -> bool:
+        """True when the plan carries event-stream (ingest) faults."""
+        return bool(self.poison_event_rate or self.queue_stall_rate
+                    or self.kill_shard_at_events)
 
     def with_overrides(self, **kwargs) -> "FaultPlan":
         return replace(self, **kwargs)
@@ -98,4 +132,15 @@ def monitor_crash(*at_ops: int, seed: int = 0, **overrides) -> FaultPlan:
     """A plan that only kills the monitor at the given operation indices."""
     return FaultPlan(seed=seed,
                      kill_monitor_at_ops=tuple(sorted(at_ops)),
+                     **overrides)
+
+
+def ingest_chaos(seed: int = 0, poison_event_rate: float = 0.0,
+                 queue_stall_rate: float = 0.0,
+                 kill_shard_at_events: Tuple[int, ...] = (),
+                 **overrides) -> FaultPlan:
+    """A ready-made endpoint-stream plan: poisons, stalls, shard kills."""
+    return FaultPlan(seed=seed, poison_event_rate=poison_event_rate,
+                     queue_stall_rate=queue_stall_rate,
+                     kill_shard_at_events=tuple(sorted(kill_shard_at_events)),
                      **overrides)

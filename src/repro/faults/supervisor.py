@@ -35,10 +35,16 @@ class MonitorSupervisor:
 
     def __init__(self, vfs: VirtualFileSystem,
                  config: Optional[CryptoDropConfig] = None,
-                 policy: Optional[AlertPolicy] = None) -> None:
+                 policy: Optional[AlertPolicy] = None,
+                 baseline_store=None, telemetry=None) -> None:
         self.vfs = vfs
         self.config = config or CryptoDropConfig()
         self.policy = policy
+        #: shared corpus BaselineStore / TelemetrySession handed to every
+        #: incarnation, so restarts keep the same store identity (restore
+        #: rejects a mismatched store) and stream into the same bus
+        self.baseline_store = baseline_store
+        self.telemetry = telemetry
         self.monitor: Optional[CryptoDropMonitor] = None
         self.last_checkpoint: Optional[dict] = None
         self.crashes = 0
@@ -50,8 +56,10 @@ class MonitorSupervisor:
         """Attach the first monitor incarnation (fresh state)."""
         if self.monitor is not None:
             raise RuntimeError("supervisor already running")
-        self.monitor = CryptoDropMonitor(self.vfs, self.config,
-                                         self.policy).attach()
+        self.monitor = CryptoDropMonitor(
+            self.vfs, self.config, self.policy,
+            baseline_store=self.baseline_store,
+            telemetry=self.telemetry).attach()
         return self.monitor
 
     def checkpoint(self) -> dict:
@@ -73,6 +81,22 @@ class MonitorSupervisor:
         self.monitor = None
         self.crashes += 1
 
+    def hard_crash(self, op_index: Optional[int] = None) -> None:
+        """The watchdog dies *without* a parting checkpoint.
+
+        Models a SIGKILL mid-write: only the journalled state from the
+        last explicit :meth:`checkpoint` survives, so a later
+        :meth:`restart` resumes from that point and the caller must
+        replay whatever happened since (the ingest shard's journal-tail
+        replay).  Contrast :meth:`crash`, whose write-ahead model
+        considers every completed operation durable.
+        """
+        if self.monitor is None:
+            return
+        self.monitor.detach()
+        self.monitor = None
+        self.crashes += 1
+
     def restart(self) -> CryptoDropMonitor:
         """Attach a new incarnation resumed from the last checkpoint."""
         if self.monitor is not None:
@@ -80,8 +104,9 @@ class MonitorSupervisor:
         if self.last_checkpoint is None:
             return self.start()
         self.monitor = CryptoDropMonitor.from_checkpoint(
-            self.vfs, self.last_checkpoint, self.config,
-            self.policy).attach()
+            self.vfs, self.last_checkpoint, self.config, self.policy,
+            baseline_store=self.baseline_store,
+            telemetry=self.telemetry).attach()
         self.restarts += 1
         return self.monitor
 
@@ -91,8 +116,9 @@ class MonitorSupervisor:
         self.restart()
 
     def stop(self) -> None:
+        """Graceful shutdown: flush pending inspections, then detach."""
         if self.monitor is not None:
-            self.monitor.detach()
+            self.monitor.close()
             self.monitor = None
 
     # -- reporting ---------------------------------------------------------

@@ -12,7 +12,7 @@ from .clock import BASE_LATENCY_US, SimClock
 from .errors import (AccessDenied, DirectoryNotEmpty, FileExists,
                      FileNotFound, FsError, HandleClosed, InvalidHandle,
                      IsADirectory, NotADirectory, OperationDenied,
-                     ProcessSuspended)
+                     ProcessSuspended, is_transient)
 from .events import Decision, FsOperation, OpKind
 from .filters import FilterDriver, FilterStack, PostVerdict
 from .handles import Handle, HandleTable
@@ -35,4 +35,5 @@ __all__ = [
     "ProcessState", "ProcessSuspended", "ProcessTable", "ShadowCopy",
     "ShadowCopyService", "SimClock", "StatResult", "SYSTEM32", "SYSTEM_PID",
     "TEMP", "VirtualFileSystem", "Win32Api", "WinPath", "assess_damage",
+    "is_transient",
 ]

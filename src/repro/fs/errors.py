@@ -20,11 +20,24 @@ __all__ = [
     "InvalidHandle",
     "OperationDenied",
     "ProcessSuspended",
+    "is_transient",
 ]
 
 
 class FsError(Exception):
-    """Base class for all virtual filesystem errors."""
+    """Base class for all virtual filesystem errors.
+
+    ``transient`` classifies the failure the way an EINTR/EAGAIN-aware
+    retry loop would: transient errors (a locked file, a sharing
+    violation) are expected to succeed if the same operation is simply
+    retried later, while permanent errors (missing file, bad handle)
+    will fail identically forever.  Retry machinery — the ingest circuit
+    breaker, the campaign dispatcher — keys off :func:`is_transient`
+    rather than per-site ``isinstance`` checks.
+    """
+
+    #: retrying the same operation later may succeed (EINTR/EAGAIN-style)
+    transient = False
 
 
 class FileNotFound(FsError):
@@ -60,7 +73,14 @@ class InvalidHandle(FsError):
 
 
 class OperationDenied(FsError):
-    """A filter driver vetoed the operation (without suspending)."""
+    """A filter driver vetoed the operation (without suspending).
+
+    Models ``ERROR_SHARING_VIOLATION`` / ``ERROR_ACCESS_DENIED`` from a
+    locked file: the canonical *transient* failure — nothing about the
+    operation itself is wrong, so a later retry is expected to succeed.
+    """
+
+    transient = True
 
 
 class ProcessSuspended(Exception):
@@ -76,3 +96,15 @@ class ProcessSuspended(Exception):
         super().__init__(f"process {pid} suspended: {reason}")
         self.pid = pid
         self.reason = reason
+
+
+def is_transient(exc: BaseException) -> bool:
+    """True when retrying the failed operation later may succeed.
+
+    The single retry/breaker predicate: any exception carrying a truthy
+    ``transient`` attribute (``OperationDenied``, or a fault-layer error
+    that marks itself retryable) is transient; everything else —
+    permanent ``FsError`` subclasses, ``ProcessSuspended``, arbitrary
+    workload exceptions — is permanent and must not be retried.
+    """
+    return bool(getattr(exc, "transient", False))

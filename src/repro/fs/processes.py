@@ -111,6 +111,12 @@ class ProcessTable:
                 proc.state = ProcessState.RUNNING
                 proc.suspend_reason = ""
 
+    def suspended_pids(self) -> List[int]:
+        """Pids currently suspended (shard checkpoints diff this set to
+        tell pre-checkpoint verdicts from ones in a lost journal tail)."""
+        return [p.pid for p in self._procs.values()
+                if p.state is ProcessState.SUSPENDED]
+
     def exit(self, pid: int) -> None:
         self._procs[pid].state = ProcessState.EXITED
 

@@ -1,0 +1,20 @@
+"""Resilient multi-endpoint ingest.
+
+The gateway layer between captured endpoint event streams and the
+CryptoDrop detection engine: per-tenant supervised monitor shards with
+bounded queues (backpressure + load shedding), per-stream circuit
+breakers with exponential-backoff half-open probes, and a heartbeat
+watchdog that restarts wedged or killed shards from checkpoint with
+journal-tail replay — post-restart verdicts bit-identical to an
+unfaulted run.  See ``docs/robustness.md`` §4.
+"""
+
+from .breaker import CircuitBreaker
+from .queue import Admission, BoundedIngestQueue, EndpointEvent, ShedPolicy
+from .sessions import EndpointSessionManager, record_endpoint_stream
+from .shard import MonitorShard
+from .watchdog import HeartbeatWatchdog
+
+__all__ = ["Admission", "BoundedIngestQueue", "CircuitBreaker",
+           "EndpointEvent", "EndpointSessionManager", "HeartbeatWatchdog",
+           "MonitorShard", "ShedPolicy", "record_endpoint_stream"]

@@ -1,0 +1,133 @@
+"""Per-stream circuit breaker with exponential-backoff half-open probes.
+
+When a tenant's inspections start failing transiently (sharing
+violations, EINTR-style denials injected by :class:`~repro.faults.FaultInjector`),
+hammering the failing operation every tick wastes the shard's apply
+budget and amplifies the fault storm.  The breaker wraps the apply loop:
+
+* **closed** — normal operation; consecutive transient failures are
+  counted, success resets the count;
+* **open** — after ``failure_threshold`` consecutive failures the
+  breaker trips and the shard stops applying this stream for a cooldown
+  of ``cooldown_ticks * 2**(trip_streak-1)`` ticks (capped at
+  ``max_cooldown_ticks``), stretched by deterministic seeded jitter so
+  many breakers tripped by one fault storm do not probe in lockstep;
+* **half-open** — when the cooldown expires, exactly one probe event is
+  allowed through: success closes the breaker and resets the backoff
+  streak, failure re-opens it with the next (doubled) cooldown.
+
+Disabled (``enabled=False``) the breaker still counts failures but never
+blocks — the chaos matrix uses this to show retry storms without a
+breaker versus bounded probing with one.  Every trip emits a
+tenant-tagged :class:`~repro.telemetry.events.BreakerTripped` event and
+bumps ``cryptodrop_breaker_trips_total``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..telemetry.events import BreakerTripped
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+HALF_OPEN = "half_open"
+OPEN = "open"
+
+
+class CircuitBreaker:
+    """Transient-failure breaker for one tenant's apply loop."""
+
+    __slots__ = ("failure_threshold", "cooldown_ticks", "max_cooldown_ticks",
+                 "jitter", "tenant", "telemetry", "enabled", "_rng",
+                 "state", "consecutive_failures", "trip_streak",
+                 "failures_total", "trips", "probes", "reopen_at")
+
+    def __init__(self, failure_threshold: int = 3, cooldown_ticks: int = 4,
+                 max_cooldown_ticks: int = 64, jitter: float = 0.25,
+                 seed: int = 0, tenant: str = "", telemetry=None,
+                 enabled: bool = True) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_ticks < 1:
+            raise ValueError("cooldown_ticks must be >= 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+        self.failure_threshold = failure_threshold
+        self.cooldown_ticks = cooldown_ticks
+        self.max_cooldown_ticks = max_cooldown_ticks
+        self.jitter = jitter
+        self.tenant = tenant
+        self.telemetry = telemetry
+        self.enabled = enabled
+        # Seeded per tenant so concurrent breakers desynchronise their
+        # probes deterministically (same run -> same jitter draws).
+        self._rng = random.Random(f"{seed}:{tenant}")
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.trip_streak = 0
+        self.failures_total = 0
+        self.trips = 0
+        self.probes = 0
+        self.reopen_at = 0
+
+    def allow(self, tick: int) -> bool:
+        """May the shard attempt an apply at ``tick``?"""
+        if not self.enabled or self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if tick >= self.reopen_at:
+                self.state = HALF_OPEN
+                self.probes += 1
+                return True
+            return False
+        # HALF_OPEN: the single probe was already handed out this
+        # incarnation; its outcome (record_success / record_failure)
+        # decides the next state before allow() is consulted again.
+        return False
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.trip_streak = 0
+        self.state = CLOSED
+
+    def record_failure(self, tick: int) -> bool:
+        """Count a transient failure; returns True if the breaker tripped."""
+        self.failures_total += 1
+        self.consecutive_failures += 1
+        if not self.enabled:
+            return False
+        if (self.state == HALF_OPEN
+                or self.consecutive_failures >= self.failure_threshold):
+            self._trip(tick)
+            return True
+        return False
+
+    def _trip(self, tick: int) -> None:
+        self.trip_streak += 1
+        self.trips += 1
+        base = min(self.max_cooldown_ticks,
+                   self.cooldown_ticks * (2 ** (self.trip_streak - 1)))
+        cooldown = max(1, int(round(
+            base * (1.0 + self.jitter * self._rng.random()))))
+        self.reopen_at = tick + cooldown
+        self.state = OPEN
+        self.consecutive_failures = 0
+        if self.telemetry is not None:
+            t = self.telemetry
+            t.breaker_trips.inc(tenant=self.tenant)
+            t.bus.emit(BreakerTripped(
+                t.bus.clock_us, tenant=self.tenant,
+                failures=self.failures_total, trips=self.trips,
+                cooldown_ticks=cooldown))
+
+    def stats(self) -> dict:
+        return {
+            "state": self.state if self.enabled else CLOSED,
+            "enabled": self.enabled,
+            "failures": self.failures_total,
+            "trips": self.trips,
+            "probes": self.probes,
+            "reopen_at": self.reopen_at,
+        }

@@ -1,0 +1,166 @@
+"""Bounded ingest queues: explicit backpressure plus load shedding.
+
+The gateway-facing invariant (ROADMAP item 1): a detector serving many
+endpoint streams must never buffer without bound, and must never drop
+silently.  Admission to a shard's queue has exactly three outcomes:
+
+* **ACCEPTED** — the event is queued for inspection;
+* **BLOCKED** — the queue is full; the producer keeps the event and
+  retries later (backpressure: delivery is delayed, never lost);
+* **SHED** — the queue is above its overload watermark and the event is
+  a sheddable kind (reads, by default): the shard degrades to
+  sampling-mode inspection, keeping every Nth sheddable event and
+  dropping the rest.  Indicator *state* is fully preserved — only input
+  coverage degrades — and every shed decision emits a tenant-tagged
+  :class:`~repro.telemetry.events.LoadShed` event and bumps the
+  ``cryptodrop_load_shed_total`` counter, so degradation is always
+  observable and bounded.
+
+Determinism: shedding is counter-based (keep every ``sample_every``-th
+sheddable event while over the watermark), not randomised, so the same
+overload pattern sheds the same events every run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Tuple
+
+from ..telemetry.events import LoadShed
+from ..trace import TraceRecord
+
+__all__ = ["Admission", "BoundedIngestQueue", "EndpointEvent", "ShedPolicy"]
+
+
+@dataclass(frozen=True)
+class EndpointEvent:
+    """One element of a tenant's ingest stream.
+
+    Wraps a replayable :class:`~repro.trace.TraceRecord` with its stream
+    position and any fault decoration the
+    :class:`~repro.faults.IngestFaultSource` attached: ``poison`` events
+    raise :class:`~repro.faults.PoisonedEvent` instead of applying, and
+    ``stall_ticks`` wedges the shard before this event is applied.
+    """
+
+    tenant: str
+    seq: int
+    record: TraceRecord
+    poison: bool = False
+    stall_ticks: int = 0
+
+
+class Admission(Enum):
+    """Outcome of offering an event to a bounded ingest queue."""
+
+    ACCEPTED = "accepted"
+    SHED = "shed"
+    BLOCKED = "blocked"
+
+
+@dataclass(frozen=True)
+class ShedPolicy:
+    """Sampling-mode degradation knobs for an overloaded queue.
+
+    Above ``watermark`` queued events, only every ``sample_every``-th
+    event of a kind in ``sheddable_kinds`` is admitted.  Writes, renames,
+    deletes and closes are never sheddable by default: they mutate state
+    and carry the scoring-critical close inspections, so shedding them
+    would change verdicts rather than merely coarsen read-side coverage.
+    """
+
+    watermark: int = 48
+    sample_every: int = 4
+    sheddable_kinds: Tuple[str, ...] = ("read",)
+
+    def __post_init__(self) -> None:
+        if self.watermark <= 0:
+            raise ValueError("watermark must be positive")
+        if self.sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+
+
+class BoundedIngestQueue:
+    """One shard's bounded event queue with shed/block admission.
+
+    ``shed_policy`` None (the default) disables shedding entirely: the
+    queue then offers pure backpressure, which is what verdict-identity
+    chaos runs use (no event ever dropped).
+    """
+
+    __slots__ = ("capacity", "shed_policy", "tenant", "telemetry",
+                 "_events", "accepted", "shed", "blocked",
+                 "high_watermark_seen", "_shed_seen")
+
+    def __init__(self, capacity: int = 64,
+                 shed_policy: Optional[ShedPolicy] = None,
+                 tenant: str = "", telemetry=None) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if shed_policy is not None and shed_policy.watermark > capacity:
+            raise ValueError("shed watermark above queue capacity would "
+                             "never fire before backpressure")
+        self.capacity = capacity
+        self.shed_policy = shed_policy
+        self.tenant = tenant
+        self.telemetry = telemetry
+        self._events: "deque[EndpointEvent]" = deque()
+        self.accepted = 0
+        self.shed = 0
+        self.blocked = 0
+        self.high_watermark_seen = 0
+        self._shed_seen = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def offer(self, event: EndpointEvent) -> Admission:
+        """Admit, shed, or refuse one event (see module docstring)."""
+        policy = self.shed_policy
+        if (policy is not None
+                and len(self._events) >= policy.watermark
+                and not event.poison
+                and event.record.kind in policy.sheddable_kinds):
+            self._shed_seen += 1
+            if self._shed_seen % policy.sample_every != 0:
+                self.shed += 1
+                if self.telemetry is not None:
+                    t = self.telemetry
+                    t.load_sheds.inc(tenant=self.tenant)
+                    t.bus.emit(LoadShed(
+                        t.bus.clock_us, tenant=self.tenant, seq=event.seq,
+                        op_kind=event.record.kind,
+                        queue_depth=len(self._events)))
+                return Admission.SHED
+        if len(self._events) >= self.capacity:
+            self.blocked += 1
+            return Admission.BLOCKED
+        self._events.append(event)
+        self.accepted += 1
+        if len(self._events) > self.high_watermark_seen:
+            self.high_watermark_seen = len(self._events)
+        return Admission.ACCEPTED
+
+    def peek(self) -> EndpointEvent:
+        return self._events[0]
+
+    def pop(self) -> EndpointEvent:
+        return self._events.popleft()
+
+    def clear(self) -> int:
+        """Discard everything queued (stream finished); returns count."""
+        discarded = len(self._events)
+        self._events.clear()
+        return discarded
+
+    def stats(self) -> dict:
+        return {
+            "depth": len(self._events),
+            "capacity": self.capacity,
+            "accepted": self.accepted,
+            "shed": self.shed,
+            "blocked": self.blocked,
+            "high_watermark_seen": self.high_watermark_seen,
+        }

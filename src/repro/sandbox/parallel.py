@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import random
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -54,7 +55,8 @@ from .journal import CampaignJournal, coerce_journal
 from .machine import VirtualMachine
 from .runner import SampleResult, errored_result, run_sample
 
-__all__ = ["build_store_parallel", "run_campaign_parallel"]
+__all__ = ["build_store_parallel", "retry_backoff_s",
+           "run_campaign_parallel"]
 
 #: host-seconds a sample may spend queued+running before it is requeued
 DEFAULT_SAMPLE_TIMEOUT = 300.0
@@ -63,6 +65,29 @@ _POLL_INTERVAL_S = 0.02
 #: chunks submitted per worker when the chunk size is adaptive — small
 #: enough that a slow chunk cannot serialise the tail of the sweep
 _CHUNKS_PER_WORKER = 4
+#: retry backoff: first requeue waits this long, doubling per attempt …
+_RETRY_BACKOFF_BASE_S = 0.25
+#: … up to this cap, …
+_RETRY_BACKOFF_CAP_S = 4.0
+#: … stretched by up to this fraction of deterministic per-sample jitter
+#: so a mass timeout (dead worker) does not resubmit in one burst
+_RETRY_JITTER = 0.25
+
+
+def retry_backoff_s(index: int, attempt: int) -> float:
+    """Delay before requeueing sample ``index`` for retry ``attempt``.
+
+    Exponential in the attempt number with seeded jitter: a wedged
+    worker's whole chunk times out at once, and immediate requeue used
+    to slam every orphaned sample back onto the pool in the same poll
+    cycle.  Jitter comes from ``random.Random(f"{index}:{attempt}")``,
+    a pure function of the retry identity, so reruns back off
+    identically (the determinism contract the chaos suite pins).
+    """
+    base = min(_RETRY_BACKOFF_CAP_S,
+               _RETRY_BACKOFF_BASE_S * (2 ** (attempt - 1)))
+    return base * (1.0 + _RETRY_JITTER
+                   * random.Random(f"{index}:{attempt}").random())
 
 # Module globals used to hand state to forked workers without pickling.
 _PARENT_CORPUS: Optional[GeneratedCorpus] = None
@@ -247,10 +272,9 @@ def run_campaign_parallel(samples: Sequence,
         ctx = multiprocessing.get_context("fork")
         pool = ctx.Pool(processes=workers, initializer=_init_worker)
         try:
-            results, abandoned = _dispatch(pool, profiles, completed, config,
-                                           record_ops, journal,
-                                           sample_timeout, max_retries,
-                                           workers, chunk_size)
+            results, abandoned, backoffs = _dispatch(
+                pool, profiles, completed, config, record_ops, journal,
+                sample_timeout, max_retries, workers, chunk_size)
             completed.update(results)
         except BaseException:
             # Error/interrupt path only: in-flight work is unrecoverable
@@ -287,8 +311,11 @@ def run_campaign_parallel(samples: Sequence,
                                else 0.0),
         "workers": workers,
         "baseline_store": None if store is None else store.describe(),
+        "retry_backoffs": backoffs,
     }
     if session is not None:
+        if backoffs:
+            session.retry_backoff.inc(backoffs)
         campaign.telemetry = session.export()
     return campaign
 
@@ -297,26 +324,32 @@ def _dispatch(pool, profiles: Sequence, already_done: Dict[int, SampleResult],
               config, record_ops: bool, journal: Optional[CampaignJournal],
               sample_timeout: Optional[float], max_retries: int,
               workers: int, chunk_size: Optional[int]
-              ) -> Tuple[Dict[int, SampleResult], int]:
+              ) -> Tuple[Dict[int, SampleResult], int, int]:
     """Chunked submission, streamed results, requeue-on-loss.
 
     Fresh work goes out in adaptive chunks; a chunk lost to a dead or
     wedged worker is requeued as single-sample tasks (attempt counts
     carry over), so one poisoned sample re-isolates itself instead of
-    dragging its chunk-mates through every retry.
+    dragging its chunk-mates through every retry.  Requeues wait out an
+    exponential, deterministically jittered backoff
+    (:func:`retry_backoff_s`) before resubmission, so a mass timeout
+    cannot stampede the freshly respawned workers.
 
-    Returns the collected results plus the number of dispatches that
-    were abandoned past their deadline — their orphaned pool tasks can
-    never complete, which the caller must know before trying a clean
-    ``close()``.
+    Returns the collected results, the number of dispatches that were
+    abandoned past their deadline — their orphaned pool tasks can never
+    complete, which the caller must know before trying a clean
+    ``close()`` — and the number of backoff-delayed resubmissions.
     """
     todo = [i for i in range(len(profiles)) if i not in already_done]
     if chunk_size is None:
         chunk_size = max(1, len(todo) // (workers * _CHUNKS_PER_WORKER))
     results: Dict[int, SampleResult] = {}
     abandoned = 0
+    backoffs = 0
     #: handle -> (indices, deadline, attempt)
     pending: Dict[object, Tuple[List[int], Optional[float], int]] = {}
+    #: backoff holding pen: (ready_at_monotonic, index, attempt)
+    delayed: List[Tuple[float, int, int]] = []
 
     def submit(indices: List[int], attempt: int) -> None:
         handle = pool.apply_async(
@@ -329,9 +362,18 @@ def _dispatch(pool, profiles: Sequence, already_done: Dict[int, SampleResult],
     for start in range(0, len(todo), chunk_size):
         submit(todo[start:start + chunk_size], attempt=1)
 
-    while pending:
+    while pending or delayed:
         progressed = False
         now = time.monotonic()
+        if delayed:
+            still_waiting: List[Tuple[float, int, int]] = []
+            for ready_at, index, attempt in delayed:
+                if now >= ready_at:
+                    submit([index], attempt)
+                    progressed = True
+                else:
+                    still_waiting.append((ready_at, index, attempt))
+            delayed = still_waiting
         for handle in list(pending):
             indices, deadline, attempt = pending[handle]
             if handle.ready():
@@ -359,7 +401,9 @@ def _dispatch(pool, profiles: Sequence, already_done: Dict[int, SampleResult],
                 abandoned += 1
                 if attempt <= max_retries:
                     for index in indices:
-                        submit([index], attempt + 1)
+                        delayed.append((now + retry_backoff_s(index, attempt),
+                                        index, attempt + 1))
+                        backoffs += 1
                 else:
                     for index in indices:
                         # Deliberately not journalled: a resume should
@@ -371,4 +415,4 @@ def _dispatch(pool, profiles: Sequence, already_done: Dict[int, SampleResult],
                             f"attempts of {sample_timeout:g}s")
         if not progressed:
             time.sleep(_POLL_INTERVAL_S)
-    return results, abandoned
+    return results, abandoned, backoffs

@@ -25,17 +25,19 @@ from __future__ import annotations
 
 from typing import Optional
 
-from .events import (EVENT_TYPES, BaselineResolved, CacheEvicted,
-                     DigestBatchFlushed, EventBus, FaultInjected,
-                     IndicatorFired, ProcessSuspended, ScoreDelta,
+from .events import (EVENT_TYPES, BaselineResolved, BreakerTripped,
+                     CacheEvicted, DigestBatchFlushed, EventBus,
+                     FaultInjected, IndicatorFired, LoadShed,
+                     ProcessSuspended, ScoreDelta, ShardRestarted,
                      StoreBuilt, TelemetryEvent, UnionBoost,
                      event_from_dict, events_as_dicts)
 from .export import (JsonlWriter, read_jsonl, render_prometheus,
                      validate_exposition, write_jsonl)
 from .metrics import (BATCH_SIZE_BUCKETS, FILES_LOST_BUCKETS,
-                      OP_WALL_US_BUCKETS, SCORE_BUCKETS,
+                      OP_WALL_US_BUCKETS, QUEUE_DEPTH_BUCKETS,
+                      SCORE_BUCKETS,
                       Counter, Gauge, Histogram, MetricsRegistry,
-                      collect_perfstats, engine_snapshot,
+                      collect_perfstats, engine_snapshot, ingest_snapshot,
                       merge_metric_states)
 from .timeline import (DetectionTimeline, TimelineEntry, build_timeline,
                        indicator_totals, merge_indicator_totals,
@@ -46,13 +48,15 @@ __all__ = [
     # events
     "TelemetryEvent", "IndicatorFired", "ScoreDelta", "UnionBoost",
     "ProcessSuspended", "BaselineResolved", "CacheEvicted",
-    "DigestBatchFlushed", "FaultInjected", "StoreBuilt", "EventBus",
+    "DigestBatchFlushed", "FaultInjected", "StoreBuilt",
+    "LoadShed", "BreakerTripped", "ShardRestarted", "EventBus",
     "EVENT_TYPES", "event_from_dict", "events_as_dicts",
     # metrics
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "BATCH_SIZE_BUCKETS", "FILES_LOST_BUCKETS", "SCORE_BUCKETS",
-    "OP_WALL_US_BUCKETS",
-    "collect_perfstats", "engine_snapshot", "merge_metric_states",
+    "OP_WALL_US_BUCKETS", "QUEUE_DEPTH_BUCKETS",
+    "collect_perfstats", "engine_snapshot", "ingest_snapshot",
+    "merge_metric_states",
     # export
     "JsonlWriter", "write_jsonl", "read_jsonl", "render_prometheus",
     "validate_exposition",
@@ -111,6 +115,20 @@ class TelemetrySession:
         self.faults = r.counter(
             "cryptodrop_faults_injected_total",
             "injected faults, per fault kind")
+        self.load_sheds = r.counter(
+            "cryptodrop_load_shed_total",
+            "ingest records shed under overload, per tenant")
+        self.breaker_trips = r.counter(
+            "cryptodrop_breaker_trips_total",
+            "circuit-breaker opens on transient inspection failures, "
+            "per tenant")
+        self.shard_restarts = r.counter(
+            "cryptodrop_shard_restarts_total",
+            "watchdog-driven shard restarts, per tenant and reason")
+        self.retry_backoff = r.counter(
+            "cryptodrop_retry_backoff_total",
+            "delayed (exponential-backoff) retry resubmissions in the "
+            "parallel campaign dispatcher")
 
     @classmethod
     def from_config(cls, config) -> Optional["TelemetrySession"]:

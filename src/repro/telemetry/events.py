@@ -38,7 +38,8 @@ from typing import Callable, ClassVar, Dict, Iterable, List, Optional, Type
 __all__ = [
     "TelemetryEvent", "IndicatorFired", "ScoreDelta", "UnionBoost",
     "ProcessSuspended", "BaselineResolved", "CacheEvicted",
-    "DigestBatchFlushed", "FaultInjected", "StoreBuilt", "EventBus",
+    "DigestBatchFlushed", "FaultInjected", "StoreBuilt",
+    "LoadShed", "BreakerTripped", "ShardRestarted", "EventBus",
     "EVENT_TYPES", "event_from_dict", "events_as_dicts",
 ]
 
@@ -182,11 +183,61 @@ class StoreBuilt(TelemetryEvent):
     backend: str = ""
 
 
+@dataclass(frozen=True)
+class LoadShed(TelemetryEvent):
+    """The ingest queue shed one event under overload (sampling mode).
+
+    Every shed decision is observable: the shard drops the event *and*
+    emits exactly one of these, tenant-tagged, so degraded-mode
+    detection is never silent (``docs/robustness.md`` §4).
+    """
+
+    kind: ClassVar[str] = "load_shed"
+
+    tenant: str = ""
+    seq: int = 0
+    op_kind: str = ""
+    queue_depth: int = 0
+
+
+@dataclass(frozen=True)
+class BreakerTripped(TelemetryEvent):
+    """A per-stream circuit breaker opened after repeated transient
+    inspection failures; ``cooldown_ticks`` is the jittered exponential
+    backoff before the next half-open probe."""
+
+    kind: ClassVar[str] = "breaker_tripped"
+
+    tenant: str = ""
+    failures: int = 0
+    trips: int = 0
+    cooldown_ticks: int = 0
+
+
+@dataclass(frozen=True)
+class ShardRestarted(TelemetryEvent):
+    """The watchdog restarted a wedged/killed shard from its checkpoint.
+
+    ``replayed`` is the journal-tail length re-applied to bring the
+    restored monitor back to the kill point; ``recovery_ticks`` how many
+    scheduler ticks the shard was down before the watchdog acted.
+    """
+
+    kind: ClassVar[str] = "shard_restarted"
+
+    tenant: str = ""
+    reason: str = ""
+    replayed: int = 0
+    recovery_ticks: int = 0
+    restarts: int = 0
+
+
 EVENT_TYPES: Dict[str, Type[TelemetryEvent]] = {
     cls.kind: cls
     for cls in (IndicatorFired, ScoreDelta, UnionBoost, ProcessSuspended,
                 BaselineResolved, CacheEvicted, DigestBatchFlushed,
-                FaultInjected, StoreBuilt)
+                FaultInjected, StoreBuilt, LoadShed, BreakerTripped,
+                ShardRestarted)
 }
 
 

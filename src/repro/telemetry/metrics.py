@@ -34,7 +34,9 @@ from ..perfstats import PerfStats
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "FILES_LOST_BUCKETS", "SCORE_BUCKETS", "OP_WALL_US_BUCKETS",
-    "collect_perfstats", "engine_snapshot", "merge_metric_states",
+    "QUEUE_DEPTH_BUCKETS",
+    "collect_perfstats", "engine_snapshot", "ingest_snapshot",
+    "merge_metric_states",
 ]
 
 #: detection latency measured in files lost before suspension (paper
@@ -48,6 +50,8 @@ OP_WALL_US_BUCKETS: Tuple[float, ...] = (5, 10, 25, 50, 100, 250, 1000,
                                          5000, 20000)
 #: pending inspections drained per InspectionScheduler flush
 BATCH_SIZE_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+#: bounded ingest-queue occupancy at admission time (repro.ingest)
+QUEUE_DEPTH_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
@@ -370,4 +374,53 @@ def engine_snapshot(engine,
                           "microseconds")
     for op_kind, total_us in sorted(stats.op_wall_us.items()):
         wall.set(round(total_us, 3), kind=op_kind)
+    return registry
+
+
+#: breaker states as gauge values (closed is healthy, open is tripped)
+_BREAKER_STATE_VALUES = {"closed": 0, "half_open": 1, "open": 2}
+
+
+def ingest_snapshot(manager,
+                    registry: Optional[MetricsRegistry] = None
+                    ) -> MetricsRegistry:
+    """Mirror an ingest session's per-tenant counters into gauges.
+
+    The ingest analogue of :func:`engine_snapshot`: accepts an
+    :class:`~repro.ingest.EndpointSessionManager` (anything exposing its
+    ``stats()`` shape) and sets tenant-labelled gauges for queue
+    occupancy, shed/blocked admission outcomes, applied events, restart
+    counts, and breaker state, so one Prometheus exposition carries the
+    whole resilience picture.  Idempotent over a registry.
+    """
+    stats = manager.stats() if callable(getattr(manager, "stats", None)) \
+        else manager
+    registry = registry if registry is not None else MetricsRegistry()
+    registry.gauge("cryptodrop_ingest_ticks",
+                   "scheduler ticks run by the session manager"
+                   ).set(stats.get("ticks", 0))
+    depth = registry.gauge("cryptodrop_ingest_queue_depth",
+                           "bounded ingest-queue occupancy, per tenant")
+    applied = registry.gauge("cryptodrop_ingest_events_applied",
+                             "endpoint events applied to the detector, "
+                             "per tenant")
+    shed = registry.gauge("cryptodrop_ingest_shed_events",
+                          "events shed under overload, per tenant")
+    blocked = registry.gauge("cryptodrop_ingest_blocked_admissions",
+                             "admissions refused by backpressure, "
+                             "per tenant")
+    restarts = registry.gauge("cryptodrop_ingest_shard_restarts",
+                              "watchdog restarts, per tenant")
+    breaker = registry.gauge("cryptodrop_ingest_breaker_state",
+                             "circuit-breaker state per tenant "
+                             "(0=closed, 1=half_open, 2=open)")
+    for tenant, shard in sorted(stats.get("tenants", {}).items()):
+        queue = shard.get("queue", {})
+        depth.set(queue.get("depth", 0), tenant=tenant)
+        applied.set(shard.get("applied", 0), tenant=tenant)
+        shed.set(queue.get("shed", 0), tenant=tenant)
+        blocked.set(queue.get("blocked", 0), tenant=tenant)
+        restarts.set(shard.get("restarts", 0), tenant=tenant)
+        state = (shard.get("breaker") or {}).get("state", "closed")
+        breaker.set(_BREAKER_STATE_VALUES.get(state, 0), tenant=tenant)
     return registry

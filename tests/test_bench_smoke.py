@@ -1,4 +1,4 @@
-"""Structural smoke pass over the ``make bench`` harness (ISSUEs 2–5).
+"""Structural smoke pass over the ``make bench`` harness (ISSUEs 2–6).
 
 Runs the benchmark harness at smoke scale — seconds, not minutes — and
 checks the report's shape (via the harness's own schema validator), the
@@ -35,7 +35,8 @@ class TestReportShape:
     def test_hot_paths_named_and_positive(self, report):
         for name in ("sdhash_digest", "compare_batched",
                      "close_heavy_campaign", "campaign_throughput",
-                     "digest_many_batch", "store_build_batched"):
+                     "digest_many_batch", "store_build_batched",
+                     "ingest_session"):
             assert report["hot_paths"][name]["seconds"] > 0
 
     def test_schema_validator_accepts_report(self, report):
@@ -150,6 +151,49 @@ class TestTelemetryOverhead:
         assert any("telemetry_counters_identical" in p for p in problems)
 
 
+class TestIngestResilience:
+    def test_verdicts_survive_the_fault_storm(self, report):
+        # the ISSUE-6 correctness bar: kills, poisons, stalls and
+        # transient denials change nothing about what the detector
+        # decides once the watchdog has replayed the lost tail
+        assert report["invariants"]["ingest_verdicts_identical"]
+        assert report["ingest_resilience"]["verdicts_identical"]
+
+    def test_no_cross_tenant_leakage(self, report):
+        assert report["invariants"]["ingest_no_cross_tenant_events"]
+
+    def test_every_shed_is_observable(self, report):
+        # degraded mode must be loud: each dropped record surfaces as a
+        # LoadShed bus event and a per-tenant counter increment
+        assert report["invariants"]["ingest_shed_observable"]
+        resilience = report["ingest_resilience"]
+        assert resilience["sheds"] > 0
+        assert resilience["shed_events_observed"] == resilience["sheds"]
+
+    def test_nonshed_tenants_unchanged_under_overload(self, report):
+        assert report["invariants"]["ingest_nonshed_unchanged"]
+
+    def test_faults_actually_fired(self, report):
+        resilience = report["ingest_resilience"]
+        assert resilience["shard_kills"] > 0
+        assert resilience["restarts"] > 0
+        assert resilience["events_applied"] > 0
+
+    def test_throughput_ratio_positive(self, report):
+        # the ≥0.70 bar is gated at full scale
+        # (ingest_throughput_ratio_ge_0p7); smoke legs are too short to
+        # pin a ratio against scheduler noise
+        assert report["ingest_resilience"]["throughput_ratio"] > 0
+
+    def test_schema_validator_requires_section(self, report):
+        broken = copy.deepcopy(report)
+        del broken["ingest_resilience"]["throughput_ratio"]
+        broken["invariants"].pop("ingest_verdicts_identical")
+        problems = validate_report(broken)
+        assert any("throughput_ratio" in p for p in problems)
+        assert any("ingest_verdicts_identical" in p for p in problems)
+
+
 class TestComparator:
     def test_no_regression_against_self(self, report):
         assert compare_reports(report, report) == []
@@ -193,7 +237,7 @@ class TestCli:
 
     def test_committed_baseline_matches_schema(self, report):
         baseline_path = newest_baseline()
-        assert baseline_path.name == "BENCH_5.json"
+        assert baseline_path.name == "BENCH_6.json"
         baseline = json.loads(baseline_path.read_text())
         assert baseline["schema"] == report["schema"]
         assert baseline["scale"] == "full"

@@ -23,7 +23,7 @@ chaos:
 	$(PYTEST) -m chaos tests/test_chaos.py tests/test_faults.py \
 		tests/test_ingest.py
 
-# full hot-path benchmark harness → BENCH_5.json (see docs/performance.md)
+# full hot-path benchmark harness → BENCH_7.json (see docs/performance.md)
 bench:
 	PYTHONPATH=src python benchmarks/run_bench.py
 	PYTHONPATH=src:benchmarks python -m pytest -q \

@@ -49,14 +49,25 @@ class InspectionScheduler:
     digested.
     """
 
-    __slots__ = ("cache", "telemetry", "_pending", "flushes",
-                 "materialised", "live_digests", "bytes_live", "max_batch",
-                 "closes")
+    __slots__ = ("cache", "telemetry", "_pending", "_pending_sizes",
+                 "pending_bytes", "pending_bytes_cap", "forced_flushes",
+                 "flushes", "materialised", "live_digests", "bytes_live",
+                 "max_batch", "closes")
 
-    def __init__(self, cache, telemetry=None) -> None:
+    def __init__(self, cache, telemetry=None,
+                 pending_bytes_cap: int = 0) -> None:
         self.cache = cache
         self.telemetry = telemetry
         self._pending: Dict[int, object] = {}
+        #: exact bytes recorded per pending node — re-captures of the same
+        #: node replace their slot, so the tally is a replace, not an add
+        self._pending_sizes: Dict[int, int] = {}
+        self.pending_bytes = 0
+        #: watermark: a non-zero cap force-flushes the whole pending set
+        #: the moment its retained ``pending_content`` bytes exceed it,
+        #: bounding deferred-digest memory on long-lived monitors
+        self.pending_bytes_cap = max(0, int(pending_bytes_cap))
+        self.forced_flushes = 0
         self.flushes = 0
         self.materialised = 0
         self.live_digests = 0
@@ -69,16 +80,35 @@ class InspectionScheduler:
 
     def enqueue(self, record) -> None:
         """Register a record whose capture deferred its digest."""
-        self._pending[record.node_id] = record
+        node_id = record.node_id
+        old = self._pending_sizes.get(node_id)
+        size = len(record.pending_content or b"")
+        self._pending[node_id] = record
+        self._pending_sizes[node_id] = size
+        self.pending_bytes += size - (old or 0)
+        if self.telemetry is not None:
+            self.telemetry.scheduler_pending_bytes.set(self.pending_bytes)
+        if self.pending_bytes_cap and \
+                self.pending_bytes > self.pending_bytes_cap:
+            self.forced_flushes += 1
+            self.flush()
 
     def discard(self, node_id: Optional[int]) -> None:
         """Forget a pending record (deleted / clobbered nodes)."""
-        if node_id is not None:
-            self._pending.pop(node_id, None)
+        if node_id is not None and self._pending.pop(node_id, None) \
+                is not None:
+            self.pending_bytes -= self._pending_sizes.pop(node_id, 0)
+            if self.telemetry is not None:
+                self.telemetry.scheduler_pending_bytes.set(
+                    self.pending_bytes)
 
     def clear(self) -> None:
         """Drop the pending set without materialising (cache restore)."""
         self._pending.clear()
+        self._pending_sizes.clear()
+        self.pending_bytes = 0
+        if self.telemetry is not None:
+            self.telemetry.scheduler_pending_bytes.set(0)
 
     def close(self) -> int:
         """Shutdown/restart flush: drain everything pending, count it.
@@ -108,6 +138,10 @@ class InspectionScheduler:
         pending = [rec for rec in self._pending.values()
                    if rec.pending_content is not None]
         self._pending.clear()
+        self._pending_sizes.clear()
+        self.pending_bytes = 0
+        if self.telemetry is not None:
+            self.telemetry.scheduler_pending_bytes.set(0)
         if not pending:
             return 0
         cache = self.cache
@@ -192,6 +226,9 @@ class InspectionScheduler:
     def stats(self) -> dict:
         return {
             "pending": len(self._pending),
+            "pending_bytes": self.pending_bytes,
+            "pending_bytes_cap": self.pending_bytes_cap,
+            "forced_flushes": self.forced_flushes,
             "flushes": self.flushes,
             "materialised": self.materialised,
             "live_digests": self.live_digests,

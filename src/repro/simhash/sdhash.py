@@ -50,6 +50,7 @@ from .bloom import (FILTER_BITS, MAX_FEATURES, BloomFilter,
                     feature_positions, packed_popcount)
 
 __all__ = ["SdDigest", "sdhash", "compare", "digest_many", "compare_many",
+           "StreamingDigestState",
            "MIN_DIGEST_BYTES", "WINDOW", "ANCHOR_MASK", "sdhash_scalar",
            "compare_scalar"]
 
@@ -447,6 +448,270 @@ def digest_many(contents) -> List[Optional[SdDigest]]:
         for j, dig in zip(pending_idx, _digest_group(pending)):
             results[j] = dig
     return results
+
+
+#: bytes of context a new window can reach back into: the latest byte a
+#: future window may need is ``total - (WINDOW - 1) - 8`` (its start can be
+#: as early as ``total - WINDOW + 1`` and its anchor context spans the 8
+#: preceding bytes), so a 71-byte tail always suffices.
+_STREAM_TAIL = WINDOW + 7
+
+
+class StreamingDigestState:
+    """Incremental :func:`sdhash` over an append-only byte stream.
+
+    Feed write chunks with :meth:`update` as they land; :meth:`finalize`
+    returns the digest in O(tail) — it never re-reads the stream.  The
+    result is **bit-identical** to ``sdhash(whole_buffer)`` for every
+    chunking of the same bytes (pinned by ``tests/test_streaming_digest.py``):
+
+    * anchors: a candidate window starting at absolute offset ``S`` is
+      discovered in the chunk where ``S + WINDOW`` first fits the stream;
+      its rolling-hash context (bytes ``S-8 .. S-1``) always lies inside
+      the carried 71-byte tail, so the anchor decision sees exactly the
+      bytes the whole-buffer scan sees,
+    * entropies: ``_window_entropies`` is row-independent, so per-chunk
+      calls produce the same float64 values as one whole-buffer call,
+    * popularity: candidates arrive in globally ascending ``S`` order
+      (per-chunk intervals ``(T_old-WINDOW, T_new-WINDOW]`` are disjoint
+      and increasing); the rule needs ``POPULARITY_SPAN`` neighbours on
+      each side, so the last ``span`` candidates stay pending and the
+      ``span`` most recent decided entropies are carried as left context
+      (``-inf`` initially and as final right padding — exactly the
+      whole-buffer padding),
+    * filters: features emit in order, chaining a Bloom filter per
+      ``MAX_FEATURES`` exactly as :func:`sdhash` slices them.
+
+    Streams smaller than ``min_stream_bytes`` stay in *buffered* mode —
+    chunk refs only, no numpy work per write — and are replayed through
+    the streaming pipeline the moment the threshold is crossed (or at
+    :meth:`finalize`).  Memory is O(1) in stream length either way once
+    streaming: a 71-byte tail, ≤ ``span`` pending windows, <160 pending
+    feature positions, plus the finished filters (256 B / 160 features).
+
+    A running ``blake2b-16`` mirrors :class:`~repro.core.filestate.DigestCache`
+    keys so the close path gets its cache key in O(1) too; it is dropped
+    by :meth:`to_state` (hashers do not serialise), so restored states
+    return ``None`` from :meth:`key`.
+    """
+
+    __slots__ = ("total", "min_stream_bytes", "consumed", "chunks_consumed",
+                 "filters", "n_features",
+                 "_streamed", "_finalized", "_chunks", "_chunk_bytes",
+                 "_tail", "_left", "_pend_ent", "_pend_win",
+                 "_pos_rows", "_pos_count", "_hasher")
+
+    def __init__(self, min_stream_bytes: int = 0) -> None:
+        #: bytes received so far (both modes)
+        self.total = 0
+        self.min_stream_bytes = min_stream_bytes
+        #: True once finalize() actually produced the digest incrementally
+        self.consumed = False
+        self.chunks_consumed = 0
+        self.filters: List[BloomFilter] = []
+        self.n_features = 0
+        self._streamed = 0
+        self._finalized = False
+        self._chunks: Optional[List[bytes]] = [] if min_stream_bytes else None
+        self._chunk_bytes = 0
+        self._tail = b""
+        self._left = np.full(POPULARITY_SPAN, -np.inf)
+        self._pend_ent = np.zeros(0, dtype=np.float64)
+        self._pend_win = np.zeros((0, WINDOW), dtype=np.uint8)
+        self._pos_rows: List[np.ndarray] = []
+        self._pos_count = 0
+        self._hasher = hashlib.blake2b(digest_size=16)
+
+    @property
+    def streaming(self) -> bool:
+        """True once past buffered mode (numpy work happens per chunk)."""
+        return self._chunks is None
+
+    def update(self, chunk) -> None:
+        """Consume the next appended chunk (must be the bytes written at
+        offset ``self.total`` — the caller enforces sequentiality)."""
+        chunk = _as_bytes(chunk)
+        if not chunk:
+            return
+        if self._hasher is not None:
+            self._hasher.update(chunk)
+        self.total += len(chunk)
+        if self._chunks is not None:
+            self._chunks.append(chunk)
+            self._chunk_bytes += len(chunk)
+            if self._chunk_bytes >= self.min_stream_bytes:
+                self._begin_streaming()
+            return
+        self._consume(chunk)
+
+    def key(self) -> Optional[bytes]:
+        """The :class:`DigestCache` key of the bytes seen so far, or
+        ``None`` on a checkpoint-restored state (hasher not serialisable)."""
+        if self._hasher is None:
+            return None
+        return self._hasher.copy().digest()
+
+    def finalize(self) -> Optional[SdDigest]:
+        """Close the stream and return the digest (None exactly where
+        ``sdhash`` returns None).  O(tail); callable once."""
+        if self._finalized:
+            raise RuntimeError("StreamingDigestState already finalized")
+        if self._chunks is not None:
+            self._begin_streaming()
+        self._finalized = True
+        self.consumed = True
+        # decide the held-back candidates against -inf right padding,
+        # mirroring the whole-buffer padded sliding maximum exactly
+        n = self._pend_ent.size
+        if n:
+            span = POPULARITY_SPAN
+            full = np.concatenate([self._left, self._pend_ent,
+                                   np.full(span, -np.inf)])
+            neigh = np.lib.stride_tricks.sliding_window_view(
+                full, 2 * span + 1)
+            cand = self._pend_ent
+            keep = ((cand >= MIN_FEATURE_ENTROPY)
+                    & (cand > neigh[:, :span].max(axis=1))
+                    & (cand >= neigh[:, span:].max(axis=1)))
+            if keep.any():
+                self._emit(self._pend_win[keep])
+            self._pend_ent = np.zeros(0, dtype=np.float64)
+            self._pend_win = np.zeros((0, WINDOW), dtype=np.uint8)
+        if self.total < MIN_DIGEST_BYTES or self.n_features < MIN_FEATURES:
+            return None
+        if self._pos_count:
+            stacked = (self._pos_rows[0] if len(self._pos_rows) == 1
+                       else np.concatenate(self._pos_rows))
+            self.filters.append(BloomFilter.from_position_rows(stacked))
+            self._pos_rows, self._pos_count = [], 0
+        return SdDigest(list(self.filters), self.n_features, self.total)
+
+    # -- internal pipeline ---------------------------------------------
+
+    def _begin_streaming(self) -> None:
+        chunks, self._chunks, self._chunk_bytes = self._chunks, None, 0
+        for chunk in chunks:
+            self._consume(chunk)
+
+    def _consume(self, chunk: bytes) -> None:
+        t_old = self._streamed
+        combined = self._tail + chunk
+        t_new = t_old + len(chunk)
+        base = t_new - len(combined)
+        buf = np.frombuffer(combined, dtype=np.uint8)
+        starts = _anchor_starts(buf)
+        if starts.size:
+            # new windows only: those whose end first fits this chunk
+            # (earlier ones were emitted by the chunk that completed them)
+            keep = ((starts + WINDOW <= len(combined))
+                    & (starts + base + WINDOW > t_old))
+            starts = starts[keep]
+            if starts.size:
+                windows = np.lib.stride_tricks.sliding_window_view(
+                    buf, WINDOW)[starts]
+                self._advance(windows, _window_entropies(windows))
+        self._streamed = t_new
+        self._tail = combined[max(0, len(combined) - _STREAM_TAIL):]
+        self.chunks_consumed += 1
+
+    def _advance(self, windows: np.ndarray, ent: np.ndarray) -> None:
+        if self._pend_ent.size:
+            ent = np.concatenate([self._pend_ent, ent])
+            windows = np.vstack([self._pend_win, windows])
+        span = POPULARITY_SPAN
+        decide = ent.size - span
+        if decide <= 0:
+            self._pend_ent = ent
+            self._pend_win = np.ascontiguousarray(windows)
+            return
+        full = np.concatenate([self._left, ent])
+        neigh = np.lib.stride_tricks.sliding_window_view(full, 2 * span + 1)
+        cand = ent[:decide]
+        keep = ((cand >= MIN_FEATURE_ENTROPY)
+                & (cand > neigh[:, :span].max(axis=1))
+                & (cand >= neigh[:, span:].max(axis=1)))
+        self._left = full[decide:decide + span].copy()
+        self._pend_ent = ent[decide:].copy()
+        self._pend_win = windows[decide:].copy()
+        if keep.any():
+            self._emit(windows[:decide][keep])
+
+    def _emit(self, windows: np.ndarray) -> None:
+        sha1 = hashlib.sha1
+        raw = b"".join([sha1(w).digest() for w in windows])
+        hashes = np.frombuffer(raw, dtype=np.uint8).reshape(-1, 20)
+        positions = feature_positions(hashes)
+        self._pos_rows.append(positions)
+        self._pos_count += positions.shape[0]
+        self.n_features += positions.shape[0]
+        while self._pos_count >= MAX_FEATURES:
+            stacked = (self._pos_rows[0] if len(self._pos_rows) == 1
+                       else np.concatenate(self._pos_rows))
+            self.filters.append(
+                BloomFilter.from_position_rows(stacked[:MAX_FEATURES]))
+            rest = stacked[MAX_FEATURES:]
+            self._pos_rows = [rest] if rest.shape[0] else []
+            self._pos_count = int(rest.shape[0])
+
+    # -- checkpoint serialization (JSON-safe, exact) -------------------
+
+    def to_state(self) -> dict:
+        """JSON-safe snapshot of the in-flight stream.  Restored states
+        continue bit-identically; only the cache-key hasher is dropped."""
+        state = {
+            "min_stream_bytes": self.min_stream_bytes,
+            "total": self.total,
+            "chunks_consumed": self.chunks_consumed,
+        }
+        if self._chunks is not None:
+            state["mode"] = "buffered"
+            state["chunks"] = [c.hex() for c in self._chunks]
+            return state
+        state["mode"] = "streaming"
+        state["tail"] = self._tail.hex()
+        # -inf is not JSON-encodable; None is the sentinel.  Finite float64
+        # round-trips exactly through repr/JSON.
+        state["left"] = [None if e == -np.inf else float(e)
+                         for e in self._left]
+        state["pend_ent"] = [float(e) for e in self._pend_ent]
+        state["pend_win"] = self._pend_win.tobytes().hex()
+        state["positions"] = [rows.tolist() for rows in self._pos_rows]
+        state["filters"] = [{"bits": f.packed().tobytes().hex(),
+                             "count": f.count} for f in self.filters]
+        state["n_features"] = self.n_features
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamingDigestState":
+        st = cls(min_stream_bytes=int(state["min_stream_bytes"]))
+        st.total = int(state["total"])
+        st.chunks_consumed = int(state["chunks_consumed"])
+        st._hasher = None
+        if state["mode"] == "buffered":
+            st._chunks = [bytes.fromhex(c) for c in state["chunks"]]
+            st._chunk_bytes = sum(len(c) for c in st._chunks)
+            return st
+        st._chunks = None
+        st._streamed = st.total
+        st._tail = bytes.fromhex(state["tail"])
+        st._left = np.array([-np.inf if e is None else e
+                             for e in state["left"]], dtype=np.float64)
+        st._pend_ent = np.array(state["pend_ent"], dtype=np.float64)
+        pend = np.frombuffer(bytes.fromhex(state["pend_win"]),
+                             dtype=np.uint8)
+        st._pend_win = pend.reshape(-1, WINDOW).copy()
+        st._pos_rows = [np.array(rows, dtype=np.int64)
+                        for rows in state["positions"]]
+        st._pos_count = sum(r.shape[0] for r in st._pos_rows)
+        for entry in state["filters"]:
+            filt = BloomFilter()
+            packed = np.frombuffer(bytes.fromhex(entry["bits"]),
+                                   dtype=np.uint8)
+            filt.bits = np.unpackbits(packed).astype(bool)[:len(filt.bits)]
+            filt.count = int(entry["count"])
+            st.filters.append(filt)
+        st.n_features = int(state["n_features"])
+        return st
 
 
 def _ordered(a: SdDigest, b: SdDigest) -> tuple:

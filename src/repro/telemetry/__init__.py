@@ -29,8 +29,8 @@ from .events import (EVENT_TYPES, BaselineResolved, BreakerTripped,
                      CacheEvicted, DigestBatchFlushed, EventBus,
                      FaultInjected, IndicatorFired, LoadShed,
                      ProcessSuspended, ScoreDelta, ShardRestarted,
-                     StoreBuilt, TelemetryEvent, UnionBoost,
-                     event_from_dict, events_as_dicts)
+                     StoreBuilt, StreamDigestFinalized, TelemetryEvent,
+                     UnionBoost, event_from_dict, events_as_dicts)
 from .export import (JsonlWriter, read_jsonl, render_prometheus,
                      validate_exposition, write_jsonl)
 from .metrics import (BATCH_SIZE_BUCKETS, FILES_LOST_BUCKETS,
@@ -48,7 +48,8 @@ __all__ = [
     # events
     "TelemetryEvent", "IndicatorFired", "ScoreDelta", "UnionBoost",
     "ProcessSuspended", "BaselineResolved", "CacheEvicted",
-    "DigestBatchFlushed", "FaultInjected", "StoreBuilt",
+    "DigestBatchFlushed", "StreamDigestFinalized",
+    "FaultInjected", "StoreBuilt",
     "LoadShed", "BreakerTripped", "ShardRestarted", "EventBus",
     "EVENT_TYPES", "event_from_dict", "events_as_dicts",
     # metrics
@@ -112,6 +113,17 @@ class TelemetrySession:
         self.digest_batch_size = r.histogram(
             "cryptodrop_digest_batch_size", BATCH_SIZE_BUCKETS,
             "pending inspections drained per scheduler flush")
+        self.scheduler_pending_bytes = r.gauge(
+            "cryptodrop_scheduler_pending_bytes",
+            "content bytes retained by deferred (pending) inspections")
+        self.incremental_digest_bytes = r.counter(
+            "cryptodrop_incremental_digest_bytes_total",
+            "close-path content bytes whose digest was finalised from an "
+            "incremental per-handle stream instead of a whole-file read")
+        self.stream_fallbacks = r.counter(
+            "cryptodrop_stream_digest_fallback_total",
+            "streaming digests abandoned for the whole-content path, "
+            "per reason (nonsequential/handle_interleave/truncate/...)")
         self.faults = r.counter(
             "cryptodrop_faults_injected_total",
             "injected faults, per fault kind")

@@ -374,6 +374,27 @@ def engine_snapshot(engine,
                           "microseconds")
     for op_kind, total_us in sorted(stats.op_wall_us.items()):
         wall.set(round(total_us, 3), kind=op_kind)
+    eng = getattr(engine, "engine", engine)
+    if callable(getattr(eng, "stream_stats", None)):
+        streaming = eng.stream_stats()
+        streams = registry.gauge(
+            "cryptodrop_stream_digests",
+            "incremental close-path digest stream lifecycle")
+        streams.set(streaming["started"], event="started")
+        streams.set(streaming["finalized"], event="finalized")
+        streams.set(streaming["in_flight"], event="in_flight")
+        volume.set(streaming["bytes_streamed"], path="streamed")
+        fallbacks = registry.gauge(
+            "cryptodrop_stream_digest_fallbacks",
+            "streams abandoned for the whole-content path, per reason")
+        for reason, count in sorted(streaming["fallbacks"].items()):
+            fallbacks.set(count, reason=reason)
+    scheduler = getattr(eng, "scheduler", None)
+    if scheduler is not None:
+        registry.gauge(
+            "cryptodrop_scheduler_pending_bytes",
+            "content bytes retained by deferred (pending) inspections"
+            ).set(scheduler.pending_bytes)
     return registry
 
 

@@ -5,7 +5,8 @@
 
 PYTEST = PYTHONPATH=src python -m pytest -x -q
 
-.PHONY: verify test unit chaos bench bench-smoke bench-check telemetry-demo
+.PHONY: verify test unit chaos bench bench-smoke bench-check telemetry-demo \
+	store-demo
 
 # the default pre-merge gate: tier-1 tests, then the hot-path regression
 # check against the newest committed BENCH_<N>.json
@@ -23,7 +24,7 @@ chaos:
 	$(PYTEST) -m chaos tests/test_chaos.py tests/test_faults.py \
 		tests/test_ingest.py
 
-# full hot-path benchmark harness → BENCH_7.json (see docs/performance.md)
+# full hot-path benchmark harness → BENCH_8.json (see docs/performance.md)
 bench:
 	PYTHONPATH=src python benchmarks/run_bench.py
 	PYTHONPATH=src:benchmarks python -m pytest -q \
@@ -46,3 +47,11 @@ bench-check:
 # monitor, full detection narrative printed (docs/observability.md)
 telemetry-demo:
 	PYTHONPATH=src python examples/detection_timeline.py --prometheus
+
+# persistent-store round trip: sharded build of a small corpus into a
+# .cdbs file, header dump, then the full fsck pass (docs/performance.md)
+store-demo:
+	PYTHONPATH=src python examples/store_tool.py build /tmp/cryptodrop-demo.cdbs \
+		--files 800 --workers 2
+	PYTHONPATH=src python examples/store_tool.py info /tmp/cryptodrop-demo.cdbs
+	PYTHONPATH=src python examples/store_tool.py verify /tmp/cryptodrop-demo.cdbs

@@ -5,6 +5,12 @@ script; it exits non-zero when any named hot path regressed more than the
 threshold (default 25%) against the baseline, printing a per-path table
 either way.  Speedups getting *faster* never fail the check.
 
+The ``store_persistence`` scaling sweep is gated per size tier: each
+store size present in both reports is compared on its reopen time like a
+hot path (the headline largest-tier time is already gated via
+``hot_paths[store_open]``; the per-tier check catches a regression that
+only bites at small or mid scale).
+
 The baseline defaults to the newest committed ``BENCH_<N>.json`` (highest
 ``N``), so landing a new bench generation retargets the gate without
 touching this script; ``--baseline`` still pins an explicit file.
@@ -62,6 +68,30 @@ def compare_reports(baseline: dict, current: dict,
         ratio = cur_s / base_s
         if ratio > 1.0 + threshold:
             regressions.append((name, base_s, cur_s, ratio))
+    regressions.extend(compare_store_scaling(baseline, current, threshold))
+    return regressions
+
+
+def compare_store_scaling(baseline: dict, current: dict,
+                          threshold: float) -> list:
+    """Per-tier reopen-time regressions in the store persistence sweep.
+
+    Tiers are matched by entry count; tiers present in only one report
+    are ignored, same as hot paths.
+    """
+    base_legs = {leg["files"]: leg for leg in
+                 (baseline.get("store_persistence") or {})
+                 .get("scaling", [])}
+    regressions = []
+    for leg in (current.get("store_persistence") or {}).get("scaling", []):
+        base = base_legs.get(leg["files"])
+        if base is None or base["open_seconds"] <= 0:
+            continue
+        ratio = leg["open_seconds"] / base["open_seconds"]
+        if ratio > 1.0 + threshold:
+            regressions.append((f"store_open[{leg['files']}]",
+                                base["open_seconds"], leg["open_seconds"],
+                                ratio))
     return regressions
 
 
@@ -100,6 +130,21 @@ def main(argv=None) -> int:
         flag = "REGRESSED" if ratio > 1.0 + args.threshold else "ok"
         print(f"  {name:28s} {base['seconds'] * 1000:9.3f} -> "
               f"{entry['seconds'] * 1000:9.3f} ms  {ratio:5.2f}x  {flag}")
+    base_legs = {leg["files"]: leg for leg in
+                 (baseline.get("store_persistence") or {})
+                 .get("scaling", [])}
+    for leg in (current.get("store_persistence") or {}).get("scaling", []):
+        name = f"store_open[{leg['files']}]"
+        base = base_legs.get(leg["files"])
+        if base is None:
+            print(f"  {name:28s} {leg['open_seconds'] * 1000:9.3f} ms   "
+                  "(new)")
+            continue
+        ratio = leg["open_seconds"] / base["open_seconds"]
+        flag = "REGRESSED" if ratio > 1.0 + args.threshold else "ok"
+        print(f"  {name:28s} {base['open_seconds'] * 1000:9.3f} -> "
+              f"{leg['open_seconds'] * 1000:9.3f} ms  {ratio:5.2f}x  "
+              f"{flag}")
     if regressions:
         print(f"{len(regressions)} hot path(s) regressed more than "
               f"{args.threshold:.0%}", file=sys.stderr)

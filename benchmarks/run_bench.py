@@ -1,4 +1,4 @@
-"""Hot-path benchmark harness → ``BENCH_7.json``.
+"""Hot-path benchmark harness → ``BENCH_8.json``.
 
 Times the engine's performance-critical paths directly (no pytest
 overhead) and writes a machine-comparable JSON report:
@@ -34,6 +34,16 @@ overhead) and writes a machine-comparable JSON report:
   bit-identical, a storeless campaign produces identical detection
   output either way, and at full scale the streamed close is ≥5× faster
   (``streaming_close_speedup_ge_5``).
+* ``store_persistence`` — the ISSUE-9 section: the single-file on-disk
+  baseline store (``repro.store``).  A scaling sweep builds a ``.cdbs``
+  at 10k and 100k entries (1M with ``--big``; ~1k in smoke) via the
+  sharded parallel builder, then measures what persistence exists for:
+  reopening is O(header) (gated ≤50 ms and ≥100× faster than
+  rebuilding at full scale), a pristine re-inspection sweep over the
+  reopened store digests zero bytes, paged-in residency stays bounded
+  by the hot-entry cap, and every file passes the structural fsck.  A
+  dict-vs-mmap campaign pair asserts bit-identical verdicts — the
+  backend is storage, never semantics.
 * ``ingest_resilience`` — the ISSUE-6 section: a multi-endpoint ingest
   session (64 tenants at full scale) run fault-free, then again under a
   combined fault storm (shard kills, poison events, queue stalls,
@@ -54,16 +64,19 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import platform
 import random
 import sys
+import tempfile
 import time
 from pathlib import Path
 from types import SimpleNamespace
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.corpus.baselines import BaselineStore
+from repro.core.filestate import FileStateCache
+from repro.corpus.baselines import BaselineStore, content_key
 from repro.corpus.builder import generate
 from repro.corpus.spec import default_spec
 from repro.corpus.wordlists import paragraphs
@@ -77,11 +90,13 @@ from repro.ransomware import instantiate
 from repro.ransomware.factory import working_cohort
 from repro.sandbox import (VirtualMachine, run_campaign,
                            run_campaign_parallel, store_for_config)
+from repro.sandbox.parallel import build_store_parallel
 from repro.simhash.sdhash import (compare, compare_scalar, digest_many,
                                   sdhash, sdhash_scalar)
+from repro.store import fsck_store
 
-DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_7.json"
-SCHEMA_VERSION = 7
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_8.json"
+SCHEMA_VERSION = 8
 
 #: minimum store-vs-eager campaign speedup gated at full scale
 CAMPAIGN_SPEEDUP_FLOOR = 3.0
@@ -93,6 +108,10 @@ STORE_BUILD_SPEEDUP_FLOOR = 3.0
 INGEST_THROUGHPUT_FLOOR = 0.70
 #: minimum streamed-vs-whole-file close speedup gated at full scale
 STREAMING_CLOSE_SPEEDUP_FLOOR = 5.0
+#: maximum store reopen time gated at full scale (header + mmap only)
+STORE_OPEN_CEILING_S = 0.050
+#: minimum open-vs-rebuild ratio for the largest store at full scale
+STORE_OPEN_VS_REBUILD_FLOOR = 100.0
 
 
 def _text(seed: int, approx_bytes: int) -> bytes:
@@ -604,6 +623,136 @@ def streaming_digests_identity(identity: dict) -> bool:
             == _result_fingerprint(runs["off"]))
 
 
+# -- persistent baseline store (ISSUE 9) -----------------------------------
+
+
+def _synthetic_store_corpus(n_files: int, seed: int, doc_bytes: int):
+    """``n_files`` small unique text documents, cheap enough to mint by
+    the hundred thousand — the store scaling sweep sizes by entry count,
+    and small blobs keep even the ``--big`` million-entry build inside
+    the memory budget."""
+    base = _text(seed, max(doc_bytes * 2, 4096))
+    half = max(1, doc_bytes // 2)
+    contents = {}
+    for i in range(n_files):
+        prefix = f"document {i:07d}\n".encode()
+        contents[f"d{i:07d}.txt"] = prefix + base[:half + (i * 37) % half]
+    return SimpleNamespace(contents=contents, seed=seed)
+
+
+def store_scaling_leg(n_files: int, doc_bytes: int, open_repeats: int,
+                      sweep_lookups: int, hot_entries: int,
+                      workers: int, tmp_dir: str) -> dict:
+    """One ``.cdbs`` at ``n_files`` entries: sharded parallel build,
+    then the three things persistence exists for — reopening is
+    O(header), residency stays bounded while lookups page in on demand,
+    and a pristine re-inspection sweep digests nothing."""
+    corpus = _synthetic_store_corpus(n_files, seed=601 + n_files,
+                                     doc_bytes=doc_bytes)
+    path = str(Path(tmp_dir) / f"store_{n_files}.cdbs")
+    started = time.perf_counter()
+    store = build_store_parallel(corpus, workers=workers, path=path)
+    build_s = time.perf_counter() - started
+    entries = len(store)
+    file_bytes = os.path.getsize(path)
+    store.close()
+
+    open_s = _best_seconds(lambda: BaselineStore.open(path).close(),
+                           open_repeats)
+
+    store = BaselineStore.open(path, hot_entries=hot_entries)
+    cache = FileStateCache(baseline_store=store)
+    blobs = list(corpus.contents.values())
+    step = max(1, len(blobs) // sweep_lookups)
+    sample = blobs[::step][:sweep_lookups]
+    started = time.perf_counter()
+    for blob in sample:
+        cache.inspect(blob)
+    sweep_s = time.perf_counter() - started
+    paging = store.page_stats()
+    sweep_bytes_digested = cache.digest_cache.bytes_digested
+    sweep_store_hits = cache.digest_cache.store_hits
+    store.close()
+    structural = fsck_store(path, check_records=False)
+    os.unlink(path)
+    return {
+        "files": n_files,
+        "entries": entries,
+        "file_bytes": file_bytes,
+        "build_seconds": round(build_s, 6),
+        "open_seconds": round(open_s, 6),
+        "open_vs_rebuild": round(build_s / open_s, 1),
+        "lookups": len(sample),
+        "lookups_per_second": round(len(sample) / sweep_s, 1),
+        "sweep_bytes_digested": sweep_bytes_digested,
+        "sweep_store_hits": sweep_store_hits,
+        "page_ins": paging["page_ins"],
+        "resident": paging["resident"],
+        "hot_entries": hot_entries,
+        "resident_bounded": paging["resident"] <= hot_entries,
+        "fsck_ok": structural["ok"],
+    }
+
+
+def store_backend_identity(identity: dict) -> dict:
+    """Dict vs mmap backend over the same campaign: verdicts must be
+    bit-identical and the fingerprints must agree — the backend is
+    storage, never semantics — and the mmap leg must actually have
+    served baselines from disk."""
+    corpus = _bench_corpus(identity["n_files"], identity["n_dirs"])
+    profiles = _bench_cohort(identity["cohort"])
+    legs = {}
+    for storage in ("dict", "mmap"):
+        config = CryptoDropConfig(store_backend=storage)
+        legs[storage] = run_campaign([instantiate(p) for p in profiles],
+                                     corpus, config)
+    described = {name: leg.perf["baseline_store"]
+                 for name, leg in legs.items()}
+    return {
+        "results_identical": (_result_fingerprint(legs["dict"])
+                              == _result_fingerprint(legs["mmap"])),
+        "fingerprint_identical": (described["dict"]["fingerprint"]
+                                  == described["mmap"]["fingerprint"]),
+        "storage_legs": [described["dict"]["storage"],
+                         described["mmap"]["storage"]],
+        # whether campaign lookups *hit* depends on the cohort's attack
+        # shapes (class-C deleters mostly write fresh ciphertext files);
+        # the scaling sweep pins hits == lookups on pristine content
+        "mmap_store_hits":
+            legs["mmap"].perf_stats()["digest_cache"]["store_hits"],
+        "mmap_store_misses":
+            legs["mmap"].perf_stats()["digest_cache"]["store_misses"],
+    }
+
+
+def store_persistence_section(sizes, identity: dict, open_repeats: int,
+                              sweep_lookups: int, hot_entries: int,
+                              workers: int) -> dict:
+    """ISSUE-9 section: the on-disk store across entry-count scales,
+    plus the dict-vs-mmap identity pair.  The headline numbers (and the
+    full-scale gates) come from the largest store in the sweep."""
+    tmp_dir = tempfile.mkdtemp(prefix="cryptodrop-bench-store-")
+    try:
+        scaling = [store_scaling_leg(n, doc_bytes, open_repeats,
+                                     sweep_lookups, hot_entries,
+                                     workers, tmp_dir)
+                   for n, doc_bytes in sizes]
+    finally:
+        try:
+            os.rmdir(tmp_dir)
+        except OSError:
+            pass
+    section = store_backend_identity(identity)
+    largest = scaling[-1]
+    section.update({
+        "scaling": scaling,
+        "open_seconds": largest["open_seconds"],
+        "open_vs_rebuild": largest["open_vs_rebuild"],
+        "largest_files": largest["files"],
+    })
+    return section
+
+
 def _ingest_streams(corpus, endpoints: int, stream_events: int) -> dict:
     """Record one endpoint event stream per tenant, cycling the cohort.
 
@@ -748,7 +897,7 @@ def ingest_resilience(endpoints: int, stream_events: int,
     }
 
 
-def run(smoke: bool = False) -> dict:
+def run(smoke: bool = False, big: bool = False) -> dict:
     if smoke:
         digest_payload = 32 * 1024
         repeats, scalar_repeats = 3, 2
@@ -763,6 +912,8 @@ def run(smoke: bool = False) -> dict:
                       n_files=24, n_dirs=5, rounds=1)
         streaming = dict(file_bytes=8 << 20, chunk_bytes=256 * 1024,
                          rounds=2)
+        store_persist = dict(sizes=[(1000, 900)], open_repeats=3,
+                             sweep_lookups=400, hot_entries=256, workers=2)
     else:
         digest_payload = 128 * 1024
         repeats, scalar_repeats = 9, 3
@@ -777,6 +928,14 @@ def run(smoke: bool = False) -> dict:
                       n_files=40, n_dirs=8, rounds=2)
         streaming = dict(file_bytes=256 << 20, chunk_bytes=1 << 20,
                          rounds=3)
+        store_persist = dict(sizes=[(10_000, 900), (100_000, 900)],
+                             open_repeats=7, sweep_lookups=4000,
+                             hot_entries=1024, workers=2)
+    if big:
+        # the million-entry tier: ~240-byte documents keep the content
+        # set (and each fork's shard build) inside the memory budget
+        store_persist["sizes"] = list(store_persist["sizes"]) \
+            + [(1_000_000, 240)]
 
     payload = _text(3, digest_payload)
     hot_paths = {}
@@ -837,6 +996,11 @@ def run(smoke: bool = False) -> dict:
         stream_section["close_speedup"]
     streaming_identical = streaming_digests_identity(identity)
 
+    persistence = store_persistence_section(identity=identity,
+                                            **store_persist)
+    hot_paths["store_open"] = persistence["open_seconds"]
+    speedups["store_open_vs_rebuild"] = persistence["open_vs_rebuild"]
+
     resilience = ingest_resilience(**ingest)
     hot_paths["ingest_session"] = resilience["seconds_fault_free"]
     speedups["ingest_faulted_vs_fault_free"] = \
@@ -871,6 +1035,20 @@ def run(smoke: bool = False) -> dict:
         "streaming_digest_identical": stream_section["digests_identical"],
         "streaming_results_identical": streaming_identical,
         "streaming_no_fallbacks": not stream_section["stream_fallbacks"],
+        # ISSUE 9: the persistent store is the same store by another
+        # route — dict and mmap backends produce bit-identical verdicts
+        # from identical fingerprints, pristine rerun sweeps digest
+        # nothing, residency stays under the hot-entry cap, and every
+        # file written by the sweep fscks clean
+        "store_backend_results_identical": persistence["results_identical"],
+        "store_fingerprint_identical": persistence["fingerprint_identical"],
+        "store_rerun_bytes_digested_zero": all(
+            leg["sweep_bytes_digested"] == 0
+            for leg in persistence["scaling"]),
+        "store_resident_bounded": all(leg["resident_bounded"]
+                                      for leg in persistence["scaling"]),
+        "store_fsck_clean": all(leg["fsck_ok"]
+                                for leg in persistence["scaling"]),
         # ISSUE 6: faults, restarts, and load shedding must never change
         # what the detector decides for an unaffected tenant, leak events
         # across tenants, or drop records invisibly
@@ -894,6 +1072,11 @@ def run(smoke: bool = False) -> dict:
         invariants["streaming_close_speedup_ge_5"] = (
             stream_section["close_speedup"]
             >= STREAMING_CLOSE_SPEEDUP_FLOOR)
+        invariants["store_open_le_50ms"] = (
+            persistence["open_seconds"] <= STORE_OPEN_CEILING_S)
+        invariants["store_open_vs_rebuild_ge_100"] = (
+            persistence["open_vs_rebuild"]
+            >= STORE_OPEN_VS_REBUILD_FLOOR)
     return {
         "schema": SCHEMA_VERSION,
         "scale": "smoke" if smoke else "full",
@@ -910,6 +1093,7 @@ def run(smoke: bool = False) -> dict:
                         for k, v in store_build.items()},
         "digest_batch_documents": batch_docs,
         "streaming_digest": stream_section,
+        "store_persistence": persistence,
         "telemetry_overhead": overhead,
         "ingest_resilience": resilience,
         "invariants": invariants,
@@ -936,7 +1120,7 @@ def validate_report(report: dict) -> list:
     for name in ("sdhash_digest", "compare_batched", "close_heavy_campaign",
                  "campaign_throughput", "digest_many_batch",
                  "store_build_batched", "ingest_session",
-                 "streaming_close"):
+                 "streaming_close", "store_open"):
         entry = hot_paths.get(name)
         need(isinstance(entry, dict)
              and isinstance(entry.get("seconds"), (int, float))
@@ -949,7 +1133,8 @@ def validate_report(report: dict) -> list:
                  "campaign_store_vs_bench2_path",
                  "digest_many_vs_per_file",
                  "store_build_batched_vs_serial",
-                 "streaming_close_vs_whole_file"):
+                 "streaming_close_vs_whole_file",
+                 "store_open_vs_rebuild"):
         need(isinstance(speedups.get(name), (int, float)),
              f"speedups[{name}] missing")
     stream_section = report.get("streaming_digest", {})
@@ -964,6 +1149,21 @@ def validate_report(report: dict) -> list:
     for name in ("documents", "entries", "seconds_batched", "speedup",
                  "entries_identical"):
         need(name in store_build, f"store_build[{name}] missing")
+    persistence = report.get("store_persistence", {})
+    for name in ("open_seconds", "open_vs_rebuild", "largest_files",
+                 "results_identical", "fingerprint_identical",
+                 "mmap_store_hits", "storage_legs", "scaling"):
+        need(name in persistence, f"store_persistence[{name}] missing")
+    scaling = persistence.get("scaling") or []
+    need(len(scaling) >= 1, "store_persistence[scaling] empty")
+    for leg in scaling:
+        for name in ("files", "entries", "file_bytes", "build_seconds",
+                     "open_seconds", "open_vs_rebuild", "lookups",
+                     "lookups_per_second", "sweep_bytes_digested",
+                     "sweep_store_hits", "page_ins", "resident",
+                     "hot_entries", "resident_bounded", "fsck_ok"):
+            need(name in leg,
+                 f"store_persistence scaling[{name}] missing")
     campaign = report.get("campaign", {})
     for name in ("seconds_bench2_path", "speedup", "samples",
                  "corpus_files", "store_build_seconds", "store_entries",
@@ -999,7 +1199,12 @@ def validate_report(report: dict) -> list:
                  "ingest_nonshed_unchanged",
                  "streaming_digest_identical",
                  "streaming_results_identical",
-                 "streaming_no_fallbacks"):
+                 "streaming_no_fallbacks",
+                 "store_backend_results_identical",
+                 "store_fingerprint_identical",
+                 "store_rerun_bytes_digested_zero",
+                 "store_resident_bounded",
+                 "store_fsck_clean"):
         need(isinstance(invariants.get(name), bool),
              f"invariants[{name}] missing")
     if report.get("scale") == "full":
@@ -1013,6 +1218,12 @@ def validate_report(report: dict) -> list:
                         bool),
              "invariants[streaming_close_speedup_ge_5] missing at "
              "full scale")
+        need(isinstance(invariants.get("store_open_le_50ms"), bool),
+             "invariants[store_open_le_50ms] missing at full scale")
+        need(isinstance(invariants.get("store_open_vs_rebuild_ge_100"),
+                        bool),
+             "invariants[store_open_vs_rebuild_ge_100] missing at "
+             "full scale")
     need(isinstance(report.get("counters"), dict), "counters missing")
     return problems
 
@@ -1024,8 +1235,11 @@ def main(argv=None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="seconds-long structural pass (not comparable "
                              "to a full-scale baseline)")
+    parser.add_argument("--big", action="store_true",
+                        help="add the million-entry tier to the store "
+                             "persistence sweep (minutes of build time)")
     args = parser.parse_args(argv)
-    report = run(smoke=args.smoke)
+    report = run(smoke=args.smoke, big=args.big)
     problems = validate_report(report)
     args.output.write_text(json.dumps(report, indent=2, sort_keys=True)
                            + "\n")
@@ -1047,6 +1261,13 @@ def main(argv=None) -> int:
           f"{stream_section['seconds_close_streamed'] * 1000:.1f} ms "
           f"streamed vs {stream_section['seconds_close_whole'] * 1000:.1f}"
           f" ms whole ({stream_section['close_speedup']:.1f}x)")
+    persistence = report["store_persistence"]
+    largest = persistence["scaling"][-1]
+    print(f"  store: {largest['files']} files reopen "
+          f"{largest['open_seconds'] * 1000:.2f} ms "
+          f"({largest['open_vs_rebuild']:.0f}x vs rebuild), "
+          f"{largest['lookups_per_second']:.0f} lookups/s, "
+          f"{largest['resident']}/{largest['hot_entries']} resident")
     resilience = report["ingest_resilience"]
     print(f"  ingest: {resilience['endpoints']} endpoints, "
           f"faulted/fault-free ratio {resilience['throughput_ratio']:.2f}, "

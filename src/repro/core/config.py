@@ -144,6 +144,17 @@ class CryptoDropConfig:
     #: subscribers such as the JSONL exporter still see the full stream)
     telemetry_events: int = 4096
 
+    # -- baseline store storage (repro.store) ----------------------------------
+    #: where campaign BaselineStore entries live: ``"dict"`` keeps the
+    #: whole corpus index resident (fastest lookups, RAM-bounded) while
+    #: ``"mmap"`` serves it from a single on-disk file — millisecond
+    #: opens at any corpus size, lazy per-record page-in.  Verdicts are
+    #: bit-identical either way (docs/performance.md).
+    store_backend: str = "dict"
+    #: hot-entry LRU capacity of the mmap store backend — the resident
+    #: memory ceiling; steady-state campaigns serve repeats from it
+    store_hot_entries: int = 4096
+
     # -- campaign execution ----------------------------------------------------
     #: worker processes for parallel campaigns; 0 means one per CPU.
     #: (The old hard cap of 8 existed because each worker held its own

@@ -768,6 +768,22 @@ class AnalysisEngine(FilterDriver):
             "fallbacks": dict(self.stream_fallbacks),
         }
 
+    def store_stats(self) -> Optional[dict]:
+        """Attached baseline store's storage/residency view, or ``None``.
+
+        For the mmap backend this is the operator's memory story: how
+        many records have been paged in from disk and how many sit in
+        the bounded hot-entry LRU right now (``resident`` ≤
+        ``hot_capacity``, never the corpus size).
+        """
+        store = self.cache.baseline_store
+        if store is None:
+            return None
+        stats = store.page_stats()
+        stats["entries"] = len(store)
+        stats["fingerprint"] = store.fingerprint
+        return stats
+
     def stream_entropy_of(self, handle_id: int) -> Optional[float]:
         """Corrected entropy of everything written through a live handle,
         served from its running histogram — no re-count of the stream."""

@@ -239,6 +239,10 @@ class FileStateCache:
                 f"cache ({backend}, {max_inspect_bytes}, "
                 f"digests={digests_enabled})")
         self.baseline_store = baseline_store
+        if baseline_store is not None and telemetry is not None:
+            # surface mmap-backend page-ins on this engine's session
+            # (dict storage has nothing to observe — no-op bind)
+            baseline_store.bind_telemetry(telemetry)
         #: lazy close path: baseline captures keep the bytes and digest
         #: only when a comparison first needs them
         self.defer_digests = defer_digests

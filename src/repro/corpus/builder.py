@@ -9,6 +9,7 @@ a generated corpus under a protected root in a VFS via out-of-band writes
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -68,15 +69,25 @@ class GeneratedCorpus:
 
     def baseline_store(self, backend: str = "sdhash",
                        max_inspect_bytes: int = 4 * 1024 * 1024,
-                       digests_enabled: bool = True):
+                       digests_enabled: bool = True,
+                       storage: str = "dict",
+                       hot_entries: int = 4096):
         """The (cached) precomputed first-touch baseline index.
 
         Building digests the whole corpus once; campaigns running many
         samples against this corpus resolve pristine-content baselines
         from the returned :class:`~repro.corpus.baselines.BaselineStore`
         instead of re-digesting per sample.
+
+        ``storage="mmap"`` serves the same index from a single on-disk
+        file (written to a temp path on first request, reopened lazily)
+        — identical lookups, bounded resident memory; see
+        ``docs/performance.md``.
         """
         from .baselines import BaselineStore
+        if storage not in ("dict", "mmap"):
+            raise ValueError(f"unknown store storage {storage!r} "
+                             "(expected 'dict' or 'mmap')")
         key = (backend, max_inspect_bytes, digests_enabled)
         store = self._stores.get(key)
         if store is None:
@@ -84,7 +95,19 @@ class GeneratedCorpus:
                                         max_inspect_bytes=max_inspect_bytes,
                                         digests_enabled=digests_enabled)
             self._stores[key] = store
-        return store
+        if storage == "dict":
+            return store
+        disk_key = key + ("mmap", hot_entries)
+        disk_store = self._stores.get(disk_key)
+        if disk_store is None:
+            import tempfile
+            fd, path = tempfile.mkstemp(prefix="cryptodrop-store-",
+                                        suffix=".cdbs")
+            os.close(fd)
+            store.save(path)
+            disk_store = BaselineStore.open(path, hot_entries=hot_entries)
+            self._stores[disk_key] = disk_store
+        return disk_store
 
     def files_by_type(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}

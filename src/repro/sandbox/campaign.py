@@ -29,17 +29,25 @@ def store_for_config(corpus: GeneratedCorpus,
                      telemetry=None):
     """The corpus's (cached) BaselineStore matching a detector config.
 
-    With a telemetry session attached, the resolved store announces
-    itself (a ``StoreBuilt`` event) — once per campaign, from the parent
-    process, before any monitor exists.
+    ``config.store_backend`` picks the storage: ``"dict"`` (resident,
+    default) or ``"mmap"`` (single-file on-disk store, lazy page-in,
+    ``config.store_hot_entries`` LRU) — verdicts are bit-identical
+    either way.  With a telemetry session attached, the resolved store
+    announces itself (``StoreBuilt`` for dict, ``StoreOpened`` for
+    mmap) — once per campaign, from the parent process, before any
+    monitor exists.
     """
     config = config or CryptoDropConfig()
+    resolve_started = time.perf_counter()
     store = corpus.baseline_store(
         backend=config.similarity_backend,
         max_inspect_bytes=config.max_inspect_bytes,
-        digests_enabled=config.enable_similarity)
+        digests_enabled=config.enable_similarity,
+        storage=config.store_backend,
+        hot_entries=config.store_hot_entries)
     if telemetry is not None:
-        store.emit_built(telemetry)
+        store.announce(telemetry,
+                       open_seconds=time.perf_counter() - resolve_started)
     return store
 
 ProgressFn = Callable[[int, int, SampleResult], None]

@@ -134,6 +134,15 @@ class VirtualMachine:
         self.corpus = corpus
         #: precomputed corpus baseline index shared by every monitor that
         #: runs on this machine (see repro.corpus.baselines)
+        if (baseline_store is not None and corpus is not None
+                and baseline_store.seed != corpus.seed):
+            # a parameter-identical store from another corpus would pass
+            # every per-entry check and only die at checkpoint
+            # fingerprint validation — refuse it up front
+            raise ValueError(
+                f"baseline store was built from corpus seed "
+                f"{baseline_store.seed}, but this machine plants corpus "
+                f"seed {corpus.seed} — rebuild the store for this corpus")
         self.baseline_store = baseline_store
         self.vfs._ensure_dirs(temp_root)
         self.vfs._ensure_dirs(docs_root)

@@ -106,11 +106,41 @@ def _build_shard(args) -> Tuple[Dict[bytes, object], int]:
         max_inspect_bytes, digests_enabled)
 
 
+def _build_shard_file(args) -> str:
+    """One worker's slice, written straight to a shard store file.
+
+    The shard file is a complete, valid store over its key subset, so
+    the parent merges index blocks and record regions
+    (:func:`repro.store.writer.merge_store_files`) without ever holding
+    any shard's entries in memory — the disk-build path for corpora
+    whose digests should never all be resident at once.
+    """
+    from ..store.writer import StoreWriter
+    (lo, hi, shard_path, seed, backend, max_inspect_bytes,
+     digests_enabled) = args
+    started = time.perf_counter()
+    keys = _SHARD_KEYS[lo:hi]
+    entries, total = BaselineStore._build_entries_batched(
+        keys, _SHARD_BLOBS[lo:hi], max_inspect_bytes, digests_enabled)
+    writer = StoreWriter(shard_path, seed=seed, backend=backend,
+                         max_inspect_bytes=max_inspect_bytes,
+                         digests_enabled=digests_enabled)
+    try:
+        for key in keys:
+            writer.add(key, entries[key])
+    except BaseException:
+        writer.abort()
+        raise
+    return writer.finish(total_bytes=total,
+                         build_seconds=time.perf_counter() - started)
+
+
 def build_store_parallel(corpus, backend: str = "sdhash",
                          max_inspect_bytes: int = 4 * 1024 * 1024,
                          digests_enabled: bool = True,
                          workers: Optional[int] = None,
-                         config: Optional[CryptoDropConfig] = None
+                         config: Optional[CryptoDropConfig] = None,
+                         path=None, hot_entries: int = 4096
                          ) -> BaselineStore:
     """:meth:`BaselineStore.build` sharded across worker processes.
 
@@ -120,18 +150,31 @@ def build_store_parallel(corpus, backend: str = "sdhash",
     functions of content, so the merged store is bit-identical to a
     single-process build (same fingerprint, same digests).
 
+    With ``path`` set, the build lands on disk instead: each worker
+    writes its shard as a complete store file, the parent merge-sorts
+    the shard indexes into one final store at ``path``
+    (:func:`~repro.store.writer.merge_store_files` — the full entry
+    dict is never materialised in any process), and the result comes
+    back opened via :meth:`BaselineStore.open` with a ``hot_entries``
+    LRU.  Same fingerprint, same lookups as the in-memory build.
+
     Worker count resolves like the parallel campaign's (explicit argument
     > ``config.campaign_workers`` > one per CPU).  With one worker, a
     non-sdhash backend, or no ``fork`` support, this degrades to the
-    ordinary in-process build — on a single-CPU host the batching itself
-    carries the speedup and sharding would only add fork overhead.
+    ordinary in-process build (written out and reopened when ``path`` is
+    set) — on a single-CPU host the batching itself carries the speedup
+    and sharding would only add fork overhead.
     """
     global _SHARD_KEYS, _SHARD_BLOBS
     workers = _resolve_workers(workers, config)
     if (workers <= 1 or backend != "sdhash"
             or "fork" not in multiprocessing.get_all_start_methods()):
-        return BaselineStore.build(corpus, backend, max_inspect_bytes,
-                                   digests_enabled)
+        store = BaselineStore.build(corpus, backend, max_inspect_bytes,
+                                    digests_enabled)
+        if path is None:
+            return store
+        store.save(path)
+        return BaselineStore.open(path, hot_entries=hot_entries)
     started = time.perf_counter()
     keys: List[bytes] = []
     blobs: List[bytes] = []
@@ -152,10 +195,28 @@ def build_store_parallel(corpus, backend: str = "sdhash",
     _SHARD_BLOBS = blobs
     try:
         bound = max(1, (len(blobs) + workers - 1) // workers)
+        ctx = multiprocessing.get_context("fork")
+        if path is not None:
+            shard_files = [(lo, min(len(blobs), lo + bound),
+                            f"{path}.shard{i}", corpus.seed, backend,
+                            max_inspect_bytes, digests_enabled)
+                           for i, lo in enumerate(
+                               range(0, len(blobs), bound))]
+            with ctx.Pool(processes=min(workers, len(shard_files))) as pool:
+                shard_paths = pool.map(_build_shard_file, shard_files)
+            try:
+                from ..store.writer import merge_store_files
+                merge_store_files(shard_paths, path,
+                                  build_seconds=time.perf_counter()
+                                  - started)
+            finally:
+                for shard_path in shard_paths:
+                    if os.path.exists(shard_path):
+                        os.unlink(shard_path)
+            return BaselineStore.open(path, hot_entries=hot_entries)
         shards = [(lo, min(len(blobs), lo + bound),
                    max_inspect_bytes, digests_enabled)
                   for lo in range(0, len(blobs), bound)]
-        ctx = multiprocessing.get_context("fork")
         with ctx.Pool(processes=min(workers, len(shards))) as pool:
             parts = pool.map(_build_shard, shards)
     finally:

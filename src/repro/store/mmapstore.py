@@ -1,0 +1,155 @@
+"""Mmap'd lazy backend over an on-disk baseline store file.
+
+Opening costs one header parse plus one ``mmap`` — O(1) in entry count,
+which is the whole point: a million-entry store is usable in
+milliseconds.  A lookup is a binary search over the sorted index block
+(each probe reads 16 bytes straight from the map) and, on a hit, one
+record deserialisation ("page-in") into a bounded LRU of hot entries.
+Campaigns touch the same pristine baselines over and over, so steady
+state serves from the LRU with the dict backend's latency while resident
+memory stays at ``hot_entries``, not the corpus size.
+"""
+
+from __future__ import annotations
+
+import mmap
+from collections import OrderedDict
+from typing import Dict, Iterator, Optional
+
+from .format import (HEADER_SIZE, INDEX_ROW, INDEX_ROW_SIZE, StoreFormatError,
+                     decode_type_table, unpack_header, unpack_record)
+
+__all__ = ["MmapBackend"]
+
+
+class MmapBackend:
+    """Binary-search lookups over one ``mmap``; bounded hot-entry LRU."""
+
+    __slots__ = ("path", "header", "hot_entries", "page_ins",
+                 "hot_hits", "_file", "_map", "_types", "_index_offset",
+                 "_n_entries", "_hot", "_telemetry")
+
+    storage = "mmap"
+
+    def __init__(self, path, hot_entries: int = 4096) -> None:
+        self.path = str(path)
+        self.hot_entries = max(0, int(hot_entries))
+        self.page_ins = 0
+        self.hot_hits = 0
+        self._hot: "OrderedDict[bytes, object]" = OrderedDict()
+        self._telemetry = None
+        self._file = open(self.path, "rb")
+        try:
+            self._map = mmap.mmap(self._file.fileno(), 0,
+                                  access=mmap.ACCESS_READ)
+        except ValueError:
+            self._file.close()
+            raise StoreFormatError(
+                f"{self.path}: empty file — not a baseline store")
+        try:
+            header = unpack_header(self._map)
+            self._check_bounds(header)
+            self._types = decode_type_table(self._map, header.types_offset)
+        except Exception:
+            self.close()
+            raise
+        self.header = header
+        self._index_offset = header.index_offset
+        self._n_entries = header.n_entries
+
+    def _check_bounds(self, header) -> None:
+        size = len(self._map)
+        index_end = header.index_offset + header.n_entries * INDEX_ROW_SIZE
+        if not (HEADER_SIZE <= header.records_offset
+                <= header.index_offset <= index_end
+                <= header.types_offset <= size):
+            raise StoreFormatError(
+                f"{self.path}: header offsets exceed the {size}-byte file "
+                "— truncated store (rebuild it)")
+
+    # -- lookup ---------------------------------------------------------------
+
+    def _key_at(self, i: int) -> bytes:
+        offset = self._index_offset + i * INDEX_ROW_SIZE
+        return self._map[offset:offset + 16]
+
+    def _find(self, key: bytes) -> int:
+        """Index-row position of ``key``, or -1 — raw-byte binary search."""
+        lo, hi = 0, self._n_entries
+        while lo < hi:
+            mid = (lo + hi) // 2
+            probe = self._key_at(mid)
+            if probe < key:
+                lo = mid + 1
+            elif probe > key:
+                hi = mid
+            else:
+                return mid
+        return -1
+
+    def _page_in(self, key: bytes, i: int):
+        row_offset = self._index_offset + i * INDEX_ROW_SIZE
+        _, record_offset, length = INDEX_ROW.unpack(
+            self._map[row_offset:row_offset + INDEX_ROW_SIZE])
+        entry = unpack_record(self._map, record_offset, self._types,
+                              length=length)
+        self.page_ins += 1
+        if self.hot_entries:
+            self._hot[key] = entry
+            if len(self._hot) > self.hot_entries:
+                self._hot.popitem(last=False)
+        telemetry = self._telemetry
+        if telemetry is not None:
+            from ..telemetry.events import StorePageIn
+            telemetry.store_page_ins.inc()
+            telemetry.bus.emit(StorePageIn(
+                telemetry.bus.clock_us, size=entry.size,
+                resident=len(self._hot)))
+        return entry
+
+    def get(self, key: bytes):
+        entry = self._hot.get(key)
+        if entry is not None:
+            self.hot_hits += 1
+            self._hot.move_to_end(key)
+            return entry
+        i = self._find(key)
+        if i < 0:
+            return None
+        return self._page_in(key, i)
+
+    def __len__(self) -> int:
+        return self._n_entries
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._hot or self._find(key) >= 0
+
+    def keys(self) -> Iterator[bytes]:
+        """All keys in index (= sorted) order, streamed from the map."""
+        for i in range(self._n_entries):
+            yield self._key_at(i)
+
+    def as_dict(self) -> Dict[bytes, object]:
+        """Materialise every entry — O(n) memory, tooling/tests only."""
+        return {key: self.get(key) for key in self.keys()}
+
+    # -- observability --------------------------------------------------------
+
+    def page_stats(self) -> dict:
+        return {"storage": self.storage, "page_ins": self.page_ins,
+                "hot_hits": self.hot_hits, "resident": len(self._hot),
+                "hot_capacity": self.hot_entries}
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach a session; subsequent page-ins emit ``StorePageIn``
+        events and bump ``cryptodrop_store_page_ins_total``."""
+        self._telemetry = telemetry
+
+    def close(self) -> None:
+        self._hot.clear()
+        if getattr(self, "_map", None) is not None:
+            self._map.close()
+            self._map = None
+        if getattr(self, "_file", None) is not None:
+            self._file.close()
+            self._file = None

@@ -29,7 +29,8 @@ from .events import (EVENT_TYPES, BaselineResolved, BreakerTripped,
                      CacheEvicted, DigestBatchFlushed, EventBus,
                      FaultInjected, IndicatorFired, LoadShed,
                      ProcessSuspended, ScoreDelta, ShardRestarted,
-                     StoreBuilt, StreamDigestFinalized, TelemetryEvent,
+                     StoreBuilt, StoreOpened, StorePageIn,
+                     StreamDigestFinalized, TelemetryEvent,
                      UnionBoost, event_from_dict, events_as_dicts)
 from .export import (JsonlWriter, read_jsonl, render_prometheus,
                      validate_exposition, write_jsonl)
@@ -49,7 +50,7 @@ __all__ = [
     "TelemetryEvent", "IndicatorFired", "ScoreDelta", "UnionBoost",
     "ProcessSuspended", "BaselineResolved", "CacheEvicted",
     "DigestBatchFlushed", "StreamDigestFinalized",
-    "FaultInjected", "StoreBuilt",
+    "FaultInjected", "StoreBuilt", "StoreOpened", "StorePageIn",
     "LoadShed", "BreakerTripped", "ShardRestarted", "EventBus",
     "EVENT_TYPES", "event_from_dict", "events_as_dicts",
     # metrics
@@ -141,6 +142,14 @@ class TelemetrySession:
             "cryptodrop_retry_backoff_total",
             "delayed (exponential-backoff) retry resubmissions in the "
             "parallel campaign dispatcher")
+        self.store_page_ins = r.counter(
+            "cryptodrop_store_page_ins_total",
+            "baseline-store records deserialised from disk on first "
+            "touch (mmap backend)")
+        self.store_resident = r.gauge(
+            "cryptodrop_store_resident_entries",
+            "baseline-store entries resident in memory (hot-entry LRU "
+            "occupancy for the mmap backend, all entries for dict)")
 
     @classmethod
     def from_config(cls, config) -> Optional["TelemetrySession"]:

@@ -39,7 +39,7 @@ __all__ = [
     "TelemetryEvent", "IndicatorFired", "ScoreDelta", "UnionBoost",
     "ProcessSuspended", "BaselineResolved", "CacheEvicted",
     "DigestBatchFlushed", "StreamDigestFinalized",
-    "FaultInjected", "StoreBuilt",
+    "FaultInjected", "StoreBuilt", "StoreOpened", "StorePageIn",
     "LoadShed", "BreakerTripped", "ShardRestarted", "EventBus",
     "EVENT_TYPES", "event_from_dict", "events_as_dicts",
 ]
@@ -203,6 +203,38 @@ class StoreBuilt(TelemetryEvent):
 
 
 @dataclass(frozen=True)
+class StoreOpened(TelemetryEvent):
+    """A persistent baseline store was opened from disk (``repro.store``).
+
+    ``open_seconds`` is the header-parse + mmap cost — O(1) in entry
+    count, which is the format's headline property; nothing else is
+    read until lookups page records in (see :class:`StorePageIn`).
+    """
+
+    kind: ClassVar[str] = "store_opened"
+
+    entries: int = 0
+    total_bytes: int = 0
+    path: str = ""
+    open_seconds: float = 0.0
+    hot_entries: int = 0
+
+
+@dataclass(frozen=True)
+class StorePageIn(TelemetryEvent):
+    """The mmap store deserialised one record on first touch.
+
+    ``resident`` is the hot-entry LRU occupancy after the page-in —
+    bounded by the ``store_hot_entries`` knob, never the corpus size.
+    """
+
+    kind: ClassVar[str] = "store_page_in"
+
+    size: int = 0
+    resident: int = 0
+
+
+@dataclass(frozen=True)
 class LoadShed(TelemetryEvent):
     """The ingest queue shed one event under overload (sampling mode).
 
@@ -256,6 +288,7 @@ EVENT_TYPES: Dict[str, Type[TelemetryEvent]] = {
     for cls in (IndicatorFired, ScoreDelta, UnionBoost, ProcessSuspended,
                 BaselineResolved, CacheEvicted, DigestBatchFlushed,
                 StreamDigestFinalized, FaultInjected, StoreBuilt,
+                StoreOpened, StorePageIn,
                 LoadShed, BreakerTripped, ShardRestarted)
 }
 

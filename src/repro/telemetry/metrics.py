@@ -389,6 +389,19 @@ def engine_snapshot(engine,
             "streams abandoned for the whole-content path, per reason")
         for reason, count in sorted(streaming["fallbacks"].items()):
             fallbacks.set(count, reason=reason)
+    baseline_store = getattr(getattr(eng, "cache", None),
+                             "baseline_store", None)
+    if baseline_store is not None and \
+            callable(getattr(baseline_store, "page_stats", None)):
+        paging = baseline_store.page_stats()
+        registry.gauge("cryptodrop_store_page_ins",
+                       "baseline-store records deserialised from disk "
+                       "(mmap backend; 0 for resident dict storage)"
+                       ).set(paging.get("page_ins", 0))
+        registry.gauge("cryptodrop_store_resident_entries",
+                       "baseline-store entries resident in memory"
+                       ).set(paging.get("resident", 0),
+                             storage=paging.get("storage", "dict"))
     scheduler = getattr(eng, "scheduler", None)
     if scheduler is not None:
         registry.gauge(

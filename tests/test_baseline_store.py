@@ -206,7 +206,7 @@ class TestCheckpointIdentity:
         assert descriptor["seed"] == corpus.seed
         # entries are never embedded, only the identity travels
         assert set(descriptor) == {"seed", "backend", "max_inspect_bytes",
-                                   "digests_enabled", "entries",
+                                   "digests_enabled", "entries", "storage",
                                    "fingerprint"}
         monitor.detach()
 

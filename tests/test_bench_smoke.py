@@ -1,4 +1,4 @@
-"""Structural smoke pass over the ``make bench`` harness (ISSUEs 2–7).
+"""Structural smoke pass over the ``make bench`` harness (ISSUEs 2–9).
 
 Runs the benchmark harness at smoke scale — seconds, not minutes — and
 checks the report's shape (via the harness's own schema validator), the
@@ -36,7 +36,7 @@ class TestReportShape:
         for name in ("sdhash_digest", "compare_batched",
                      "close_heavy_campaign", "campaign_throughput",
                      "digest_many_batch", "store_build_batched",
-                     "ingest_session"):
+                     "ingest_session", "store_open"):
             assert report["hot_paths"][name]["seconds"] > 0
 
     def test_schema_validator_accepts_report(self, report):
@@ -182,6 +182,62 @@ class TestStreamingDigestSection:
         assert any("streaming_digest_identical" in p for p in problems)
 
 
+class TestStorePersistence:
+    def test_backend_verdicts_identical(self, report):
+        # the ISSUE-9 correctness bar: the mmap backend is storage,
+        # never semantics — dict and disk legs agree bit-for-bit
+        assert report["invariants"]["store_backend_results_identical"]
+        assert report["store_persistence"]["results_identical"]
+        assert report["invariants"]["store_fingerprint_identical"]
+        assert report["store_persistence"]["storage_legs"] == \
+            ["dict", "mmap"]
+
+    def test_mmap_leg_consulted_the_store(self, report):
+        # whether campaign lookups hit depends on the cohort's attack
+        # shapes, same caveat as the campaign section; the sweep below
+        # pins hits == lookups on pristine content
+        section = report["store_persistence"]
+        assert section["mmap_store_hits"] + section["mmap_store_misses"] > 0
+
+    def test_pristine_rerun_digests_nothing(self, report):
+        assert report["invariants"]["store_rerun_bytes_digested_zero"]
+        for leg in report["store_persistence"]["scaling"]:
+            assert leg["sweep_bytes_digested"] == 0
+            assert leg["sweep_store_hits"] == leg["lookups"]
+            assert leg["page_ins"] > 0
+
+    def test_residency_bounded_and_files_clean(self, report):
+        assert report["invariants"]["store_resident_bounded"]
+        assert report["invariants"]["store_fsck_clean"]
+        for leg in report["store_persistence"]["scaling"]:
+            assert leg["resident"] <= leg["hot_entries"]
+            assert leg["fsck_ok"]
+
+    def test_reopen_beats_rebuild(self, report):
+        # the ≤50 ms / ≥100x bars are gated at full scale
+        # (store_open_le_50ms, store_open_vs_rebuild_ge_100); even the
+        # ~1k-entry smoke store must reopen clearly faster than it built
+        assert report["speedups"]["store_open_vs_rebuild"] > 1.0
+        for leg in report["store_persistence"]["scaling"]:
+            assert leg["open_seconds"] < leg["build_seconds"]
+
+    def test_schema_validator_requires_section(self, report):
+        broken = copy.deepcopy(report)
+        del broken["store_persistence"]["open_vs_rebuild"]
+        broken["invariants"].pop("store_backend_results_identical")
+        problems = validate_report(broken)
+        assert any("open_vs_rebuild" in p for p in problems)
+        assert any("store_backend_results_identical" in p
+                   for p in problems)
+
+    def test_comparator_gates_scaling_tiers(self, report):
+        slow = copy.deepcopy(report)
+        leg = slow["store_persistence"]["scaling"][-1]
+        leg["open_seconds"] *= 2.0
+        regs = compare_reports(report, slow, threshold=0.25)
+        assert [r[0] for r in regs] == [f"store_open[{leg['files']}]"]
+
+
 class TestIngestResilience:
     def test_verdicts_survive_the_fault_storm(self, report):
         # the ISSUE-6 correctness bar: kills, poisons, stalls and
@@ -268,7 +324,7 @@ class TestCli:
 
     def test_committed_baseline_matches_schema(self, report):
         baseline_path = newest_baseline()
-        assert baseline_path.name == "BENCH_7.json"
+        assert baseline_path.name == "BENCH_8.json"
         baseline = json.loads(baseline_path.read_text())
         assert baseline["schema"] == report["schema"]
         assert baseline["scale"] == "full"
